@@ -1,0 +1,80 @@
+// E4 — the randomized bound (Theorem 6.1 with coin tosses + Lemma 3.1).
+// Monte-Carlo over i.i.d. toss assignments: the randomized tournament
+// terminates with probability 1 and its EXPECTED winner cost must stay
+// >= log_4 n; the flaky variant terminates with probability c < 1 and its
+// expected cost must stay >= c·log_4 n.
+//
+// Expected shape: `mean_winner_ops` tracks c·log2(n)-ish growth and
+// `min_winner_ops` never dips below `log4_n`; for the flaky algorithm,
+// `termination_rate` ≈ (1 - 1/4)^n and the Lemma 3.1 product bound holds.
+#include <benchmark/benchmark.h>
+
+#include "core/lower_bound.h"
+#include "util/check.h"
+#include "wakeup/algorithms.h"
+
+namespace llsc {
+namespace {
+
+void BM_RandomizedTournament(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ExpectedComplexityEstimate est;
+  for (auto _ : state) {
+    est = estimate_expected_complexity(randomized_tournament_wakeup(), n,
+                                       /*samples=*/16, /*seed=*/12345);
+  }
+  LLSC_CHECK(est.bound_met, "randomized lower bound violated");
+  state.counters["n"] = n;
+  state.counters["termination_rate_c"] = est.termination_rate;
+  state.counters["mean_winner_ops"] = est.mean_winner_ops;
+  state.counters["min_winner_ops"] = static_cast<double>(est.min_winner_ops);
+  state.counters["bound_c_log4_n"] = est.bound;
+}
+
+void BM_BackoffCounter(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ExpectedComplexityEstimate est;
+  for (auto _ : state) {
+    est = estimate_expected_complexity(backoff_counter_wakeup(), n,
+                                       /*samples=*/12, /*seed=*/31);
+  }
+  LLSC_CHECK(est.bound_met, "randomized lower bound violated");
+  state.counters["n"] = n;
+  state.counters["mean_winner_ops"] = est.mean_winner_ops;
+  state.counters["min_winner_ops"] = static_cast<double>(est.min_winner_ops);
+  state.counters["mean_max_ops"] = est.mean_max_ops;
+  state.counters["bound_c_log4_n"] = est.bound;
+}
+
+void BM_FlakyWakeup(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ExpectedComplexityEstimate est;
+  AdversaryOptions adversary;
+  adversary.max_rounds = 400;  // non-terminating samples stop here
+  for (auto _ : state) {
+    est = estimate_expected_complexity(flaky_wakeup(4), n, /*samples=*/24,
+                                       /*seed=*/999, adversary);
+  }
+  LLSC_CHECK(est.bound_met, "Lemma 3.1 bound violated");
+  state.counters["n"] = n;
+  state.counters["termination_rate_c"] = est.termination_rate;
+  state.counters["mean_winner_ops"] = est.mean_winner_ops;
+  state.counters["expected_cost"] = est.termination_rate * est.mean_winner_ops;
+  state.counters["bound_c_log4_n"] = est.bound;
+}
+
+}  // namespace
+}  // namespace llsc
+
+BENCHMARK(llsc::BM_RandomizedTournament)
+    ->RangeMultiplier(2)
+    ->Range(4, 256)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(llsc::BM_BackoffCounter)
+    ->RangeMultiplier(4)
+    ->Range(4, 64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(llsc::BM_FlakyWakeup)
+    ->RangeMultiplier(2)
+    ->Range(2, 8)
+    ->Unit(benchmark::kMillisecond);

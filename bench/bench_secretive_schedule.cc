@@ -1,0 +1,128 @@
+// E6 — Lemmas 4.1/4.2 at scale. Construction cost of secretive complete
+// schedules over random move sets, with mover-count statistics.
+//
+// Expected shape: construction time is near-linear in |S|; `movers_max`
+// is exactly <= 2 at every size (Lemma 4.1); the id-order baseline's
+// `movers_max` grows with the chain length.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "sched/secretive_schedule.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace llsc {
+namespace {
+
+MoveSet random_moves(Rng& rng, int k, RegId pool) {
+  MoveSet moves;
+  for (ProcId p = 0; p < k; ++p) {
+    const RegId src = rng.next_below(pool);
+    RegId dst = rng.next_below(pool - 1);
+    if (dst >= src) ++dst;
+    moves.push_back({p, src, dst});
+  }
+  return moves;
+}
+
+MoveSet chain_moves(int k) {
+  MoveSet moves;
+  for (ProcId p = 0; p < k; ++p) {
+    moves.push_back({p, static_cast<RegId>(p), static_cast<RegId>(p) + 1});
+  }
+  return moves;
+}
+
+void report_movers(benchmark::State& state, const MoveSet& moves,
+                   const std::vector<ProcId>& sigma) {
+  const MoveAnalysis analysis(moves, sigma);
+  std::size_t max_movers = 0;
+  double total = 0;
+  std::size_t touched = 0;
+  for (const RegId r : analysis.touched()) {
+    const std::size_t m = analysis.movers(r).size();
+    max_movers = std::max(max_movers, m);
+    total += static_cast<double>(m);
+    ++touched;
+  }
+  state.counters["movers_max"] = static_cast<double>(max_movers);
+  state.counters["movers_mean"] = touched ? total / touched : 0.0;
+  state.counters["registers_touched"] = static_cast<double>(touched);
+}
+
+void BM_ConstructRandom(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Rng rng(42);
+  const MoveSet moves = random_moves(rng, k, std::max<RegId>(4, k / 4));
+  std::vector<ProcId> sigma;
+  for (auto _ : state) {
+    sigma = secretive_complete_schedule(moves);
+    benchmark::DoNotOptimize(sigma);
+  }
+  LLSC_CHECK(is_secretive_complete(moves, sigma), "Lemma 4.1 violated");
+  state.counters["moves"] = k;
+  report_movers(state, moves, sigma);
+  state.SetComplexityN(k);
+}
+
+void BM_ConstructChain(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const MoveSet moves = chain_moves(k);
+  std::vector<ProcId> sigma;
+  for (auto _ : state) {
+    sigma = secretive_complete_schedule(moves);
+    benchmark::DoNotOptimize(sigma);
+  }
+  LLSC_CHECK(is_secretive_complete(moves, sigma), "Lemma 4.1 violated");
+  state.counters["moves"] = k;
+  report_movers(state, moves, sigma);
+}
+
+void BM_NaiveIdOrderChain(benchmark::State& state) {
+  // Baseline: the id-order schedule on the same chain — movers_max = k.
+  const int k = static_cast<int>(state.range(0));
+  const MoveSet moves = chain_moves(k);
+  std::vector<ProcId> naive;
+  for (ProcId p = 0; p < k; ++p) naive.push_back(p);
+  for (auto _ : state) {
+    const MoveAnalysis analysis(moves, naive);
+    benchmark::DoNotOptimize(analysis.source(static_cast<RegId>(k)));
+  }
+  state.counters["moves"] = k;
+  report_movers(state, moves, naive);
+}
+
+void BM_RestrictionCheck(benchmark::State& state) {
+  // Lemma 4.2 verification cost: restrict to each register's movers and
+  // compare sources.
+  const int k = static_cast<int>(state.range(0));
+  Rng rng(7);
+  const MoveSet moves = random_moves(rng, k, std::max<RegId>(4, k / 4));
+  const auto sigma = secretive_complete_schedule(moves);
+  const MoveAnalysis analysis(moves, sigma);
+  const auto touched = analysis.touched();
+  bool all_ok = true;
+  for (auto _ : state) {
+    for (const RegId r : touched) {
+      std::unordered_set<ProcId> subset;
+      for (const ProcId p : analysis.movers(r)) subset.insert(p);
+      all_ok &= restriction_preserves_source(moves, sigma, subset, r);
+    }
+    benchmark::DoNotOptimize(all_ok);
+  }
+  LLSC_CHECK(all_ok, "Lemma 4.2 violated");
+  state.counters["moves"] = k;
+  state.counters["registers_checked"] = static_cast<double>(touched.size());
+}
+
+}  // namespace
+}  // namespace llsc
+
+BENCHMARK(llsc::BM_ConstructRandom)
+    ->RangeMultiplier(4)
+    ->Range(16, 65536)
+    ->Complexity();
+BENCHMARK(llsc::BM_ConstructChain)->RangeMultiplier(4)->Range(16, 65536);
+BENCHMARK(llsc::BM_NaiveIdOrderChain)->RangeMultiplier(4)->Range(16, 4096);
+BENCHMARK(llsc::BM_RestrictionCheck)->RangeMultiplier(4)->Range(16, 1024);

@@ -1,0 +1,129 @@
+// E2 — tightness of the lower bound. Each process performs one operation
+// on a fetch&increment object implemented by (a) the Group-Update
+// construction (O(log n) with unbounded registers — the paper's upper
+// bound) and (b) the classic single-register helping construction (O(n)).
+//
+// Expected shape: `max_ops_per_op` grows like ~8·log2(n) for Group-Update
+// and like ~2n for the baseline, with the crossover at small n (around
+// n = 16-32); both stay above log_4 n (the lower bound).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/adversary.h"
+#include "objects/arith.h"
+#include "sched/scheduler.h"
+#include "universal/consensus_based.h"
+#include "universal/group_update.h"
+#include "universal/single_register.h"
+#include "util/check.h"
+#include "util/str.h"
+
+namespace llsc {
+namespace {
+
+SimTask one_op(ProcCtx ctx, UniversalConstruction* uc) {
+  ObjOp op{"fetch&increment", {}};
+  const Value r = co_await uc->execute(ctx, std::move(op));
+  co_return r;
+}
+
+enum class Which { kGroupUpdate, kSingleRegister, kConsensusBased };
+
+void run_case(benchmark::State& state, Which which, bool adversarial) {
+  const int n = static_cast<int>(state.range(0));
+  std::uint64_t max_ops = 0;
+  std::uint64_t worst_case = 0;
+  for (auto _ : state) {
+    std::unique_ptr<UniversalConstruction> uc;
+    const ObjectFactory factory = [] {
+      return std::make_unique<FetchAddObject>(64, 0);
+    };
+    switch (which) {
+      case Which::kGroupUpdate:
+        uc = std::make_unique<GroupUpdateUC>(n, factory);
+        break;
+      case Which::kSingleRegister:
+        uc = std::make_unique<SingleRegisterUC>(n, factory);
+        break;
+      case Which::kConsensusBased:
+        uc = std::make_unique<ConsensusBasedUC>(n, factory);
+        break;
+    }
+    System sys(n, [&uc](ProcCtx ctx, ProcId, int) {
+      return one_op(ctx, uc.get());
+    });
+    sys.set_recording(false);
+    if (adversarial) {
+      AdversaryOptions opts;
+      opts.record_snapshots = false;
+      const RunLog log = run_adversary(sys, opts);
+      LLSC_CHECK(log.all_terminated, "run did not terminate");
+    } else {
+      RoundRobinScheduler sched;
+      LLSC_CHECK(sched.run(sys, 1ull << 34).all_terminated,
+                 "run did not terminate");
+    }
+    max_ops = sys.max_shared_ops();
+    worst_case = uc->worst_case_shared_ops();
+    // Sanity: every op got a distinct counter value 0..n-1.
+    std::uint64_t total = 0;
+    for (ProcId p = 0; p < n; ++p) {
+      total += sys.process(p).result().as_u64();
+    }
+    LLSC_CHECK(total == static_cast<std::uint64_t>(n) *
+                            static_cast<std::uint64_t>(n - 1) / 2,
+               "fetch&increment implementation returned wrong values");
+  }
+  state.counters["n"] = n;
+  state.counters["max_ops_per_op"] = static_cast<double>(max_ops);
+  state.counters["analytic_worst_case"] = static_cast<double>(worst_case);
+  state.counters["log4_n_lower_bound"] = log4(static_cast<double>(n));
+}
+
+void BM_GroupUpdate_RoundRobin(benchmark::State& state) {
+  run_case(state, Which::kGroupUpdate, /*adversarial=*/false);
+}
+void BM_SingleRegister_RoundRobin(benchmark::State& state) {
+  run_case(state, Which::kSingleRegister, /*adversarial=*/false);
+}
+void BM_ConsensusBased_RoundRobin(benchmark::State& state) {
+  run_case(state, Which::kConsensusBased, /*adversarial=*/false);
+}
+void BM_GroupUpdate_Adversary(benchmark::State& state) {
+  run_case(state, Which::kGroupUpdate, /*adversarial=*/true);
+}
+void BM_SingleRegister_Adversary(benchmark::State& state) {
+  run_case(state, Which::kSingleRegister, /*adversarial=*/true);
+}
+void BM_ConsensusBased_Adversary(benchmark::State& state) {
+  run_case(state, Which::kConsensusBased, /*adversarial=*/true);
+}
+
+}  // namespace
+}  // namespace llsc
+
+BENCHMARK(llsc::BM_GroupUpdate_RoundRobin)
+    ->RangeMultiplier(2)
+    ->Range(2, 1024)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(llsc::BM_SingleRegister_RoundRobin)
+    ->RangeMultiplier(2)
+    ->Range(2, 1024)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(llsc::BM_ConsensusBased_RoundRobin)
+    ->RangeMultiplier(2)
+    ->Range(2, 1024)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(llsc::BM_GroupUpdate_Adversary)
+    ->RangeMultiplier(4)
+    ->Range(2, 256)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(llsc::BM_SingleRegister_Adversary)
+    ->RangeMultiplier(4)
+    ->Range(2, 256)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(llsc::BM_ConsensusBased_Adversary)
+    ->RangeMultiplier(4)
+    ->Range(2, 256)
+    ->Unit(benchmark::kMillisecond);

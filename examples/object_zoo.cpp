@@ -1,0 +1,58 @@
+// The Theorem 6.2 object zoo: every listed type solves n-process wakeup
+// with at most two operations per process on one shared object — so every
+// implementation of these types inherits the Omega(log n) lower bound.
+// Here each reduction runs end-to-end through the oblivious Group-Update
+// construction, and we report the shared-memory cost the winner paid.
+//
+// Run: ./build/examples/object_zoo
+#include <cstdio>
+
+#include "core/adversary.h"
+#include "universal/group_update.h"
+#include "util/str.h"
+#include "wakeup/reductions.h"
+#include "wakeup/spec.h"
+
+using namespace llsc;
+
+int main() {
+  const int n = 32;
+  std::printf("Theorem 6.2 reductions, n = %d processes\n", n);
+  std::printf("(each process performs at most k ops on the implemented "
+              "object;\n winner must pay >= (1/k) log_4 n = %.2f/k shared "
+              "ops)\n\n",
+              log4(n));
+  std::printf("%-18s | k | wakeup | winner ops | (1/k)log4(n)\n",
+              "object type");
+  std::printf("-------------------+---+--------+------------+-------------\n");
+
+  for (const ObjectReduction& red : all_reductions()) {
+    GroupUpdateUC uc(n, reduction_object_factory(red.name, n));
+    System sys(n, reduction_wakeup_body(red.name, uc));
+    const RunLog log = run_adversary(sys);
+    const WakeupCheckResult check = check_wakeup_run(sys);
+
+    std::uint64_t winner_ops = 0;
+    for (ProcId p = 0; p < n; ++p) {
+      const Process& proc = sys.process(p);
+      if (proc.done() && proc.result().holds_u64() &&
+          proc.result().as_u64() == 1) {
+        winner_ops = winner_ops == 0
+                         ? proc.shared_ops()
+                         : std::min(winner_ops, proc.shared_ops());
+      }
+    }
+    std::printf("%-18s | %d | %-6s | %10llu | %.2f\n", red.name.c_str(),
+                red.ops_per_process, check.ok ? "OK" : "BROKEN",
+                static_cast<unsigned long long>(winner_ops),
+                log4(n) / red.ops_per_process);
+  }
+
+  std::printf(
+      "\nEvery reduction solved wakeup through the SAME oblivious\n"
+      "construction — no queue-, counter- or bitwise-specific code ran.\n"
+      "That is the paper's punchline: an oblivious universal construction\n"
+      "cannot beat Omega(log n), so sublogarithmic implementations must\n"
+      "exploit the semantics of the type they implement.\n");
+  return 0;
+}

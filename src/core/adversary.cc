@@ -1,0 +1,125 @@
+#include "core/adversary.h"
+
+#include <algorithm>
+
+#include "core/snapshot.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace llsc {
+
+std::size_t combine_op_into_history(std::size_t h, const OpRecord& rec) {
+  h = mix64(h ^ static_cast<std::size_t>(rec.op.kind));
+  h = mix64(h ^ rec.op.reg);
+  h = mix64(h ^ rec.op.src);
+  h = mix64(h ^ rec.op.arg.hash());
+  h = mix64(h ^ (rec.result.flag ? 0x51u : 0xA3u));
+  h = mix64(h ^ rec.result.value.hash());
+  return h;
+}
+
+RoundSnapshot take_snapshot(const System& sys,
+                            const std::vector<std::size_t>& history_hashes) {
+  RoundSnapshot snap;
+  const int n = sys.num_processes();
+  snap.procs.resize(static_cast<std::size_t>(n));
+  for (ProcId p = 0; p < n; ++p) {
+    const Process& proc = sys.process(p);
+    ProcSnapshot& ps = snap.procs[static_cast<std::size_t>(p)];
+    ps.num_tosses = proc.num_tosses();
+    ps.shared_ops = proc.shared_ops();
+    ps.history_hash = history_hashes[static_cast<std::size_t>(p)];
+    ps.done = proc.done();
+    if (ps.done) ps.result = proc.result();
+  }
+  for (const RegId r : sys.memory().touched_registers()) {
+    RegSnapshot rs;
+    rs.value = sys.memory().peek_value(r);
+    const auto& pset = sys.memory().peek_pset(r);
+    rs.pset.assign(pset.begin(), pset.end());
+    snap.regs.emplace(r, std::move(rs));
+  }
+  return snap;
+}
+
+RunLog run_adversary(System& sys, const AdversaryOptions& options) {
+  const int n = sys.num_processes();
+  RunLog log;
+  log.n = n;
+  std::vector<std::size_t> hist(static_cast<std::size_t>(n), 0);
+  if (options.record_snapshots) log.initial = take_snapshot(sys, hist);
+
+  for (int round = 1; round <= options.max_rounds; ++round) {
+    if (sys.all_done()) break;
+
+    RoundRecord rec;
+    rec.round = round;
+
+    // Phase 1: local coin tosses until termination or a pending op.
+    for (ProcId p = 0; p < n; ++p) {
+      Process& proc = sys.process(p);
+      if (proc.done()) continue;
+      const bool was_live = true;
+      sys.advance_through_tosses(p);
+      if (was_live && proc.done()) rec.terminated_in_phase1.push_back(p);
+    }
+
+    // Partition live processes by the group of their next operation.
+    for (ProcId p = 0; p < n; ++p) {
+      const Process& proc = sys.process(p);
+      if (proc.done()) continue;
+      LLSC_CHECK(proc.step_kind() == StepKind::kOp,
+                 "phase 1 must leave a pending shared-memory op");
+      switch (op_group(proc.pending_op().kind)) {
+        case OpGroup::kLoad:
+          rec.g_load.push_back(p);
+          break;
+        case OpGroup::kMove:
+          rec.g_move.push_back(p);
+          break;
+        case OpGroup::kSwap:
+          rec.g_swap.push_back(p);
+          break;
+        case OpGroup::kStoreConditional:
+          rec.g_sc.push_back(p);
+          break;
+      }
+    }
+
+    const auto execute = [&](ProcId p) {
+      const OpRecord op = sys.execute_pending_op(p);
+      hist[static_cast<std::size_t>(p)] =
+          combine_op_into_history(hist[static_cast<std::size_t>(p)], op);
+      rec.ops.push_back(op);
+    };
+
+    // Phase 2: loads, in id order.
+    for (const ProcId p : rec.g_load) execute(p);
+
+    // Phase 3: moves, in secretive-complete-schedule order.
+    for (const ProcId p : rec.g_move) {
+      const PendingOp& op = sys.process(p).pending_op();
+      rec.move_set.push_back(MoveOp{.proc = p, .src = op.src, .dst = op.reg});
+    }
+    rec.sigma = options.secretive_moves
+                    ? secretive_complete_schedule(rec.move_set)
+                    : rec.g_move;  // ablation: id order
+    for (const ProcId p : rec.sigma) execute(p);
+
+    // Phase 4: swaps, in id order.
+    for (const ProcId p : rec.g_swap) execute(p);
+
+    // Phase 5: SCs, in id order.
+    for (const ProcId p : rec.g_sc) execute(p);
+
+    log.rounds.push_back(std::move(rec));
+    if (options.record_snapshots) {
+      log.snapshots.push_back(take_snapshot(sys, hist));
+    }
+  }
+
+  log.all_terminated = sys.all_done();
+  return log;
+}
+
+}  // namespace llsc

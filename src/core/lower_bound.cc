@@ -1,0 +1,190 @@
+#include "core/lower_bound.h"
+
+#include <algorithm>
+
+#include "core/s_run.h"
+#include "core/up_tracker.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/str.h"
+
+namespace llsc {
+
+std::string WakeupLowerBoundReport::summary() const {
+  std::string s = "n=" + std::to_string(n) +
+                  (terminated ? "" : " [DID NOT TERMINATE]") +
+                  " winner=p" + std::to_string(winner) +
+                  " ops=" + std::to_string(winner_ops) +
+                  " log4(n)=" + std::to_string(log4_n) +
+                  " bound " + (bound_met ? "met" : "VIOLATED");
+  if (s_run_built) {
+    s += " |S|=" + std::to_string(s_size) + " indist=" +
+         (indist.ok ? "ok" : "violated");
+    if (wakeup_violation_witnessed) s += " WAKEUP-VIOLATION-WITNESSED";
+  }
+  return s;
+}
+
+std::string ExpectedComplexityEstimate::summary() const {
+  return "n=" + std::to_string(n) + " samples=" + std::to_string(samples) +
+         " c=" + std::to_string(termination_rate) +
+         " E[winner ops]=" + std::to_string(mean_winner_ops) +
+         " E[t(R)]=" + std::to_string(mean_max_ops) +
+         " bound c*log4(n)=" + std::to_string(bound) +
+         (bound_met ? " met" : " VIOLATED");
+}
+
+namespace {
+
+// Wakeup processes return Value::of_u64(1) to claim "everyone is up".
+bool returned_one(const Process& p) {
+  return p.done() && p.result().holds_u64() && p.result().as_u64() == 1;
+}
+
+}  // namespace
+
+WakeupLowerBoundReport analyze_wakeup_run(
+    const ProcBody& algo, int n,
+    std::shared_ptr<const TossAssignment> tosses,
+    const WakeupLowerBoundOptions& options) {
+  return analyze_wakeup_run(BodyFactory([&algo] { return algo; }), n,
+                            std::move(tosses), options);
+}
+
+WakeupLowerBoundReport analyze_wakeup_run(
+    const BodyFactory& make_algo, int n,
+    std::shared_ptr<const TossAssignment> tosses,
+    const WakeupLowerBoundOptions& options) {
+  WakeupLowerBoundReport report;
+  report.n = n;
+  report.log4_n = log4(static_cast<double>(n));
+
+  const ProcBody algo = make_algo();
+  System sys(n, algo, tosses);
+  sys.set_recording(false);
+  // Snapshots are only needed for the indistinguishability comparison, and
+  // they dominate the cost at large n; run lean first and replay with
+  // snapshots if the (S,A)-run is called for.
+  AdversaryOptions lean = options.adversary;
+  lean.record_snapshots = options.always_check_indistinguishability;
+  RunLog lean_log = run_adversary(sys, lean);
+  report.terminated = lean_log.all_terminated;
+  report.rounds = lean_log.num_rounds();
+  report.max_ops = sys.max_shared_ops();
+
+  // The cheapest 1-returner gives the tightest instance of the theorem.
+  for (ProcId p = 0; p < n; ++p) {
+    if (returned_one(sys.process(p)) &&
+        (report.winner == -1 ||
+         sys.process(p).shared_ops() < report.winner_ops)) {
+      report.winner = p;
+      report.winner_ops = sys.process(p).shared_ops();
+    }
+  }
+  if (report.winner == -1) return report;  // no 1-returner: spec violation
+
+  // Theorem 6.1: the 1-returner must have performed >= log_4 n operations,
+  // i.e. 4^winner_ops >= n.
+  std::size_t pow = 1;
+  for (std::uint64_t i = 0;
+       i < report.winner_ops && pow < static_cast<std::size_t>(n); ++i) {
+    pow *= 4;
+  }
+  report.bound_met = pow >= static_cast<std::size_t>(n);
+
+  const bool need_s_run =
+      !report.bound_met || options.always_check_indistinguishability;
+  if (!need_s_run) return report;
+
+  // Replay the (All,A)-run with snapshots on if the lean run skipped them
+  // (same algorithm, same toss assignment: the run is identical).
+  RunLog all_log = std::move(lean_log);
+  if (!lean.record_snapshots) {
+    const ProcBody replay_algo = make_algo();
+    System replay(n, replay_algo, tosses);
+    replay.set_recording(false);
+    AdversaryOptions full = options.adversary;
+    full.record_snapshots = true;
+    all_log = run_adversary(replay, full);
+  }
+
+  // S = UP(winner, r) where r = the winner's operation count. A live
+  // process takes exactly one shared-memory step per round under the
+  // adversary, so the winner's last step was in round r.
+  const UpTracker up = UpTracker::over(all_log);
+  const int r = static_cast<int>(
+      std::min<std::uint64_t>(report.winner_ops,
+                              static_cast<std::uint64_t>(up.num_rounds())));
+  const ProcSet s = up.up_process(report.winner, r);
+  report.up_size = s.count();
+  report.s_size = s.count();
+
+  const ProcBody s_algo = make_algo();
+  System s_sys(n, s_algo, tosses);
+  s_sys.set_recording(false);
+  const RunLog s_log = run_s_run(s_sys, all_log, up, s);
+  report.s_run_built = true;
+  report.s_run_winner_returned_1 = returned_one(s_sys.process(report.winner));
+  // If fewer than n processes ever took a step in the (S,A)-run but the
+  // winner still returned 1, the wakeup specification is violated.
+  report.wakeup_violation_witnessed =
+      report.s_run_winner_returned_1 && s.count() < static_cast<std::size_t>(n);
+  report.indist = check_indistinguishability(all_log, s_log, up, s);
+  return report;
+}
+
+ExpectedComplexityEstimate estimate_expected_complexity(
+    const ProcBody& algo, int n, int samples, std::uint64_t seed,
+    const AdversaryOptions& adversary) {
+  LLSC_EXPECTS(samples >= 1, "need at least one sample");
+  ExpectedComplexityEstimate est;
+  est.n = n;
+  est.samples = samples;
+  est.min_winner_ops = ~std::uint64_t{0};
+
+  Rng rng(seed);
+  int terminated = 0;
+  double sum_winner = 0.0;
+  double sum_max = 0.0;
+  for (int i = 0; i < samples; ++i) {
+    const auto tosses =
+        std::make_shared<SeededTossAssignment>(rng.next_u64());
+    System sys(n, algo, tosses);
+    sys.set_recording(false);
+    AdversaryOptions opts = adversary;
+    opts.record_snapshots = false;
+    const RunLog log = run_adversary(sys, opts);
+    if (!log.all_terminated) continue;
+    ++terminated;
+    std::uint64_t winner_ops = ~std::uint64_t{0};
+    for (ProcId p = 0; p < n; ++p) {
+      const Process& proc = sys.process(p);
+      if (proc.done() && proc.result().holds_u64() &&
+          proc.result().as_u64() == 1) {
+        winner_ops = std::min(winner_ops, proc.shared_ops());
+      }
+    }
+    if (winner_ops == ~std::uint64_t{0}) winner_ops = 0;  // spec violation
+    sum_winner += static_cast<double>(winner_ops);
+    sum_max += static_cast<double>(sys.max_shared_ops());
+    est.min_winner_ops = std::min(est.min_winner_ops, winner_ops);
+  }
+  est.termination_rate =
+      static_cast<double>(terminated) / static_cast<double>(samples);
+  if (terminated > 0) {
+    est.mean_winner_ops = sum_winner / terminated;
+    est.mean_max_ops = sum_max / terminated;
+  }
+  est.bound = est.termination_rate * log4(static_cast<double>(n));
+  // Theorem 6.1's proof shows every terminating adversary run makes the
+  // 1-returner perform >= log_4 n operations; the sharpest empirical check
+  // is therefore on the minimum across samples (which also implies the
+  // expected-complexity bound c * log_4 n of Lemma 3.1).
+  est.bound_met =
+      terminated == 0 ||
+      static_cast<double>(est.min_winner_ops) + 1e-9 >=
+          log4(static_cast<double>(n));
+  return est;
+}
+
+}  // namespace llsc

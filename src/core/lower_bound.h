@@ -1,0 +1,118 @@
+// Theorem 6.1 / Lemma 3.1 drivers: the lower-bound experiments.
+//
+// analyze_wakeup_run() replays the proof of Theorem 6.1 on a concrete
+// wakeup algorithm: run the Fig. 2 adversary, find the process that returns
+// 1, count its shared-memory operations r, and compare with log_4 n. When
+// the algorithm is "too fast" (r < log_4 n — only possible if it is
+// incorrect), the driver carries the proof to its contradiction: it takes
+// S = UP(winner, r) (of size <= 4^r < n by Lemma 5.1), builds the
+// (S,A)-run, and witnesses the winner returning 1 in a run where processes
+// outside S never took a step — a violation of the wakeup specification.
+//
+// estimate_expected_complexity() is the Lemma 3.1 Monte-Carlo harness for
+// randomized algorithms: sample i.i.d. toss assignments, run the adversary
+// under each, and average — estimating the termination probability c and
+// the expected shared-access complexity, to compare against c·log_4 n.
+#ifndef LLSC_CORE_LOWER_BOUND_H_
+#define LLSC_CORE_LOWER_BOUND_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/adversary.h"
+#include "core/indistinguishability.h"
+#include "core/proc_set.h"
+#include "runtime/system.h"
+
+namespace llsc {
+
+struct WakeupLowerBoundOptions {
+  AdversaryOptions adversary;
+  // Also build the (S,A)-run and run the Lemma 5.2 checker even when the
+  // bound is met (slower; used by tests).
+  bool always_check_indistinguishability = false;
+};
+
+struct WakeupLowerBoundReport {
+  int n = 0;
+  bool terminated = false;
+  int rounds = 0;
+
+  // The 1-returner with the fewest shared-memory operations (the proof
+  // applies to any 1-returner; the cheapest gives the tightest check).
+  ProcId winner = -1;
+  std::uint64_t winner_ops = 0;  // the proof's r
+  // max over processes of shared ops — the paper's t(R).
+  std::uint64_t max_ops = 0;
+
+  double log4_n = 0.0;
+  // Theorem 6.1 holds for this run iff 4^winner_ops >= n.
+  bool bound_met = false;
+
+  // Lemma 5.1 data for S = UP(winner, winner_ops).
+  std::size_t up_size = 0;
+
+  // Filled when the (S,A)-run was built (always, for a too-fast winner).
+  bool s_run_built = false;
+  std::size_t s_size = 0;
+  // The winner returned 1 in the (S,A)-run as well: when s_size < n this
+  // witnesses a wakeup violation (processes outside S never took a step).
+  bool s_run_winner_returned_1 = false;
+  bool wakeup_violation_witnessed = false;
+  IndistReport indist;
+
+  std::string summary() const;
+};
+
+// Produces a fresh ProcBody (plus whatever state it captures) for one run.
+// The analysis may execute up to three runs — the lean (All,A)-run, a
+// snapshot replay of it, and the (S,A)-run — and each must start from
+// pristine algorithm state, so stateful scenarios (e.g. a body capturing a
+// universal construction) must come through a factory that rebuilds them.
+using BodyFactory = std::function<ProcBody()>;
+
+// Runs the full Theorem 6.1 analysis for n processes under toss assignment
+// `tosses` (defaults to all-zeros, i.e. a deterministic run).
+WakeupLowerBoundReport analyze_wakeup_run(
+    const BodyFactory& make_algo, int n,
+    std::shared_ptr<const TossAssignment> tosses = nullptr,
+    const WakeupLowerBoundOptions& options = {});
+
+// Convenience overload for STATELESS bodies (every wakeup algorithm in
+// wakeup/algorithms.h): the same ProcBody is reused for every run.
+WakeupLowerBoundReport analyze_wakeup_run(
+    const ProcBody& algo, int n,
+    std::shared_ptr<const TossAssignment> tosses = nullptr,
+    const WakeupLowerBoundOptions& options = {});
+
+struct ExpectedComplexityEstimate {
+  int n = 0;
+  int samples = 0;
+  // Fraction of sampled assignments whose adversary run terminated — the
+  // empirical termination probability c.
+  double termination_rate = 0.0;
+  // Mean over terminating samples of the winner's op count / of t(R).
+  double mean_winner_ops = 0.0;
+  double mean_max_ops = 0.0;
+  // Worst (minimum) winner op count seen across samples.
+  std::uint64_t min_winner_ops = 0;
+  // The Theorem 6.1 randomized bound: c * log_4 n.
+  double bound = 0.0;
+  bool bound_met = false;  // mean_winner_ops >= bound
+
+  std::string summary() const;
+};
+
+// Monte-Carlo estimate over `samples` seeded toss assignments. `algo` is
+// instantiated into a fresh System per sample, so it must be stateless
+// across Systems (true of everything in wakeup/algorithms.h); a body
+// capturing a universal construction needs a fresh construction per
+// sample and cannot be passed here directly.
+ExpectedComplexityEstimate estimate_expected_complexity(
+    const ProcBody& algo, int n, int samples, std::uint64_t seed,
+    const AdversaryOptions& adversary = {});
+
+}  // namespace llsc
+
+#endif  // LLSC_CORE_LOWER_BOUND_H_

@@ -1,0 +1,91 @@
+// Per-round records and snapshots of adversary-scheduled runs.
+//
+// The Fig. 2 adversary structures a run into rounds of five phases. The
+// UP-set update rules (Section 5.3), the (S,A)-run construction (Fig. 3)
+// and the indistinguishability checker (Lemma 5.2) all consume information
+// about what happened in each round: the partition into operation groups,
+// the secretive schedule used for the move group, every executed operation
+// with its result, and end-of-round state snapshots.
+#ifndef LLSC_CORE_ROUND_RECORD_H_
+#define LLSC_CORE_ROUND_RECORD_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "memory/op.h"
+#include "memory/value.h"
+#include "sched/secretive_schedule.h"
+
+namespace llsc {
+
+// What one round of an adversary-scheduled run did.
+struct RoundRecord {
+  int round = 0;  // 1-based
+
+  // The partition of live processes by the type of their next operation
+  // (the paper's G_{1,r} .. G_{4,r}), each in the order scheduled.
+  std::vector<ProcId> g_load;  // LL / validate
+  std::vector<ProcId> g_move;
+  std::vector<ProcId> g_swap;
+  std::vector<ProcId> g_sc;
+
+  // The move group's (S, f) and the schedule actually used for it
+  // (sigma_r; a secretive complete schedule unless ablated).
+  MoveSet move_set;
+  std::vector<ProcId> sigma;
+
+  // Every shared-memory operation executed this round, in execution order.
+  std::vector<OpRecord> ops;
+
+  // Processes that terminated during this round's Phase 1 (before taking a
+  // shared-memory step this round).
+  std::vector<ProcId> terminated_in_phase1;
+};
+
+// End-of-round snapshot of one process, as visible to the
+// indistinguishability relation: number of coin tosses, a running hash of
+// the process's personal history (ops issued, results received, toss
+// outcomes consumed — for a deterministic coroutine this pins down
+// state(p, r)), and termination status/result.
+struct ProcSnapshot {
+  std::uint64_t num_tosses = 0;
+  std::uint64_t shared_ops = 0;
+  std::size_t history_hash = 0;
+  bool done = false;
+  Value result;  // meaningful iff done
+};
+
+// End-of-round snapshot of one register: its value and Pset.
+struct RegSnapshot {
+  Value value;
+  std::vector<ProcId> pset;  // ascending
+};
+
+// End-of-round snapshot of the whole configuration.
+struct RoundSnapshot {
+  std::vector<ProcSnapshot> procs;          // indexed by ProcId
+  std::map<RegId, RegSnapshot> regs;        // touched registers only
+};
+
+// A complete adversary-structured run: its rounds and per-round snapshots.
+// rounds[k] and snapshots[k] describe round k+1; snapshots[k] is the state
+// at the END of that round. An extra snapshot at index -1 conceptually
+// (round 0 = initial state) is stored as `initial`.
+struct RunLog {
+  int n = 0;
+  std::vector<RoundRecord> rounds;
+  RoundSnapshot initial;
+  std::vector<RoundSnapshot> snapshots;
+  bool all_terminated = false;
+
+  // Convenience: snapshot at end of round r (r == 0 -> initial).
+  const RoundSnapshot& at(int r) const {
+    return r == 0 ? initial : snapshots[static_cast<std::size_t>(r - 1)];
+  }
+  int num_rounds() const { return static_cast<int>(rounds.size()); }
+};
+
+}  // namespace llsc
+
+#endif  // LLSC_CORE_ROUND_RECORD_H_

@@ -1,0 +1,143 @@
+#include "core/s_run.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/snapshot.h"
+#include "util/check.h"
+
+namespace llsc {
+
+namespace {
+
+// The operation group `p` belonged to in the All-run's round record, or -1
+// if p took no shared-memory step that round.
+int all_run_group(const RoundRecord& rec, ProcId p) {
+  const auto in = [p](const std::vector<ProcId>& v) {
+    return std::find(v.begin(), v.end(), p) != v.end();
+  };
+  if (in(rec.g_load)) return static_cast<int>(OpGroup::kLoad);
+  if (in(rec.g_move)) return static_cast<int>(OpGroup::kMove);
+  if (in(rec.g_swap)) return static_cast<int>(OpGroup::kSwap);
+  if (in(rec.g_sc)) return static_cast<int>(OpGroup::kStoreConditional);
+  return -1;
+}
+
+}  // namespace
+
+RunLog run_s_run(System& sys, const RunLog& all_log, const UpTracker& up,
+                 const ProcSet& s, const SRunOptions& options) {
+  const int n = sys.num_processes();
+  LLSC_EXPECTS(n == all_log.n, "system size differs from the (All,A)-run");
+  LLSC_EXPECTS(up.num_rounds() >= all_log.num_rounds(),
+               "UP tracker does not cover the whole (All,A)-run");
+
+  RunLog log;
+  log.n = n;
+  std::vector<std::size_t> hist(static_cast<std::size_t>(n), 0);
+  if (options.record_snapshots) log.initial = take_snapshot(sys, hist);
+
+  for (int round = 1; round <= all_log.num_rounds(); ++round) {
+    const RoundRecord& all_rec =
+        all_log.rounds[static_cast<std::size_t>(round - 1)];
+    RoundRecord rec;
+    rec.round = round;
+
+    // S_r: processes whose knowledge entering round r stays within S.
+    std::vector<ProcId> s_r;
+    for (ProcId p = 0; p < n; ++p) {
+      if (up.up_process(p, round - 1).subset_of(s)) s_r.push_back(p);
+    }
+
+    // Phase 1: tosses for S_r members, in id order.
+    for (const ProcId p : s_r) {
+      Process& proc = sys.process(p);
+      if (proc.done()) continue;
+      sys.advance_through_tosses(p);
+      if (proc.done()) rec.terminated_in_phase1.push_back(p);
+    }
+
+    // Partition the live members of S_r.
+    for (const ProcId p : s_r) {
+      const Process& proc = sys.process(p);
+      if (proc.done()) continue;
+      LLSC_CHECK(proc.step_kind() == StepKind::kOp);
+      const OpGroup group = op_group(proc.pending_op().kind);
+      if (options.verify_claims) {
+        // Claim A.2(3): a scheduled process performs the same kind of
+        // operation as in the (All,A)-run's round r.
+        LLSC_CHECK(all_run_group(all_rec, p) == static_cast<int>(group),
+                   "Claim A.2 violated: operation group differs between "
+                   "(All,A)-run and (S,A)-run");
+      }
+      switch (group) {
+        case OpGroup::kLoad:
+          rec.g_load.push_back(p);
+          break;
+        case OpGroup::kMove:
+          rec.g_move.push_back(p);
+          break;
+        case OpGroup::kSwap:
+          rec.g_swap.push_back(p);
+          break;
+        case OpGroup::kStoreConditional:
+          rec.g_sc.push_back(p);
+          break;
+      }
+    }
+
+    const auto execute = [&](ProcId p) {
+      const OpRecord op = sys.execute_pending_op(p);
+      hist[static_cast<std::size_t>(p)] =
+          combine_op_into_history(hist[static_cast<std::size_t>(p)], op);
+      rec.ops.push_back(op);
+    };
+
+    // Phase 2: loads, id order.
+    for (const ProcId p : rec.g_load) execute(p);
+
+    // Phase 3: moves, in the order sigma_r | S_{2,r}.
+    std::unordered_set<ProcId> move_members(rec.g_move.begin(),
+                                            rec.g_move.end());
+    if (options.verify_claims) {
+      // Claim A.3: S_{2,r} ⊆ G_{2,r}, so restricting sigma_r is well
+      // defined.
+      const std::unordered_set<ProcId> all_movers(all_rec.g_move.begin(),
+                                                  all_rec.g_move.end());
+      for (const ProcId p : rec.g_move) {
+        LLSC_CHECK(all_movers.contains(p),
+                   "Claim A.3 violated: S-run mover absent from sigma_r");
+      }
+    }
+    for (const ProcId p : rec.g_move) {
+      const PendingOp& op = sys.process(p).pending_op();
+      rec.move_set.push_back(MoveOp{.proc = p, .src = op.src, .dst = op.reg});
+    }
+    rec.sigma = restrict_schedule(all_rec.sigma, move_members);
+    // Movers not present in sigma_r (possible only when verify_claims is
+    // off and the claim fails) are appended so the run still progresses.
+    for (const ProcId p : rec.g_move) {
+      if (std::find(rec.sigma.begin(), rec.sigma.end(), p) ==
+          rec.sigma.end()) {
+        rec.sigma.push_back(p);
+      }
+    }
+    for (const ProcId p : rec.sigma) execute(p);
+
+    // Phase 4: swaps, id order.
+    for (const ProcId p : rec.g_swap) execute(p);
+
+    // Phase 5: SCs, id order.
+    for (const ProcId p : rec.g_sc) execute(p);
+
+    log.rounds.push_back(std::move(rec));
+    if (options.record_snapshots) {
+      log.snapshots.push_back(take_snapshot(sys, hist));
+    }
+  }
+
+  log.all_terminated = sys.all_done();
+  return log;
+}
+
+}  // namespace llsc

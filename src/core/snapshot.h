@@ -1,0 +1,34 @@
+// Helpers shared by the (All,A)-run and (S,A)-run drivers: end-of-round
+// snapshots and the per-process history hash that stands in for the paper's
+// state(p, r).
+//
+// A simulated process is a deterministic coroutine: its state after round r
+// is a pure function of the sequence of operation results and coin-toss
+// outcomes delivered to it. Toss outcomes are themselves a pure function of
+// (process, toss index) via the pre-committed assignment, so hashing the
+// issued operations and their results (plus the toss count, recorded
+// separately in ProcSnapshot) pins state(p, r) down exactly — equal hashes
+// and toss counts imply equal states.
+#ifndef LLSC_CORE_SNAPSHOT_H_
+#define LLSC_CORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/round_record.h"
+#include "runtime/system.h"
+
+namespace llsc {
+
+// Running-hash update for one executed operation (issued op + its result).
+std::size_t combine_op_into_history(std::size_t h, const OpRecord& rec);
+
+// End-of-round snapshot of `sys` (every touched register, every process).
+// `history_hashes` is the per-process running history hash maintained by
+// the caller.
+RoundSnapshot take_snapshot(const System& sys,
+                            const std::vector<std::size_t>& history_hashes);
+
+}  // namespace llsc
+
+#endif  // LLSC_CORE_SNAPSHOT_H_

@@ -1,0 +1,74 @@
+#include "direct/direct.h"
+
+#include "util/check.h"
+
+namespace llsc {
+
+SubTask<Value> DirectRegister::execute(ProcCtx ctx, ObjOp op) {
+  if (op.name == "read") {
+    const Value v = co_await ctx.read(reg_);
+    co_return v;
+  }
+  if (op.name == "write") {
+    (void)co_await ctx.swap(reg_, op.arg);
+    co_return Value{};
+  }
+  LLSC_EXPECTS(false, "direct register supports read/write only: " + op.name);
+  co_return Value{};
+}
+
+SubTask<Value> DirectSwapObject::execute(ProcCtx ctx, ObjOp op) {
+  if (op.name == "swap") {
+    const Value prev = co_await ctx.swap(reg_, op.arg);
+    co_return prev;
+  }
+  if (op.name == "read") {
+    const Value v = co_await ctx.read(reg_);
+    co_return v;
+  }
+  LLSC_EXPECTS(false, "direct swap supports swap/read only: " + op.name);
+  co_return Value{};
+}
+
+SubTask<Value> DirectConsensus::execute(ProcCtx ctx, ObjOp op) {
+  LLSC_EXPECTS(op.name == "propose",
+               "direct consensus supports propose only: " + op.name);
+  // LL: if already decided, that's the answer (the LL linearizes the
+  // propose). Otherwise try to decide with an SC; whether it succeeds or
+  // not, afterwards the register is decided forever (only deciding SCs are
+  // issued and every SC follows an LL of nil), so one read suffices.
+  const Value cur = co_await ctx.ll(reg_);
+  if (!cur.is_nil()) co_return cur;
+  const ScResult sc = co_await ctx.sc(reg_, op.arg);
+  if (sc.ok) co_return op.arg;
+  const Value decided = co_await ctx.read(reg_);
+  LLSC_CHECK(!decided.is_nil(),
+             "consensus register empty after a failed deciding SC");
+  co_return decided;
+}
+
+SubTask<Value> DirectFetchAdd::execute(ProcCtx ctx, ObjOp op) {
+  std::uint64_t delta = 0;
+  if (op.name == "fetch&increment") {
+    delta = 1;
+  } else if (op.name == "fetch&add") {
+    delta = op.arg.as_u64();
+  } else if (op.name == "read") {
+    const Value v = co_await ctx.read(reg_);
+    co_return v.is_nil() ? Value::of_u64(initial_) : v;
+  } else {
+    LLSC_EXPECTS(false, "direct fetch&add does not support: " + op.name);
+  }
+  // The classic lock-free retry loop; no helping, so an interfering
+  // successful SC restarts the attempt. The paper's related work ([5],
+  // [14], [28]) implies no wait-free constant-time fetch&add from LL/SC
+  // exists — this loop is what type-exploiting code CAN do.
+  for (;;) {
+    const Value cur = co_await ctx.ll(reg_);
+    const std::uint64_t old = cur.is_nil() ? initial_ : cur.as_u64();
+    const ScResult sc = co_await ctx.sc(reg_, Value::of_u64(old + delta));
+    if (sc.ok) co_return Value::of_u64(old);
+  }
+}
+
+}  // namespace llsc

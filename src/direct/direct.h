@@ -1,0 +1,92 @@
+// Type-exploiting ("non-oblivious") implementations over LL/SC memory.
+//
+// The paper's closing observation: constant-time LL/SC implementations of
+// some types exist, but they "must necessarily exploit the semantics of
+// the type of object being implemented — such implementations cannot be
+// obtained from any oblivious universal construction." This module holds
+// the exploiting side of that comparison:
+//
+//   DirectRegister   read/write register — read is one validate, write is
+//                    one swap: wait-free, worst case 1 shared op;
+//   DirectSwapObject fetch&store — the memory's swap IS the operation:
+//                    wait-free, worst case 1;
+//   DirectConsensus  one-shot consensus from LL/SC — LL, maybe SC, read:
+//                    wait-free, worst case 3;
+//   DirectFetchAdd   fetch&add via the classic LL/SC retry loop —
+//                    LOCK-FREE only: the Fig. 2 adversary forces the last
+//                    finisher to Θ(n) operations, matching the
+//                    impossibility results the paper cites ([5],[14],[28]:
+//                    no constant-time fetch&add from LL/SC).
+//
+// All expose the UniversalConstruction interface so benches can compare
+// them op-for-op against the oblivious constructions, but each supports
+// only its own type's operations (that is the point).
+#ifndef LLSC_DIRECT_DIRECT_H_
+#define LLSC_DIRECT_DIRECT_H_
+
+#include <string>
+
+#include "universal/universal.h"
+
+namespace llsc {
+
+// Wait-free read/write register: read = validate, write = swap.
+class DirectRegister final : public UniversalConstruction {
+ public:
+  explicit DirectRegister(RegId reg = 0) : reg_(reg) {}
+
+  SubTask<Value> execute(ProcCtx ctx, ObjOp op) override;
+  std::uint64_t worst_case_shared_ops() const override { return 1; }
+  std::string name() const override { return "direct-register"; }
+
+ private:
+  RegId reg_;
+};
+
+// Wait-free fetch&store: the hardware swap is the implemented operation.
+// Operations: "swap" (arg = new value), "read".
+class DirectSwapObject final : public UniversalConstruction {
+ public:
+  explicit DirectSwapObject(RegId reg = 0) : reg_(reg) {}
+
+  SubTask<Value> execute(ProcCtx ctx, ObjOp op) override;
+  std::uint64_t worst_case_shared_ops() const override { return 1; }
+  std::string name() const override { return "direct-swap"; }
+
+ private:
+  RegId reg_;
+};
+
+// Wait-free one-shot consensus: propose(v) decides the first value written.
+class DirectConsensus final : public UniversalConstruction {
+ public:
+  explicit DirectConsensus(RegId reg = 0) : reg_(reg) {}
+
+  SubTask<Value> execute(ProcCtx ctx, ObjOp op) override;
+  std::uint64_t worst_case_shared_ops() const override { return 3; }
+  std::string name() const override { return "direct-consensus"; }
+
+ private:
+  RegId reg_;
+};
+
+// Lock-free fetch&add via LL/SC retry. worst_case_shared_ops() reports the
+// per-ATTEMPT cost (2); total cost under contention is unbounded in
+// general and Θ(n) under the round-based adversary.
+class DirectFetchAdd final : public UniversalConstruction {
+ public:
+  explicit DirectFetchAdd(RegId reg = 0, std::uint64_t initial = 0)
+      : reg_(reg), initial_(initial) {}
+
+  SubTask<Value> execute(ProcCtx ctx, ObjOp op) override;
+  std::uint64_t worst_case_shared_ops() const override { return 2; }
+  std::string name() const override { return "direct-fetch&add"; }
+
+ private:
+  RegId reg_;
+  std::uint64_t initial_;
+};
+
+}  // namespace llsc
+
+#endif  // LLSC_DIRECT_DIRECT_H_

@@ -1,0 +1,63 @@
+#include "direct/rmw_universal.h"
+
+#include "util/check.h"
+
+namespace llsc {
+
+namespace {
+
+// Register payload: an immutable snapshot of the implemented object.
+struct Snapshot {
+  std::shared_ptr<const SequentialObject> object;
+
+  bool operator==(const Snapshot& rhs) const {
+    if (object == rhs.object) return true;
+    if (object == nullptr || rhs.object == nullptr) return false;
+    return object->state_fingerprint() == rhs.object->state_fingerprint();
+  }
+  std::string to_string() const {
+    return object ? object->state_fingerprint() : "?";
+  }
+  std::size_t hash() const {
+    return object
+               ? std::hash<std::string>{}(object->state_fingerprint())
+               : 0;
+  }
+};
+
+}  // namespace
+
+RmwUniversalUC::RmwUniversalUC(int n, ObjectFactory factory, RegId base)
+    : n_(n), factory_(std::move(factory)), base_(base) {
+  LLSC_EXPECTS(n >= 1, "need at least one process");
+  LLSC_EXPECTS(factory_ != nullptr, "need an object factory");
+}
+
+SubTask<Value> RmwUniversalUC::execute(ProcCtx ctx, ObjOp op) {
+  LLSC_EXPECTS(ctx.id() >= 0 && ctx.id() < n_,
+               "caller outside this construction");
+  // f: decode the snapshot (nil = initial state), clone, apply, re-encode.
+  // `op` and the factory are captured by value: f must stay a pure
+  // function of the register value.
+  const ObjectFactory& factory = factory_;
+  auto f = make_rmw(
+      "apply:" + op.to_string(),
+      [op, factory](const Value& current) {
+        const Snapshot* snap = current.get_if<Snapshot>();
+        std::unique_ptr<SequentialObject> next =
+            snap && snap->object ? snap->object->clone() : factory();
+        (void)next->apply(op);
+        return Value::of(Snapshot{
+            std::shared_ptr<const SequentialObject>(std::move(next))});
+      });
+  const Value old = co_await ctx.rmw(base_, std::move(f));
+
+  // Recover the response by replaying the operation locally on the old
+  // snapshot (local steps are free in the shared-access cost model).
+  const Snapshot* snap = old.get_if<Snapshot>();
+  std::unique_ptr<SequentialObject> replay =
+      snap && snap->object ? snap->object->clone() : factory_();
+  co_return replay->apply(op);
+}
+
+}  // namespace llsc

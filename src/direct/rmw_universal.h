@@ -1,0 +1,44 @@
+// Unit-time universal construction over RMW memory (paper Section 7).
+//
+// "If shared-memory supports [RMW(R,f)] and has registers of unbounded
+//  size, it is easy to see that every object has a wait-free
+//  implementation of unit worst-case shared-access time complexity."
+//
+// The easy construction, made concrete: one register holds an immutable
+// snapshot of the implemented object; an operation is ONE RMW whose f
+// clones the snapshot and applies the operation. RMW returns the OLD
+// value, so the caller replays its operation on the returned snapshot
+// locally to recover the response — local computation is free in the
+// shared-access cost model.
+//
+// This is the boundary of the paper's lower bound: the same oblivious
+// interface, the same types, but a stronger primitive — and the Ω(log n)
+// bound evaporates to exactly 1. (Correspondingly, the Fig. 2 adversary
+// refuses to schedule RMW steps; see memory/op.h.)
+#ifndef LLSC_DIRECT_RMW_UNIVERSAL_H_
+#define LLSC_DIRECT_RMW_UNIVERSAL_H_
+
+#include <memory>
+
+#include "universal/universal.h"
+
+namespace llsc {
+
+class RmwUniversalUC final : public UniversalConstruction {
+ public:
+  // Implements factory()'s type at register `base`.
+  RmwUniversalUC(int n, ObjectFactory factory, RegId base = 0);
+
+  SubTask<Value> execute(ProcCtx ctx, ObjOp op) override;
+  std::uint64_t worst_case_shared_ops() const override { return 1; }
+  std::string name() const override { return "rmw-universal"; }
+
+ private:
+  int n_;
+  ObjectFactory factory_;
+  RegId base_;
+};
+
+}  // namespace llsc
+
+#endif  // LLSC_DIRECT_RMW_UNIVERSAL_H_

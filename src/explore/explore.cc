@@ -1,0 +1,142 @@
+#include "explore/explore.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace llsc {
+
+std::string ExploreStats::summary() const {
+  return std::to_string(runs) + " runs, " + std::to_string(violations) +
+         " violations" + (exhausted ? "" : " (run cap hit)");
+}
+
+namespace {
+
+// A forced context switch: at global step index `step`, run process `to`
+// (which keeps running until the next preemption or its termination).
+struct Preemption {
+  std::uint64_t step;
+  ProcId to;
+};
+
+// Executes one run under the schedule "sequential in id order, modified by
+// `preemptions` (sorted by step)". Records which processes were live at
+// every step so the caller can enumerate further preemptions.
+struct RunTrace {
+  // live_masks[t]: bitmask of live processes just before step t.
+  std::vector<std::uint32_t> live_masks;
+  // scheduled[t]: the process that took step t.
+  std::vector<ProcId> scheduled;
+  bool completed = false;
+};
+
+RunTrace execute_schedule(System& sys, const std::vector<Preemption>& preempts,
+                          std::uint64_t max_steps) {
+  RunTrace trace;
+  const int n = sys.num_processes();
+  LLSC_EXPECTS(n <= 32, "exploration supports up to 32 processes");
+  std::size_t next_preempt = 0;
+  ProcId current = 0;
+  for (std::uint64_t t = 0; t < max_steps; ++t) {
+    if (sys.all_done()) {
+      trace.completed = true;
+      break;
+    }
+    std::uint32_t live = 0;
+    for (ProcId p = 0; p < n; ++p) {
+      if (!sys.process(p).done()) live |= 1u << p;
+    }
+    if (next_preempt < preempts.size() && preempts[next_preempt].step == t) {
+      current = preempts[next_preempt].to;
+      ++next_preempt;
+    }
+    // If the current process terminated (or a stale preemption pointed at
+    // a finished process), fall to the lowest live id.
+    if (current >= n || sys.process(current).done()) {
+      current = 0;
+      while (sys.process(current).done()) ++current;
+    }
+    trace.live_masks.push_back(live);
+    trace.scheduled.push_back(current);
+    sys.step(current);
+  }
+  if (!trace.completed) trace.completed = sys.all_done();
+  return trace;
+}
+
+class Explorer {
+ public:
+  Explorer(const RunFactory& factory, const ExploreOptions& options)
+      : factory_(factory), options_(options) {}
+
+  ExploreStats run() {
+    dfs({}, options_.max_preemptions, 0);
+    return stats_;
+  }
+
+ private:
+  static std::string schedule_string(const std::vector<Preemption>& ps) {
+    std::string s = "[";
+    for (const Preemption& p : ps) {
+      s += "@" + std::to_string(p.step) + "->p" + std::to_string(p.to) + " ";
+    }
+    s += "]";
+    return s;
+  }
+
+  void dfs(const std::vector<Preemption>& preempts, int budget,
+           std::uint64_t first_new_step) {
+    if (stats_.runs >= options_.max_runs) {
+      stats_.exhausted = false;
+      return;
+    }
+    ++stats_.runs;
+    std::unique_ptr<RunInstance> inst = factory_();
+    const RunTrace trace = execute_schedule(inst->system(), preempts,
+                                            options_.max_steps_per_run);
+    std::string violation = inst->check();
+    if (!trace.completed && violation.empty()) {
+      violation = "run did not complete within the step budget";
+    }
+    if (!violation.empty()) {
+      ++stats_.violations;
+      if (stats_.examples.size() < 10) {
+        stats_.examples.push_back(violation + " under schedule " +
+                                  schedule_string(preempts));
+      }
+    }
+    if (budget == 0) return;
+
+    // Branch: insert one more preemption at any step at or after the last
+    // existing one (enumerating sorted preemption sets exactly once), to
+    // any live process other than the one the baseline scheduled.
+    for (std::uint64_t t = first_new_step; t < trace.scheduled.size(); ++t) {
+      const std::uint32_t live = trace.live_masks[t];
+      for (ProcId q = 0; q < 32; ++q) {
+        if ((live & (1u << q)) == 0 || q == trace.scheduled[t]) continue;
+        if (stats_.runs >= options_.max_runs) {
+          stats_.exhausted = false;
+          return;
+        }
+        std::vector<Preemption> next = preempts;
+        next.push_back({t, q});
+        dfs(next, budget - 1, t + 1);
+      }
+    }
+  }
+
+  const RunFactory& factory_;
+  const ExploreOptions& options_;
+  ExploreStats stats_;
+};
+
+}  // namespace
+
+ExploreStats explore_bounded_preemption(const RunFactory& factory,
+                                        const ExploreOptions& options) {
+  LLSC_EXPECTS(factory != nullptr, "need a run factory");
+  return Explorer(factory, options).run();
+}
+
+}  // namespace llsc

@@ -1,0 +1,131 @@
+#include "lin/checker.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace llsc {
+
+std::string LinResult::summary() const {
+  return std::string(linearizable ? "linearizable" : "NOT linearizable") +
+         " (" + std::to_string(states_explored) + " states" +
+         (search_exhausted ? "" : ", cap hit") + ")";
+}
+
+namespace {
+
+class Search {
+ public:
+  Search(const History& hist, const ObjectFactory& factory,
+         std::uint64_t max_states)
+      : hist_(hist), max_states_(max_states) {
+    // Group operation indices by process, in invocation order (History
+    // records invocations in clock order, so file order works).
+    std::map<ProcId, std::vector<std::size_t>> lanes;
+    for (std::size_t i = 0; i < hist.ops.size(); ++i) {
+      lanes[hist.ops[i].proc].push_back(i);
+    }
+    for (auto& [_, lane] : lanes) lanes_.push_back(std::move(lane));
+    progress_.assign(lanes_.size(), 0);
+    object_ = factory();
+  }
+
+  LinResult run() {
+    LinResult res;
+    res.linearizable = dfs();
+    res.states_explored = states_;
+    res.search_exhausted = !cap_hit_;
+    if (res.linearizable) res.witness = witness_;
+    return res;
+  }
+
+ private:
+  bool done() const {
+    for (std::size_t l = 0; l < lanes_.size(); ++l) {
+      if (progress_[l] < lanes_[l].size()) return false;
+    }
+    return true;
+  }
+
+  // Minimum response time among every lane's next unchosen op.
+  std::uint64_t min_pending_resp() const {
+    std::uint64_t best = ~std::uint64_t{0};
+    for (std::size_t l = 0; l < lanes_.size(); ++l) {
+      if (progress_[l] < lanes_[l].size()) {
+        best = std::min(best, hist_.ops[lanes_[l][progress_[l]]].resp_time);
+      }
+    }
+    return best;
+  }
+
+  std::string memo_key() const {
+    std::string key;
+    for (const std::size_t p : progress_) {
+      key += std::to_string(p);
+      key += ',';
+    }
+    key += '|';
+    key += object_->state_fingerprint();
+    return key;
+  }
+
+  bool dfs() {
+    if (done()) return true;
+    if (states_ >= max_states_) {
+      cap_hit_ = true;
+      return false;
+    }
+    const std::string key = memo_key();
+    if (!visited_.insert(key).second) return false;
+    ++states_;
+
+    const std::uint64_t horizon = min_pending_resp();
+    for (std::size_t l = 0; l < lanes_.size(); ++l) {
+      if (progress_[l] >= lanes_[l].size()) continue;
+      const std::size_t idx = lanes_[l][progress_[l]];
+      const HistOp& cand = hist_.ops[idx];
+      // Admissible iff nothing unchosen responded before cand was invoked.
+      if (cand.inv_time > horizon) continue;
+      // Legality: replay on a clone, compare the response.
+      std::unique_ptr<SequentialObject> saved = object_->clone();
+      const Value got = object_->apply(cand.op);
+      if (got == cand.response) {
+        ++progress_[l];
+        witness_.push_back(idx);
+        if (dfs()) return true;
+        witness_.pop_back();
+        --progress_[l];
+      }
+      object_ = std::move(saved);
+    }
+    return false;
+  }
+
+  const History& hist_;
+  std::uint64_t max_states_;
+  std::vector<std::vector<std::size_t>> lanes_;
+  std::vector<std::size_t> progress_;
+  std::unique_ptr<SequentialObject> object_;
+  std::vector<std::size_t> witness_;
+  std::unordered_set<std::string> visited_;
+  std::uint64_t states_ = 0;
+  bool cap_hit_ = false;
+};
+
+}  // namespace
+
+LinResult check_linearizability(const History& hist,
+                                const ObjectFactory& factory,
+                                std::uint64_t max_states) {
+  LLSC_EXPECTS(factory != nullptr, "need an object factory");
+  for (const HistOp& op : hist.ops) {
+    LLSC_EXPECTS(op.resp_time > op.inv_time,
+                 "history contains an incomplete operation: " +
+                     op.to_string());
+  }
+  return Search(hist, factory, max_states).run();
+}
+
+}  // namespace llsc

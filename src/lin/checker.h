@@ -1,0 +1,46 @@
+// Linearizability checking (Wing & Gold style search).
+//
+// A history is linearizable with respect to a sequential specification if
+// there is a total order of its operations that (a) extends the real-time
+// precedence order (op A before op B whenever A responded before B was
+// invoked), (b) keeps each process's operations in program order, and
+// (c) is legal: replaying the order through the specification reproduces
+// every recorded response.
+//
+// The checker runs a DFS over "next operation" choices. Per-process
+// program order means only each process's earliest unchosen operation is a
+// candidate, and a candidate is admissible iff its invocation precedes the
+// response of every other unchosen operation. Visited configurations
+// (per-process progress + object state fingerprint) are memoized.
+#ifndef LLSC_LIN_CHECKER_H_
+#define LLSC_LIN_CHECKER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lin/history.h"
+#include "objects/object.h"
+
+namespace llsc {
+
+struct LinResult {
+  bool linearizable = false;
+  // Indices into History::ops in witness order (filled when linearizable).
+  std::vector<std::size_t> witness;
+  std::uint64_t states_explored = 0;
+  bool search_exhausted = true;  // false if the state cap was hit
+
+  std::string summary() const;
+};
+
+// Checks `hist` against the type produced by `factory`. `max_states`
+// bounds the memoized configurations explored (guards against pathological
+// histories; search_exhausted reports whether the bound was hit).
+LinResult check_linearizability(const History& hist,
+                                const ObjectFactory& factory,
+                                std::uint64_t max_states = 1 << 22);
+
+}  // namespace llsc
+
+#endif  // LLSC_LIN_CHECKER_H_

@@ -1,0 +1,41 @@
+#include "lin/history.h"
+
+namespace llsc {
+
+std::string HistOp::to_string() const {
+  return "p" + std::to_string(proc) + " " + op.to_string() + " -> " +
+         response.to_string() + " [" + std::to_string(inv_time) + "," +
+         std::to_string(resp_time) + "]";
+}
+
+std::vector<std::size_t> History::by_process(ProcId p) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].proc == p) out.push_back(i);
+  }
+  return out;
+}
+
+std::string History::to_string() const {
+  std::string s;
+  for (const HistOp& op : ops) s += op.to_string() + "\n";
+  return s;
+}
+
+SubTask<Value> HistoryRecorder::execute(ProcCtx ctx, ObjOp op) {
+  const std::size_t slot = history_.ops.size();
+  {
+    HistOp rec;
+    rec.proc = ctx.id();
+    rec.op = op;
+    rec.inv_time = ++clock_;
+    history_.ops.push_back(std::move(rec));
+  }
+  Value response = co_await uc_->execute(ctx, std::move(op));
+  HistOp& rec = history_.ops[slot];
+  rec.response = response;
+  rec.resp_time = ++clock_;
+  co_return response;
+}
+
+}  // namespace llsc

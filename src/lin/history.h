@@ -1,0 +1,60 @@
+// Concurrent operation histories.
+//
+// To validate that the universal constructions implement *linearizable*
+// objects, we record each implemented operation's invocation and response
+// against a logical clock, then search for a sequential witness
+// (lin/checker.h). The recorder wraps a construction's execute(): the
+// invocation timestamp is taken when the operation's coroutine first runs
+// (inside the calling process's own step flow) and the response timestamp
+// when it completes, so the recorded real-time order is exactly the
+// simulated one.
+#ifndef LLSC_LIN_HISTORY_H_
+#define LLSC_LIN_HISTORY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "objects/object.h"
+#include "universal/universal.h"
+
+namespace llsc {
+
+struct HistOp {
+  ProcId proc = -1;
+  ObjOp op;
+  Value response;
+  std::uint64_t inv_time = 0;
+  std::uint64_t resp_time = 0;
+
+  std::string to_string() const;
+};
+
+struct History {
+  std::vector<HistOp> ops;
+
+  // Operations of process p, in invocation order.
+  std::vector<std::size_t> by_process(ProcId p) const;
+  std::string to_string() const;
+};
+
+// Wraps a universal construction and records every operation routed
+// through it. Must outlive the System whose processes use it.
+class HistoryRecorder {
+ public:
+  explicit HistoryRecorder(UniversalConstruction& uc) : uc_(&uc) {}
+
+  // Executes `op` through the wrapped construction, recording it.
+  SubTask<Value> execute(ProcCtx ctx, ObjOp op);
+
+  const History& history() const { return history_; }
+
+ private:
+  UniversalConstruction* uc_;
+  History history_;
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace llsc
+
+#endif  // LLSC_LIN_HISTORY_H_

@@ -1,0 +1,91 @@
+#include "memory/op.h"
+
+#include "util/check.h"
+
+namespace llsc {
+
+const char* op_kind_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kLL:
+      return "LL";
+    case OpKind::kSC:
+      return "SC";
+    case OpKind::kValidate:
+      return "VL";
+    case OpKind::kSwap:
+      return "SWAP";
+    case OpKind::kMove:
+      return "MOVE";
+    case OpKind::kRmw:
+      return "RMW";
+  }
+  LLSC_UNREACHABLE("bad OpKind");
+}
+
+OpGroup op_group(OpKind kind) {
+  switch (kind) {
+    case OpKind::kLL:
+    case OpKind::kValidate:
+      return OpGroup::kLoad;
+    case OpKind::kMove:
+      return OpGroup::kMove;
+    case OpKind::kSwap:
+      return OpGroup::kSwap;
+    case OpKind::kSC:
+      return OpGroup::kStoreConditional;
+    case OpKind::kRmw:
+      LLSC_EXPECTS(false,
+                   "RMW is outside the lower bound's operation set; the "
+                   "Fig. 2 adversary schedules only LL/SC/VL/swap/move");
+      break;
+  }
+  LLSC_UNREACHABLE("bad OpKind");
+}
+
+const char* op_group_name(OpGroup group) {
+  switch (group) {
+    case OpGroup::kLoad:
+      return "load";
+    case OpGroup::kMove:
+      return "move";
+    case OpGroup::kSwap:
+      return "swap";
+    case OpGroup::kStoreConditional:
+      return "sc";
+  }
+  LLSC_UNREACHABLE("bad OpGroup");
+}
+
+std::string PendingOp::to_string() const {
+  switch (kind) {
+    case OpKind::kLL:
+      return std::string("LL(R") + std::to_string(reg) + ")";
+    case OpKind::kValidate:
+      return std::string("VL(R") + std::to_string(reg) + ")";
+    case OpKind::kSC:
+      return std::string("SC(R") + std::to_string(reg) + ", " +
+             arg.to_string() + ")";
+    case OpKind::kSwap:
+      return std::string("SWAP(R") + std::to_string(reg) + ", " +
+             arg.to_string() + ")";
+    case OpKind::kMove:
+      return std::string("MOVE(R") + std::to_string(src) + " -> R" +
+             std::to_string(reg) + ")";
+    case OpKind::kRmw:
+      return std::string("RMW(R") + std::to_string(reg) + ", " +
+             (rmw ? rmw->name() : "?") + ")";
+  }
+  LLSC_UNREACHABLE("bad OpKind");
+}
+
+std::string OpResult::to_string() const {
+  return std::string("(") + (flag ? "true" : "false") + ", " +
+         value.to_string() + ")";
+}
+
+std::string OpRecord::to_string() const {
+  return "p" + std::to_string(proc) + ": " + op.to_string() + " -> " +
+         result.to_string();
+}
+
+}  // namespace llsc

@@ -1,0 +1,61 @@
+// The RMW(R, f) operation (paper Section 7, "Open problems").
+//
+// "Consider the RMW(R,f) operation which takes any computable function f
+//  as an argument, changes the state of shared register R from its current
+//  value v to f(v), and returns v. If shared-memory supports such an
+//  operation and has registers of unbounded size, it is easy to see that
+//  every object has a wait-free implementation of unit worst-case
+//  shared-access time complexity."
+//
+// We implement exactly that operation as an OPTIONAL sixth memory
+// operation so the library can demonstrate the boundary of the lower
+// bound: the Fig. 2 adversary refuses to schedule RMW steps (the paper's
+// Theorem 6.1 is about LL/SC/VL/swap/move only — with RMW it is false),
+// while generic schedulers run them fine, and src/direct builds the
+// unit-time universal construction on top.
+//
+// An RmwFunction must be a pure function of the register value, so runs
+// replay deterministically.
+#ifndef LLSC_MEMORY_RMW_H_
+#define LLSC_MEMORY_RMW_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "memory/value.h"
+
+namespace llsc {
+
+// Type-erased f for RMW(R, f): maps the current register value to the new
+// one; the operation's response is the OLD value (so any extra information
+// the transformation computes must be encoded into the new value).
+class RmwFunction {
+ public:
+  virtual ~RmwFunction() = default;
+  virtual Value apply(const Value& current) const = 0;
+  virtual std::string name() const = 0;
+};
+
+// Convenience adaptor over a lambda.
+class LambdaRmw final : public RmwFunction {
+ public:
+  LambdaRmw(std::string name, std::function<Value(const Value&)> fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+  Value apply(const Value& current) const override { return fn_(current); }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::function<Value(const Value&)> fn_;
+};
+
+inline std::shared_ptr<const RmwFunction> make_rmw(
+    std::string name, std::function<Value(const Value&)> fn) {
+  return std::make_shared<LambdaRmw>(std::move(name), std::move(fn));
+}
+
+}  // namespace llsc
+
+#endif  // LLSC_MEMORY_RMW_H_

@@ -1,0 +1,84 @@
+#include "memory/value.h"
+
+namespace llsc {
+
+namespace {
+
+// Boxes giving the built-in scalar payloads equality, printing and hashing.
+struct U64Box {
+  std::uint64_t v;
+  bool operator==(const U64Box&) const = default;
+  std::string to_string() const { return std::to_string(v); }
+  std::size_t hash() const { return mix64(v); }
+  std::size_t encoded_bits() const {
+    return v == 0 ? 1 : 64 - static_cast<std::size_t>(__builtin_clzll(v));
+  }
+};
+
+struct BigBox {
+  BigInt v;
+  bool operator==(const BigBox&) const = default;
+  std::string to_string() const { return v.to_hex(); }
+  std::size_t hash() const { return v.hash(); }
+  std::size_t encoded_bits() const {
+    return v.is_zero() ? 1 : v.bit_length();
+  }
+};
+
+struct StrBox {
+  std::string v;
+  bool operator==(const StrBox&) const = default;
+  std::string to_string() const { return "\"" + v + "\""; }
+  std::size_t hash() const { return std::hash<std::string>{}(v); }
+  std::size_t encoded_bits() const { return 8 * v.size(); }
+};
+
+}  // namespace
+
+Value Value::of_u64(std::uint64_t v) { return Value::of(U64Box{v}); }
+Value Value::of_big(BigInt v) { return Value::of(BigBox{std::move(v)}); }
+Value Value::of_string(std::string v) {
+  return Value::of(StrBox{std::move(v)});
+}
+
+std::uint64_t Value::as_u64() const {
+  const auto* box = get_if<U64Box>();
+  LLSC_EXPECTS(box != nullptr, "Value does not hold a u64");
+  return box->v;
+}
+
+const BigInt& Value::as_big() const {
+  const auto* box = get_if<BigBox>();
+  LLSC_EXPECTS(box != nullptr, "Value does not hold a BigInt");
+  return box->v;
+}
+
+const std::string& Value::as_string() const {
+  const auto* box = get_if<StrBox>();
+  LLSC_EXPECTS(box != nullptr, "Value does not hold a string");
+  return box->v;
+}
+
+bool Value::holds_u64() const { return get_if<U64Box>() != nullptr; }
+bool Value::holds_big() const { return get_if<BigBox>() != nullptr; }
+
+bool Value::operator==(const Value& rhs) const {
+  if (payload_ == rhs.payload_) return true;  // covers nil == nil and aliases
+  if (payload_ == nullptr || rhs.payload_ == nullptr) return false;
+  if (payload_->type() != rhs.payload_->type()) return false;
+  return payload_->equals_same_type(*rhs.payload_);
+}
+
+std::string Value::to_string() const {
+  return payload_ == nullptr ? "nil" : payload_->to_string();
+}
+
+std::size_t Value::hash() const {
+  return payload_ == nullptr ? 0 : payload_->hash();
+}
+
+std::size_t Value::encoded_bits() const {
+  return payload_ == nullptr ? 0 : payload_->encoded_bits();
+}
+
+}  // namespace llsc

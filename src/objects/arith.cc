@@ -1,0 +1,66 @@
+#include "objects/arith.h"
+
+#include "util/check.h"
+
+namespace llsc {
+
+FetchAddObject::FetchAddObject(unsigned bits, std::uint64_t initial)
+    : bits_(bits),
+      mask_(bits >= 64 ? ~std::uint64_t{0}
+                       : (std::uint64_t{1} << bits) - 1),
+      state_(initial & mask_) {
+  LLSC_EXPECTS(bits >= 1 && bits <= 64,
+               "FetchAddObject supports 1..64 bits; use FetchMultiplyObject "
+               "style BigInt types beyond that");
+}
+
+Value FetchAddObject::apply(const ObjOp& op) {
+  const std::uint64_t old = state_;
+  if (op.name == "fetch&increment") {
+    state_ = (state_ + 1) & mask_;
+  } else if (op.name == "fetch&add") {
+    state_ = (state_ + op.arg.as_u64()) & mask_;
+  } else if (op.name == "read") {
+    // reading is allowed on any arithmetic object
+  } else {
+    LLSC_EXPECTS(false, "unknown operation on fetch&add object: " + op.name);
+  }
+  return Value::of_u64(old);
+}
+
+std::unique_ptr<SequentialObject> FetchAddObject::clone() const {
+  return std::make_unique<FetchAddObject>(*this);
+}
+
+std::string FetchAddObject::state_fingerprint() const {
+  return "f&a:" + std::to_string(state_);
+}
+
+FetchMultiplyObject::FetchMultiplyObject(std::size_t bits, BigInt initial)
+    : bits_(bits), state_(std::move(initial)) {
+  LLSC_EXPECTS(bits >= 1, "need at least one bit of state");
+  state_.truncate(bits_);
+}
+
+Value FetchMultiplyObject::apply(const ObjOp& op) {
+  BigInt old = state_;
+  if (op.name == "fetch&multiply") {
+    state_ *= op.arg.as_big();
+    state_.truncate(bits_);
+  } else if (op.name == "read") {
+  } else {
+    LLSC_EXPECTS(false,
+                 "unknown operation on fetch&multiply object: " + op.name);
+  }
+  return Value::of_big(std::move(old));
+}
+
+std::unique_ptr<SequentialObject> FetchMultiplyObject::clone() const {
+  return std::make_unique<FetchMultiplyObject>(*this);
+}
+
+std::string FetchMultiplyObject::state_fingerprint() const {
+  return "f&m:" + state_.to_hex();
+}
+
+}  // namespace llsc

@@ -1,0 +1,59 @@
+// Arithmetic object types of Theorem 6.2: k-bit fetch&increment /
+// fetch&add, and k-bit fetch&multiply.
+//
+// Semantics (paper Section 6): with state s (a k-bit integer),
+//   fetch&increment()   : s <- (s+1) mod 2^k,   returns old s
+//   fetch&add(v)        : s <- (s+v) mod 2^k,   returns old s
+//   fetch&multiply(v)   : s <- (s*v) mod 2^k,   returns old s
+//
+// fetch&increment needs only k >= log n for the wakeup reduction, so its
+// state is a machine word (k <= 64 enforced); fetch&multiply needs k >= n
+// bits, so its state is a BigInt.
+#ifndef LLSC_OBJECTS_ARITH_H_
+#define LLSC_OBJECTS_ARITH_H_
+
+#include <cstdint>
+
+#include "objects/object.h"
+#include "util/bigint.h"
+
+namespace llsc {
+
+// k-bit fetch&increment / fetch&add object (k <= 64).
+class FetchAddObject final : public SequentialObject {
+ public:
+  explicit FetchAddObject(unsigned bits, std::uint64_t initial = 0);
+
+  Value apply(const ObjOp& op) override;
+  std::unique_ptr<SequentialObject> clone() const override;
+  std::string state_fingerprint() const override;
+  std::string type_name() const override { return "fetch&add"; }
+
+  std::uint64_t state() const { return state_; }
+
+ private:
+  unsigned bits_;
+  std::uint64_t mask_;
+  std::uint64_t state_;
+};
+
+// k-bit fetch&multiply object (arbitrary k; BigInt state).
+class FetchMultiplyObject final : public SequentialObject {
+ public:
+  explicit FetchMultiplyObject(std::size_t bits, BigInt initial = BigInt(1));
+
+  Value apply(const ObjOp& op) override;
+  std::unique_ptr<SequentialObject> clone() const override;
+  std::string state_fingerprint() const override;
+  std::string type_name() const override { return "fetch&multiply"; }
+
+  const BigInt& state() const { return state_; }
+
+ private:
+  std::size_t bits_;
+  BigInt state_;
+};
+
+}  // namespace llsc
+
+#endif  // LLSC_OBJECTS_ARITH_H_

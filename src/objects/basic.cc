@@ -1,0 +1,91 @@
+#include "objects/basic.h"
+
+#include "util/check.h"
+
+namespace llsc {
+
+Value RegisterObject::apply(const ObjOp& op) {
+  if (op.name == "write") {
+    state_ = op.arg;
+    return Value{};
+  }
+  if (op.name == "read") return state_;
+  LLSC_EXPECTS(false, "unknown operation on register: " + op.name);
+  return Value{};
+}
+
+std::unique_ptr<SequentialObject> RegisterObject::clone() const {
+  return std::make_unique<RegisterObject>(*this);
+}
+
+std::string RegisterObject::state_fingerprint() const {
+  return "reg:" + state_.to_string();
+}
+
+CounterObject::CounterObject(unsigned bits, std::uint64_t initial)
+    : mask_(bits >= 64 ? ~std::uint64_t{0}
+                       : (std::uint64_t{1} << bits) - 1),
+      state_(initial & mask_) {
+  LLSC_EXPECTS(bits >= 1 && bits <= 64, "CounterObject supports 1..64 bits");
+}
+
+Value CounterObject::apply(const ObjOp& op) {
+  if (op.name == "increment") {
+    state_ = (state_ + 1) & mask_;
+    return Value{};  // increment returns just an acknowledgement
+  }
+  if (op.name == "read") return Value::of_u64(state_);
+  LLSC_EXPECTS(false, "unknown operation on counter: " + op.name);
+  return Value{};
+}
+
+std::unique_ptr<SequentialObject> CounterObject::clone() const {
+  return std::make_unique<CounterObject>(*this);
+}
+
+std::string CounterObject::state_fingerprint() const {
+  return "ctr:" + std::to_string(state_);
+}
+
+Value CasObject::apply(const ObjOp& op) {
+  if (op.name == "cas") {
+    const CasArgs* args = op.arg.get_if<CasArgs>();
+    LLSC_EXPECTS(args != nullptr, "cas requires a CasArgs argument");
+    Value old = state_;
+    if (state_ == args->expected) state_ = args->desired;
+    return old;
+  }
+  if (op.name == "read") return state_;
+  LLSC_EXPECTS(false, "unknown operation on cas object: " + op.name);
+  return Value{};
+}
+
+std::unique_ptr<SequentialObject> CasObject::clone() const {
+  return std::make_unique<CasObject>(*this);
+}
+
+std::string CasObject::state_fingerprint() const {
+  return "cas:" + state_.to_string();
+}
+
+Value ConsensusObject::apply(const ObjOp& op) {
+  if (op.name == "propose") {
+    if (!decided_) {
+      decided_ = true;
+      decision_ = op.arg;
+    }
+    return decision_;
+  }
+  LLSC_EXPECTS(false, "unknown operation on consensus object: " + op.name);
+  return Value{};
+}
+
+std::unique_ptr<SequentialObject> ConsensusObject::clone() const {
+  return std::make_unique<ConsensusObject>(*this);
+}
+
+std::string ConsensusObject::state_fingerprint() const {
+  return decided_ ? "cons:" + decision_.to_string() : "cons:undecided";
+}
+
+}  // namespace llsc

@@ -1,0 +1,94 @@
+// Basic object types: read/write register, read+increment counter
+// (Theorem 6.2 item 4), compare&swap, and consensus.
+//
+// Semantics:
+//   register:   write(v) -> ack;  read() -> current value
+//   counter:    increment() -> ack;  read() -> current value
+//               (k-bit state, k <= 64; increments wrap mod 2^k)
+//   cas:        cas({expected, desired}) -> old value (state changes iff
+//               old == expected);  read() -> current value
+//   consensus:  propose(v) -> the first value ever proposed
+#ifndef LLSC_OBJECTS_BASIC_H_
+#define LLSC_OBJECTS_BASIC_H_
+
+#include <cstdint>
+
+#include "objects/object.h"
+
+namespace llsc {
+
+class RegisterObject final : public SequentialObject {
+ public:
+  explicit RegisterObject(Value initial = Value{})
+      : state_(std::move(initial)) {}
+
+  Value apply(const ObjOp& op) override;
+  std::unique_ptr<SequentialObject> clone() const override;
+  std::string state_fingerprint() const override;
+  std::string type_name() const override { return "register"; }
+
+ private:
+  Value state_;
+};
+
+// k-bit counter supporting read and increment — the paper's item 4, whose
+// wakeup reduction costs two operations per process (hence the
+// (1/2)·log_4 n bound instead of log_4 n).
+class CounterObject final : public SequentialObject {
+ public:
+  explicit CounterObject(unsigned bits, std::uint64_t initial = 0);
+
+  Value apply(const ObjOp& op) override;
+  std::unique_ptr<SequentialObject> clone() const override;
+  std::string state_fingerprint() const override;
+  std::string type_name() const override { return "counter"; }
+
+ private:
+  std::uint64_t mask_;
+  std::uint64_t state_;
+};
+
+// Argument payload for compare&swap.
+struct CasArgs {
+  Value expected;
+  Value desired;
+
+  bool operator==(const CasArgs&) const = default;
+  std::string to_string() const {
+    return expected.to_string() + "->" + desired.to_string();
+  }
+  std::size_t hash() const {
+    return mix64(expected.hash() ^ (desired.hash() << 1));
+  }
+};
+
+class CasObject final : public SequentialObject {
+ public:
+  explicit CasObject(Value initial = Value{}) : state_(std::move(initial)) {}
+
+  Value apply(const ObjOp& op) override;
+  std::unique_ptr<SequentialObject> clone() const override;
+  std::string state_fingerprint() const override;
+  std::string type_name() const override { return "compare&swap"; }
+
+ private:
+  Value state_;
+};
+
+class ConsensusObject final : public SequentialObject {
+ public:
+  ConsensusObject() = default;
+
+  Value apply(const ObjOp& op) override;
+  std::unique_ptr<SequentialObject> clone() const override;
+  std::string state_fingerprint() const override;
+  std::string type_name() const override { return "consensus"; }
+
+ private:
+  bool decided_ = false;
+  Value decision_;
+};
+
+}  // namespace llsc
+
+#endif  // LLSC_OBJECTS_BASIC_H_

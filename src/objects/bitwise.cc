@@ -1,0 +1,66 @@
+#include "objects/bitwise.h"
+
+#include "util/check.h"
+
+namespace llsc {
+
+BitwiseObject::BitwiseObject(std::size_t bits, BigInt initial)
+    : bits_(bits), state_(std::move(initial)) {
+  LLSC_EXPECTS(bits >= 1, "need at least one bit of state");
+  state_.truncate(bits_);
+}
+
+Value BitwiseObject::apply(const ObjOp& op) {
+  BigInt old = state_;
+  if (op.name == "fetch&and") {
+    state_ &= op.arg.as_big();
+  } else if (op.name == "fetch&or") {
+    state_ |= op.arg.as_big();
+    state_.truncate(bits_);
+  } else if (op.name == "fetch&xor") {
+    state_ ^= op.arg.as_big();
+    state_.truncate(bits_);
+  } else if (op.name == "read") {
+  } else {
+    LLSC_EXPECTS(false, "unknown operation on bitwise object: " + op.name);
+  }
+  return Value::of_big(std::move(old));
+}
+
+std::unique_ptr<SequentialObject> BitwiseObject::clone() const {
+  return std::make_unique<BitwiseObject>(*this);
+}
+
+std::string BitwiseObject::state_fingerprint() const {
+  return "bw:" + state_.to_hex();
+}
+
+FetchComplementObject::FetchComplementObject(std::size_t bits, BigInt initial)
+    : bits_(bits), state_(std::move(initial)) {
+  LLSC_EXPECTS(bits >= 1, "need at least one bit of state");
+  state_.truncate(bits_);
+}
+
+Value FetchComplementObject::apply(const ObjOp& op) {
+  BigInt old = state_;
+  if (op.name == "fetch&complement") {
+    const std::uint64_t i = op.arg.as_u64();
+    LLSC_EXPECTS(i < bits_, "fetch&complement bit index out of range");
+    state_.set_bit(i, !state_.bit(i));
+  } else if (op.name == "read") {
+  } else {
+    LLSC_EXPECTS(false,
+                 "unknown operation on fetch&complement object: " + op.name);
+  }
+  return Value::of_big(std::move(old));
+}
+
+std::unique_ptr<SequentialObject> FetchComplementObject::clone() const {
+  return std::make_unique<FetchComplementObject>(*this);
+}
+
+std::string FetchComplementObject::state_fingerprint() const {
+  return "fc:" + state_.to_hex();
+}
+
+}  // namespace llsc

@@ -1,0 +1,57 @@
+// Bitwise object types of Theorem 6.2: k-bit fetch&and, fetch&or and
+// fetch&complement (k >= n for the wakeup reductions, so states are
+// BigInts).
+//
+// Semantics (paper Section 6), with state s a k-bit word:
+//   fetch&and(v)        : s <- s AND v,            returns old s
+//   fetch&or(v)         : s <- s OR v,             returns old s
+//   fetch&xor(v)        : s <- s XOR v,            returns old s
+//                         (not in the paper's list, but it admits the same
+//                         one-op wakeup reduction as fetch&complement)
+//   fetch&complement(i) : flips bit i of s (1-based in the paper; 0-based
+//                         here), returns old s
+#ifndef LLSC_OBJECTS_BITWISE_H_
+#define LLSC_OBJECTS_BITWISE_H_
+
+#include "objects/object.h"
+#include "util/bigint.h"
+
+namespace llsc {
+
+// k-bit object supporting fetch&and, fetch&or and fetch&xor.
+class BitwiseObject final : public SequentialObject {
+ public:
+  BitwiseObject(std::size_t bits, BigInt initial);
+
+  Value apply(const ObjOp& op) override;
+  std::unique_ptr<SequentialObject> clone() const override;
+  std::string state_fingerprint() const override;
+  std::string type_name() const override { return "fetch&and/or"; }
+
+  const BigInt& state() const { return state_; }
+
+ private:
+  std::size_t bits_;
+  BigInt state_;
+};
+
+// k-bit object supporting fetch&complement(i).
+class FetchComplementObject final : public SequentialObject {
+ public:
+  FetchComplementObject(std::size_t bits, BigInt initial);
+
+  Value apply(const ObjOp& op) override;
+  std::unique_ptr<SequentialObject> clone() const override;
+  std::string state_fingerprint() const override;
+  std::string type_name() const override { return "fetch&complement"; }
+
+  const BigInt& state() const { return state_; }
+
+ private:
+  std::size_t bits_;
+  BigInt state_;
+};
+
+}  // namespace llsc
+
+#endif  // LLSC_OBJECTS_BITWISE_H_

@@ -1,0 +1,97 @@
+#include "objects/containers.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace llsc {
+
+QueueObject::QueueObject(std::vector<Value> initial)
+    : items_(initial.begin(), initial.end()) {}
+
+Value QueueObject::apply(const ObjOp& op) {
+  if (op.name == "enqueue") {
+    items_.push_back(op.arg);
+    return Value{};
+  }
+  if (op.name == "dequeue") {
+    if (items_.empty()) return Value{};
+    Value front = std::move(items_.front());
+    items_.pop_front();
+    return front;
+  }
+  LLSC_EXPECTS(false, "unknown operation on queue: " + op.name);
+  return Value{};
+}
+
+std::unique_ptr<SequentialObject> QueueObject::clone() const {
+  return std::make_unique<QueueObject>(*this);
+}
+
+std::string QueueObject::state_fingerprint() const {
+  std::string s = "q:";
+  for (const Value& v : items_) s += v.to_string() + "|";
+  return s;
+}
+
+StackObject::StackObject(std::vector<Value> initial)
+    : items_(std::move(initial)) {}
+
+Value StackObject::apply(const ObjOp& op) {
+  if (op.name == "push") {
+    items_.push_back(op.arg);
+    return Value{};
+  }
+  if (op.name == "pop") {
+    if (items_.empty()) return Value{};
+    Value top = std::move(items_.back());
+    items_.pop_back();
+    return top;
+  }
+  LLSC_EXPECTS(false, "unknown operation on stack: " + op.name);
+  return Value{};
+}
+
+std::unique_ptr<SequentialObject> StackObject::clone() const {
+  return std::make_unique<StackObject>(*this);
+}
+
+std::string StackObject::state_fingerprint() const {
+  std::string s = "s:";
+  for (const Value& v : items_) s += v.to_string() + "|";
+  return s;
+}
+
+PriorityQueueObject::PriorityQueueObject(
+    std::vector<std::uint64_t> initial_keys)
+    : keys_(std::move(initial_keys)) {
+  std::sort(keys_.begin(), keys_.end());
+}
+
+Value PriorityQueueObject::apply(const ObjOp& op) {
+  if (op.name == "insert") {
+    const std::uint64_t k = op.arg.as_u64();
+    keys_.insert(std::upper_bound(keys_.begin(), keys_.end(), k), k);
+    return Value{};
+  }
+  if (op.name == "delete-min") {
+    if (keys_.empty()) return Value{};
+    const std::uint64_t k = keys_.front();
+    keys_.erase(keys_.begin());
+    return Value::of_u64(k);
+  }
+  LLSC_EXPECTS(false, "unknown operation on priority queue: " + op.name);
+  return Value{};
+}
+
+std::unique_ptr<SequentialObject> PriorityQueueObject::clone() const {
+  return std::make_unique<PriorityQueueObject>(*this);
+}
+
+std::string PriorityQueueObject::state_fingerprint() const {
+  std::string s = "pq:";
+  for (const std::uint64_t k : keys_) s += std::to_string(k) + "|";
+  return s;
+}
+
+}  // namespace llsc

@@ -1,0 +1,75 @@
+// Container object types of Theorem 6.2: queue and stack (initially
+// holding n or more items for the wakeup reductions), plus a priority
+// queue — not in the paper's list, but any container whose n-th removal
+// is identifiable admits the same one-op reduction.
+//
+// Semantics:
+//   queue:  enqueue(v) -> ack;  dequeue() -> oldest item, or nil if empty
+//   stack:  push(v)    -> ack;  pop()     -> newest item, or nil if empty
+//   pqueue: insert(k)  -> ack;  delete-min() -> smallest key, or nil
+#ifndef LLSC_OBJECTS_CONTAINERS_H_
+#define LLSC_OBJECTS_CONTAINERS_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "objects/object.h"
+
+namespace llsc {
+
+class QueueObject final : public SequentialObject {
+ public:
+  QueueObject() = default;
+  // Initial contents, front first.
+  explicit QueueObject(std::vector<Value> initial);
+
+  Value apply(const ObjOp& op) override;
+  std::unique_ptr<SequentialObject> clone() const override;
+  std::string state_fingerprint() const override;
+  std::string type_name() const override { return "queue"; }
+
+  std::size_t size() const { return items_.size(); }
+
+ private:
+  std::deque<Value> items_;
+};
+
+class StackObject final : public SequentialObject {
+ public:
+  StackObject() = default;
+  // Initial contents, bottom first (the last element is the top).
+  explicit StackObject(std::vector<Value> initial);
+
+  Value apply(const ObjOp& op) override;
+  std::unique_ptr<SequentialObject> clone() const override;
+  std::string state_fingerprint() const override;
+  std::string type_name() const override { return "stack"; }
+
+  std::size_t size() const { return items_.size(); }
+
+ private:
+  std::vector<Value> items_;
+};
+
+// Min-priority queue over u64 keys.
+class PriorityQueueObject final : public SequentialObject {
+ public:
+  PriorityQueueObject() = default;
+  explicit PriorityQueueObject(std::vector<std::uint64_t> initial_keys);
+
+  Value apply(const ObjOp& op) override;
+  std::unique_ptr<SequentialObject> clone() const override;
+  std::string state_fingerprint() const override;
+  std::string type_name() const override { return "priority-queue"; }
+
+  std::size_t size() const { return keys_.size(); }
+
+ private:
+  // Sorted multiset semantics via a sorted vector (objects are tiny).
+  std::vector<std::uint64_t> keys_;
+};
+
+}  // namespace llsc
+
+#endif  // LLSC_OBJECTS_CONTAINERS_H_

@@ -1,0 +1,12 @@
+#include "objects/object.h"
+
+#include "util/rng.h"
+
+namespace llsc {
+
+std::size_t ObjOp::hash() const {
+  const std::size_t h = std::hash<std::string>{}(name);
+  return mix64(h ^ arg.hash());
+}
+
+}  // namespace llsc

@@ -1,0 +1,69 @@
+// Sequential object specifications.
+//
+// A universal construction is *instantiated* with the sequential
+// specification of a type T to produce a wait-free linearizable shared
+// object of type T (paper, abstract). SequentialObject is that
+// specification: a state machine mapping an operation to a response while
+// mutating the state. The same specifications serve three masters:
+//
+//   * the universal constructions (src/universal) apply batches of
+//     announced operations to a cloned state held in a register;
+//   * the Theorem 6.2 reductions (src/wakeup) run wakeup through objects
+//     implemented from these types;
+//   * the linearizability checker (src/lin) searches for a sequential
+//     witness of a concurrent history against the specification.
+//
+// Operations are (name, argument) pairs with value semantics, so they can
+// be stored inside shared-memory registers by the constructions.
+#ifndef LLSC_OBJECTS_OBJECT_H_
+#define LLSC_OBJECTS_OBJECT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "memory/value.h"
+
+namespace llsc {
+
+// One operation invocation on an implemented object.
+struct ObjOp {
+  std::string name;  // e.g. "fetch&increment", "enqueue"
+  Value arg;         // nil when the operation takes no argument
+
+  bool operator==(const ObjOp& rhs) const {
+    return name == rhs.name && arg == rhs.arg;
+  }
+  std::string to_string() const {
+    return arg.is_nil() ? name : name + "(" + arg.to_string() + ")";
+  }
+  std::size_t hash() const;
+};
+
+// A sequential type specification: deterministic state machine.
+class SequentialObject {
+ public:
+  virtual ~SequentialObject() = default;
+
+  // Applies `op` to the current state and returns the response.
+  // Unknown operation names are contract violations.
+  virtual Value apply(const ObjOp& op) = 0;
+
+  // Deep copy of the current state.
+  virtual std::unique_ptr<SequentialObject> clone() const = 0;
+
+  // Canonical rendering of the current state; equal fingerprints imply
+  // equal states (used for linearizability memoization and tracing).
+  virtual std::string state_fingerprint() const = 0;
+
+  virtual std::string type_name() const = 0;
+};
+
+// Factory producing a freshly initialized object of some type.
+using ObjectFactory =
+    std::function<std::unique_ptr<SequentialObject>()>;
+
+}  // namespace llsc
+
+#endif  // LLSC_OBJECTS_OBJECT_H_

@@ -1,0 +1,304 @@
+// Process control blocks and the awaitable interface algorithms use.
+//
+// A simulated process alternates local steps (coin tosses) and shared-memory
+// steps, per the paper's model. Between steps it is suspended, and its
+// control block reports what it wants to do next:
+//
+//   kNotStarted — created, has not executed any local computation yet
+//   kToss       — next step is a local coin toss
+//   kOp         — next step is a shared-memory operation (pending_op())
+//   kDone       — terminated, result() is available
+//
+// Algorithm code receives a ProcCtx and writes straight-line logic:
+//
+//   SimTask body(ProcCtx ctx) {
+//     Value v = co_await ctx.ll(0);
+//     ScResult r = co_await ctx.sc(0, Value::of_u64(1));
+//     std::uint64_t coin = co_await ctx.toss(2);
+//     co_return Value::of_u64(r.ok && coin ? 1 : 0);
+//   }
+#ifndef LLSC_RUNTIME_PROCESS_H_
+#define LLSC_RUNTIME_PROCESS_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "memory/op.h"
+#include "memory/value.h"
+#include "runtime/sim_task.h"
+
+namespace llsc {
+
+class Process;
+
+enum class StepKind : std::uint8_t {
+  kNotStarted,
+  kToss,
+  kOp,
+  kDone,
+};
+
+const char* step_kind_name(StepKind kind);
+
+// Result of an SC as surfaced to algorithm code.
+struct ScResult {
+  bool ok = false;
+  // Previous value on success; current value on failure (the paper's
+  // strengthened SC response).
+  Value value;
+};
+
+// Result of a validate as surfaced to algorithm code.
+struct VlResult {
+  bool ok = false;  // true iff the caller's link is still live
+  Value value;      // the register's current value
+};
+
+namespace internal {
+struct OpAwaitableBase;
+struct LlAwaitable;
+struct ScAwaitable;
+struct VlAwaitable;
+struct ReadAwaitable;
+struct SwapAwaitable;
+struct MoveAwaitable;
+struct RmwAwaitable;
+struct TossAwaitable;
+}  // namespace internal
+
+// Handle through which a coroutine body talks to its control block. Cheap
+// to copy; valid as long as the owning Process lives.
+class ProcCtx {
+ public:
+  explicit ProcCtx(Process* proc) : proc_(proc) {}
+
+  ProcId id() const;
+  int num_processes() const;
+
+  // --- awaitables (each is one step of the paper's model) ---
+
+  // LL(r): links and returns the register value.
+  internal::LlAwaitable ll(RegId r) const;
+  // SC(r, v): conditional store; see ScResult.
+  internal::ScAwaitable sc(RegId r, Value v) const;
+  // validate(r): link-validity flag plus current value.
+  internal::VlAwaitable validate(RegId r) const;
+  // A plain read — validate's value component (the model has no separate
+  // read operation; see paper Section 3). Returns Value.
+  internal::ReadAwaitable read(RegId r) const;
+  // swap(r, v): unconditional store returning the previous value.
+  internal::SwapAwaitable swap(RegId r, Value v) const;
+  // move(src, dst): copies value(src) into dst; returns only an ack.
+  internal::MoveAwaitable move(RegId src, RegId dst) const;
+  // RMW(r, f): the Section 7 strong operation — value(r) <- f(value(r)),
+  // returns the old value. NOT schedulable by the Fig. 2 adversary.
+  internal::RmwAwaitable rmw(RegId r,
+                             std::shared_ptr<const RmwFunction> f) const;
+
+  // Local coin toss. `range` > 0 yields a value in [0, range); range == 0
+  // yields the raw 64-bit outcome. Either way this consumes exactly one
+  // outcome of the toss assignment.
+  internal::TossAwaitable toss(std::uint64_t range) const;
+
+ private:
+  Process* proc_;
+};
+
+// Algorithm: builds the coroutine body for process `id` of `n`.
+using ProcBody = std::function<SimTask(ProcCtx, ProcId, int)>;
+
+// Control block of one simulated process. Owned by System; exposes the
+// pending step to schedulers and carries step counters.
+class Process {
+ public:
+  Process(ProcId id, int n) : id_(id), n_(n) {}
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  ProcId id() const { return id_; }
+  int num_processes() const { return n_; }
+
+  // Attach the coroutine (done once by System).
+  void attach(SimTask task);
+
+  StepKind step_kind() const { return kind_; }
+  bool done() const { return kind_ == StepKind::kDone; }
+  // Pending shared-memory operation. Precondition: step_kind() == kOp.
+  const PendingOp& pending_op() const;
+  // Range of the pending toss (0 = raw u64). Precondition: kind == kToss.
+  std::uint64_t pending_toss_range() const;
+
+  // Deliver the result of the pending op and resume to the next suspension
+  // point. Precondition: step_kind() == kOp. Increments shared_ops().
+  void deliver_op_result(OpResult result);
+  // Deliver a raw toss outcome and resume. Precondition: kind == kToss.
+  // Increments num_tosses().
+  void deliver_toss(std::uint64_t raw_outcome);
+  // Run the coroutine to its first suspension point.
+  // Precondition: kind == kNotStarted.
+  void start();
+
+  // Return value of the coroutine. Precondition: done().
+  const Value& result() const;
+
+  // t(p, R): number of shared-memory steps taken so far.
+  std::uint64_t shared_ops() const { return shared_ops_; }
+  // numtosses(p): number of coin tosses taken so far.
+  std::uint64_t num_tosses() const { return num_tosses_; }
+
+  std::string to_string() const;
+
+ private:
+  friend class ProcCtx;
+  friend struct internal::OpAwaitableBase;
+  friend struct internal::TossAwaitable;
+
+  // Called from awaitables. `frame` is the (possibly nested) coroutine
+  // that suspended; deliver/resume must resume exactly that frame.
+  void set_pending_op(PendingOp op, std::coroutine_handle<> frame) {
+    pending_op_ = std::move(op);
+    kind_ = StepKind::kOp;
+    resume_handle_ = frame;
+  }
+  void set_pending_toss(std::uint64_t range, std::coroutine_handle<> frame) {
+    toss_range_ = range;
+    kind_ = StepKind::kToss;
+    resume_handle_ = frame;
+  }
+  OpResult take_op_result() { return std::move(op_result_); }
+  std::uint64_t toss_result() const { return toss_result_; }
+
+  void resume();
+
+  ProcId id_;
+  int n_;
+  SimTask task_;
+  StepKind kind_ = StepKind::kNotStarted;
+  PendingOp pending_op_;
+  std::uint64_t toss_range_ = 0;
+  // Innermost suspended coroutine frame (the top-level task until a nested
+  // SubTask suspends on a shared-memory or toss awaitable).
+  std::coroutine_handle<> resume_handle_;
+  OpResult op_result_;             // result slot read by the op awaitables
+  std::uint64_t toss_result_ = 0;  // result slot read by the toss awaitable
+  std::uint64_t shared_ops_ = 0;
+  std::uint64_t num_tosses_ = 0;
+};
+
+namespace internal {
+
+// Base behaviour shared by the operation awaitables: suspend with a pending
+// op; on resume, pick up the OpResult the scheduler delivered.
+struct OpAwaitableBase {
+  Process* proc;
+  PendingOp op;
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> frame) {
+    proc->set_pending_op(std::move(op), frame);
+  }
+
+ protected:
+  OpResult take() { return proc->take_op_result(); }
+};
+
+struct LlAwaitable : OpAwaitableBase {
+  Value await_resume() { return std::move(take().value); }
+};
+
+struct ScAwaitable : OpAwaitableBase {
+  ScResult await_resume() {
+    OpResult r = take();
+    return ScResult{.ok = r.flag, .value = std::move(r.value)};
+  }
+};
+
+struct VlAwaitable : OpAwaitableBase {
+  VlResult await_resume() {
+    OpResult r = take();
+    return VlResult{.ok = r.flag, .value = std::move(r.value)};
+  }
+};
+
+struct ReadAwaitable : OpAwaitableBase {
+  Value await_resume() { return std::move(take().value); }
+};
+
+struct SwapAwaitable : OpAwaitableBase {
+  Value await_resume() { return std::move(take().value); }
+};
+
+struct MoveAwaitable : OpAwaitableBase {
+  void await_resume() { (void)take(); }
+};
+
+struct RmwAwaitable : OpAwaitableBase {
+  Value await_resume() { return std::move(take().value); }
+};
+
+struct TossAwaitable {
+  Process* proc;
+  std::uint64_t range;
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> frame) {
+    proc->set_pending_toss(range, frame);
+  }
+  std::uint64_t await_resume() {
+    const std::uint64_t raw = proc->toss_result();
+    return range == 0 ? raw : raw % range;
+  }
+};
+
+}  // namespace internal
+
+inline internal::LlAwaitable ProcCtx::ll(RegId r) const {
+  return {{proc_, PendingOp{.kind = OpKind::kLL, .reg = r, .src = 0, .arg = {}, .rmw = {}}}};
+}
+
+inline internal::VlAwaitable ProcCtx::validate(RegId r) const {
+  return {{proc_, PendingOp{.kind = OpKind::kValidate, .reg = r, .src = 0, .arg = {}, .rmw = {}}}};
+}
+
+inline internal::ReadAwaitable ProcCtx::read(RegId r) const {
+  return {{proc_, PendingOp{.kind = OpKind::kValidate, .reg = r, .src = 0, .arg = {}, .rmw = {}}}};
+}
+
+inline internal::ScAwaitable ProcCtx::sc(RegId r, Value v) const {
+  return {{proc_,
+           PendingOp{.kind = OpKind::kSC, .reg = r, .src = 0, .arg = std::move(v), .rmw = {}}}};
+}
+
+inline internal::SwapAwaitable ProcCtx::swap(RegId r, Value v) const {
+  return {{proc_,
+           PendingOp{.kind = OpKind::kSwap, .reg = r, .src = 0, .arg = std::move(v), .rmw = {}}}};
+}
+
+inline internal::MoveAwaitable ProcCtx::move(RegId src, RegId dst) const {
+  // Self-moves are value no-ops and are excluded from the model so that the
+  // Section 4 secretive-schedule machinery applies (see
+  // sched/secretive_schedule.cc for the discussion).
+  LLSC_EXPECTS(src != dst, "move(R, R) is excluded from the model");
+  return {{proc_, PendingOp{.kind = OpKind::kMove, .reg = dst, .src = src, .arg = {}, .rmw = {}}}};
+}
+
+inline internal::RmwAwaitable ProcCtx::rmw(
+    RegId r, std::shared_ptr<const RmwFunction> f) const {
+  LLSC_EXPECTS(f != nullptr, "RMW requires a function");
+  return {{proc_, PendingOp{.kind = OpKind::kRmw,
+                            .reg = r,
+                            .src = 0,
+                            .arg = {},
+                            .rmw = std::move(f)}}};
+}
+
+inline internal::TossAwaitable ProcCtx::toss(std::uint64_t range) const {
+  return {proc_, range};
+}
+
+}  // namespace llsc
+
+#endif  // LLSC_RUNTIME_PROCESS_H_

@@ -1,0 +1,123 @@
+// Nested coroutines for library code (universal constructions, helpers).
+//
+// A process body (SimTask) can call library coroutines that themselves
+// perform shared-memory steps:
+//
+//   SubTask<Value> UC::execute(ProcCtx ctx, ObjOp op) {
+//     Value v = co_await ctx.ll(reg_);
+//     ...
+//     co_return response;
+//   }
+//
+//   SimTask body(ProcCtx ctx, ProcId i, int n) {
+//     ObjOp op{"fetch&increment", {}};   // named local: see warning below
+//     Value r = co_await uc.execute(ctx, std::move(op));
+//     co_return ...;
+//   }
+//
+// Mechanics: co_awaiting a SubTask starts it via symmetric transfer; when
+// the SubTask completes, control transfers back to the awaiting coroutine.
+// While the SubTask is suspended on a shared-memory awaitable, the whole
+// stack is suspended, and the Process control block remembers the
+// *innermost* frame so the scheduler's deliver/resume reaches it (see
+// Process::resume_handle_).
+//
+// TOOLCHAIN WARNING (GCC 12.x). Two coroutine codegen bugs constrain the
+// style of every coroutine in this codebase:
+//   1. `co_await` must never appear inside an if/while/switch *condition*
+//      — GCC emits a spurious extra suspension there (caught at runtime by
+//      an invariant in Process::resume). Bind the awaited value to a named
+//      local, then test the local.
+//   2. A braced-init temporary (e.g. `ObjOp{"dequeue", {}}`) must never
+//      appear anywhere inside a `co_await` full-expression — GCC destroys
+//      it twice (PR 104031 family), double-releasing any owned resources.
+//      Construct the value in a named local and pass/move the local.
+// Function-call temporaries (`Value::of_u64(3)`, `ctx.ll(r)`) are safe.
+#ifndef LLSC_RUNTIME_SUB_TASK_H_
+#define LLSC_RUNTIME_SUB_TASK_H_
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace llsc {
+
+template <typename T>
+class SubTask {
+ public:
+  struct promise_type {
+    T value{};
+    std::exception_ptr exception;
+    std::coroutine_handle<> continuation;
+
+    SubTask get_return_object() {
+      return SubTask(
+          std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) noexcept {
+        // Resume whoever co_awaited us; if nobody did (detached misuse),
+        // fall back to a no-op.
+        return h.promise().continuation ? h.promise().continuation
+                                        : std::noop_coroutine();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_value(T v) { value = std::move(v); }
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  SubTask() = default;
+  explicit SubTask(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  SubTask(const SubTask&) = delete;
+  SubTask& operator=(const SubTask&) = delete;
+  SubTask(SubTask&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  SubTask& operator=(SubTask&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  ~SubTask() { destroy(); }
+
+  // Awaiter: start the child; deliver its value (or exception) on resume.
+  struct Awaiter {
+    std::coroutine_handle<promise_type> child;
+
+    bool await_ready() const noexcept { return false; }
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+      child.promise().continuation = parent;
+      return child;  // symmetric transfer into the child
+    }
+    T await_resume() {
+      if (child.promise().exception) {
+        std::rethrow_exception(child.promise().exception);
+      }
+      return std::move(child.promise().value);
+    }
+  };
+
+  Awaiter operator co_await() && { return Awaiter{handle_}; }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace llsc
+
+#endif  // LLSC_RUNTIME_SUB_TASK_H_

@@ -1,0 +1,117 @@
+#include "runtime/system.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace llsc {
+
+System::System(int n, const ProcBody& body,
+               std::shared_ptr<const TossAssignment> tosses)
+    : tosses_(tosses ? std::move(tosses)
+                     : std::make_shared<ZeroTossAssignment>()) {
+  LLSC_EXPECTS(n >= 1, "a system needs at least one process");
+  first_event_.assign(static_cast<std::size_t>(n), 0);
+  completion_event_.assign(static_cast<std::size_t>(n), 0);
+  procs_.reserve(static_cast<std::size_t>(n));
+  for (ProcId i = 0; i < n; ++i) {
+    auto proc = std::make_unique<Process>(i, n);
+    proc->attach(body(ProcCtx(proc.get()), i, n));
+    procs_.push_back(std::move(proc));
+  }
+}
+
+Process& System::process(ProcId p) {
+  LLSC_EXPECTS(p >= 0 && p < num_processes(), "process id out of range");
+  return *procs_[static_cast<std::size_t>(p)];
+}
+
+const Process& System::process(ProcId p) const {
+  LLSC_EXPECTS(p >= 0 && p < num_processes(), "process id out of range");
+  return *procs_[static_cast<std::size_t>(p)];
+}
+
+void System::step(ProcId p) {
+  Process& proc = process(p);
+  LLSC_EXPECTS(!proc.done(), "cannot step a terminated process");
+  if (proc.step_kind() == StepKind::kNotStarted) {
+    proc.start();
+    if (proc.done()) note_step(p);  // terminated without any step
+    return;  // running to the first suspension point is local computation
+  }
+  if (proc.step_kind() == StepKind::kToss) {
+    proc.deliver_toss(tosses_->outcome(p, proc.num_tosses()));
+    ++event_clock_;
+    note_step(p);
+    return;
+  }
+  execute_pending_op(p);
+}
+
+std::uint64_t System::advance_through_tosses(ProcId p) {
+  Process& proc = process(p);
+  if (proc.step_kind() == StepKind::kNotStarted) proc.start();
+  std::uint64_t served = 0;
+  while (proc.step_kind() == StepKind::kToss) {
+    proc.deliver_toss(tosses_->outcome(p, proc.num_tosses()));
+    ++event_clock_;
+    ++served;
+  }
+  note_step(p);
+  return served;
+}
+
+OpRecord System::execute_pending_op(ProcId p) {
+  Process& proc = process(p);
+  LLSC_EXPECTS(proc.step_kind() == StepKind::kOp,
+               "execute_pending_op() requires a pending operation");
+  OpRecord rec;
+  rec.proc = p;
+  rec.op = proc.pending_op();
+  rec.result = memory_.apply(p, rec.op);
+  rec.step_index = next_step_index_++;
+  proc.deliver_op_result(rec.result);
+  ++event_clock_;
+  note_step(p);
+  if (recording_) trace_.push_back(rec);
+  return rec;
+}
+
+bool System::all_done() const {
+  return std::all_of(procs_.begin(), procs_.end(),
+                     [](const auto& p) { return p->done(); });
+}
+
+int System::num_done() const {
+  return static_cast<int>(
+      std::count_if(procs_.begin(), procs_.end(),
+                    [](const auto& p) { return p->done(); }));
+}
+
+void System::note_step(ProcId p) {
+  const std::size_t i = static_cast<std::size_t>(p);
+  const Process& proc = *procs_[i];
+  if (first_event_[i] == 0 &&
+      (proc.shared_ops() > 0 || proc.num_tosses() > 0)) {
+    first_event_[i] = event_clock_ == 0 ? 1 : event_clock_;
+  }
+  if (completion_event_[i] == 0 && proc.done()) {
+    completion_event_[i] = event_clock_ == 0 ? 1 : event_clock_;
+  }
+}
+
+std::uint64_t System::first_event(ProcId p) const {
+  return first_event_[static_cast<std::size_t>(p)];
+}
+
+std::uint64_t System::completion_event(ProcId p) const {
+  return completion_event_[static_cast<std::size_t>(p)];
+}
+
+std::uint64_t System::max_shared_ops() const {
+  std::uint64_t best = 0;
+  for (const auto& p : procs_) best = std::max(best, p->shared_ops());
+  return best;
+}
+
+}  // namespace llsc

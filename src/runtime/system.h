@@ -1,0 +1,96 @@
+// System: n processes + shared memory + a toss assignment = one run.
+//
+// A System instance embodies one run of an algorithm: schedulers pick which
+// process moves next, the System executes that step against the shared
+// memory (or serves the coin toss from the assignment), counts it, and
+// optionally records a transcript. Complexity accounting follows the
+// paper's Section 3: t(p, R) is Process::shared_ops(), t(R) is
+// max_shared_ops(), and expected complexities are averages of t(R) over
+// sampled toss assignments (Lemma 3.1).
+#ifndef LLSC_RUNTIME_SYSTEM_H_
+#define LLSC_RUNTIME_SYSTEM_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "memory/shared_memory.h"
+#include "runtime/process.h"
+#include "runtime/toss.h"
+
+namespace llsc {
+
+class System {
+ public:
+  // Creates processes p_0..p_{n-1}, each running body(ctx, i, n).
+  // The toss assignment defaults to all-zeros.
+  System(int n, const ProcBody& body,
+         std::shared_ptr<const TossAssignment> tosses = nullptr);
+
+  int num_processes() const { return static_cast<int>(procs_.size()); }
+  SharedMemory& memory() { return memory_; }
+  const SharedMemory& memory() const { return memory_; }
+  Process& process(ProcId p);
+  const Process& process(ProcId p) const;
+
+  // --- step execution (used by schedulers) ---
+
+  // Perform one step of process p: a coin toss if one is pending, otherwise
+  // the pending shared-memory operation. Starts the process if needed.
+  // Precondition: p is not done.
+  void step(ProcId p);
+
+  // Phase-1 behaviour of the paper's adversary: run p's local coin tosses
+  // until p terminates or its next step is a shared-memory operation.
+  // (Starts p if it has not run yet.) Returns the number of tosses served.
+  std::uint64_t advance_through_tosses(ProcId p);
+
+  // Execute p's pending shared-memory operation and return the record.
+  // Precondition: p's pending step is an operation.
+  OpRecord execute_pending_op(ProcId p);
+
+  // --- run state ---
+
+  bool all_done() const;
+  // Number of processes that have terminated.
+  int num_done() const;
+  // max over p of t(p, run-so-far) — the paper's t(R).
+  std::uint64_t max_shared_ops() const;
+  // Total shared-memory steps executed so far.
+  std::uint64_t total_shared_ops() const { return next_step_index_; }
+
+  // --- event clock (local + shared steps) ---
+
+  // Monotone clock ticking on every executed step (coin tosses included).
+  std::uint64_t event_clock() const { return event_clock_; }
+  // Clock value just after p's first step, or 0 if p has not stepped.
+  std::uint64_t first_event(ProcId p) const;
+  // Clock value at which p terminated, or 0 if p is still live. A process
+  // that terminates without taking any step gets the current clock value,
+  // floored to 1 so that "has terminated" is distinguishable.
+  std::uint64_t completion_event(ProcId p) const;
+
+  // --- transcript ---
+
+  // Transcripts are on by default; heavy benches can disable them.
+  void set_recording(bool on) { recording_ = on; }
+  const std::vector<OpRecord>& trace() const { return trace_; }
+
+ private:
+  SharedMemory memory_;
+  std::vector<std::unique_ptr<Process>> procs_;
+  std::shared_ptr<const TossAssignment> tosses_;
+  // Marks completion/first-step clocks for p after it executed a step.
+  void note_step(ProcId p);
+
+  std::vector<OpRecord> trace_;
+  std::uint64_t next_step_index_ = 0;
+  std::uint64_t event_clock_ = 0;
+  std::vector<std::uint64_t> first_event_;
+  std::vector<std::uint64_t> completion_event_;
+  bool recording_ = true;
+};
+
+}  // namespace llsc
+
+#endif  // LLSC_RUNTIME_SYSTEM_H_

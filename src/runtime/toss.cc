@@ -1,0 +1,24 @@
+#include "runtime/toss.h"
+
+#include "util/rng.h"
+
+namespace llsc {
+
+std::uint64_t SeededTossAssignment::outcome(ProcId p,
+                                            std::uint64_t j) const {
+  // Stateless hash of (seed, p, j): replayable and order-independent.
+  return mix64(seed_ ^ mix64(static_cast<std::uint64_t>(p) * 0x100000001B3ULL ^
+                             mix64(j)));
+}
+
+void TableTossAssignment::set(ProcId p, std::uint64_t j,
+                              std::uint64_t outcome) {
+  table_[{p, j}] = outcome;
+}
+
+std::uint64_t TableTossAssignment::outcome(ProcId p, std::uint64_t j) const {
+  const auto it = table_.find({p, j});
+  return it == table_.end() ? fallback_ : it->second;
+}
+
+}  // namespace llsc

@@ -1,0 +1,64 @@
+// Toss assignments (paper Section 5.2).
+//
+// A toss assignment is a function A : processes × N -> COIN-RANGE fixing, in
+// advance, the outcome of every coin toss each process could ever perform.
+// Fixing outcomes ahead of the run is exactly the paper's formalism — the
+// scheduler "cannot influence or predict the outcomes of future coin tosses"
+// but the (All,A)-run and (S,A)-run constructions must replay the *same*
+// outcomes, indexed per process, in both runs. COIN-RANGE is modelled as the
+// 64-bit integers (an arbitrary set, per the paper); algorithms reduce the
+// raw outcome into whatever range they need via ProcCtx::toss(range).
+#ifndef LLSC_RUNTIME_TOSS_H_
+#define LLSC_RUNTIME_TOSS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "memory/op.h"
+
+namespace llsc {
+
+class TossAssignment {
+ public:
+  virtual ~TossAssignment() = default;
+  // Outcome of the j-th toss (0-based) by process p. Must be a pure
+  // function of (p, j) so runs replay identically.
+  virtual std::uint64_t outcome(ProcId p, std::uint64_t j) const = 0;
+};
+
+// All outcomes zero — the canonical assignment for deterministic algorithms.
+class ZeroTossAssignment final : public TossAssignment {
+ public:
+  std::uint64_t outcome(ProcId, std::uint64_t) const override { return 0; }
+};
+
+// Outcomes derived statelessly from a seed: an i.i.d.-uniform assignment,
+// the sampling unit of the Lemma 3.1 Monte-Carlo estimator.
+class SeededTossAssignment final : public TossAssignment {
+ public:
+  explicit SeededTossAssignment(std::uint64_t seed) : seed_(seed) {}
+  std::uint64_t outcome(ProcId p, std::uint64_t j) const override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+// Explicit table, for tests that pin particular outcomes; unlisted tosses
+// fall back to a default value.
+class TableTossAssignment final : public TossAssignment {
+ public:
+  explicit TableTossAssignment(std::uint64_t fallback = 0)
+      : fallback_(fallback) {}
+  void set(ProcId p, std::uint64_t j, std::uint64_t outcome);
+  std::uint64_t outcome(ProcId p, std::uint64_t j) const override;
+
+ private:
+  std::map<std::pair<ProcId, std::uint64_t>, std::uint64_t> table_;
+  std::uint64_t fallback_;
+};
+
+}  // namespace llsc
+
+#endif  // LLSC_RUNTIME_TOSS_H_

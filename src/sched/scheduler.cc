@@ -1,0 +1,77 @@
+#include "sched/scheduler.h"
+
+#include "util/check.h"
+
+namespace llsc {
+
+namespace {
+
+RunOutcome finish(const System& sys, std::uint64_t steps) {
+  return RunOutcome{.all_terminated = sys.all_done(),
+                    .steps_executed = steps,
+                    .max_shared_ops = sys.max_shared_ops()};
+}
+
+}  // namespace
+
+RunOutcome RoundRobinScheduler::run(System& sys, std::uint64_t max_steps) {
+  std::uint64_t steps = 0;
+  while (!sys.all_done() && steps < max_steps) {
+    for (ProcId p = 0; p < sys.num_processes() && steps < max_steps; ++p) {
+      if (!sys.process(p).done()) {
+        sys.step(p);
+        ++steps;
+      }
+    }
+  }
+  return finish(sys, steps);
+}
+
+RunOutcome RandomScheduler::run(System& sys, std::uint64_t max_steps) {
+  std::uint64_t steps = 0;
+  std::vector<ProcId> live;
+  while (steps < max_steps) {
+    live.clear();
+    for (ProcId p = 0; p < sys.num_processes(); ++p) {
+      if (!sys.process(p).done()) live.push_back(p);
+    }
+    if (live.empty()) break;
+    const ProcId p = live[rng_.next_below(live.size())];
+    sys.step(p);
+    ++steps;
+  }
+  return finish(sys, steps);
+}
+
+RunOutcome SequentialScheduler::run(System& sys, std::uint64_t max_steps) {
+  std::uint64_t steps = 0;
+  for (ProcId p = 0; p < sys.num_processes(); ++p) {
+    while (!sys.process(p).done() && steps < max_steps) {
+      sys.step(p);
+      ++steps;
+    }
+  }
+  return finish(sys, steps);
+}
+
+RunOutcome ScriptedScheduler::run(System& sys, std::uint64_t max_steps) {
+  std::uint64_t steps = 0;
+  for (const ProcId p : script_) {
+    if (steps >= max_steps || sys.all_done()) break;
+    LLSC_EXPECTS(p >= 0 && p < sys.num_processes(),
+                 "scripted process id out of range");
+    if (!sys.process(p).done()) {
+      sys.step(p);
+      ++steps;
+    }
+  }
+  if (!sys.all_done() && steps < max_steps) {
+    RoundRobinScheduler fallback;
+    RunOutcome tail = fallback.run(sys, max_steps - steps);
+    tail.steps_executed += steps;
+    return tail;
+  }
+  return finish(sys, steps);
+}
+
+}  // namespace llsc

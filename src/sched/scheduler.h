@@ -1,0 +1,82 @@
+// Schedulers: strategies that decide which process steps next.
+//
+// The paper's model gives the scheduler "the standard power": it sees the
+// whole run so far but cannot influence or predict future coin tosses.
+// Schedulers here have exactly that power — they observe the System (and
+// therefore the executed history) and choose the next process; coin-toss
+// outcomes come from the pre-committed TossAssignment inside the System.
+//
+// This header provides the benign schedulers used by examples, tests and
+// the linearizability/model-checking harnesses. The paper's adversary
+// (Fig. 2) and the (S,A)-run scheduler (Fig. 3) live in src/core.
+#ifndef LLSC_SCHED_SCHEDULER_H_
+#define LLSC_SCHED_SCHEDULER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/system.h"
+#include "util/rng.h"
+
+namespace llsc {
+
+// Outcome of driving a run.
+struct RunOutcome {
+  bool all_terminated = false;
+  std::uint64_t steps_executed = 0;  // shared-memory steps + coin tosses
+
+  // max over p of shared ops — the paper's t(R) of the produced run.
+  std::uint64_t max_shared_ops = 0;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  // Drive `sys` until every process terminates or `max_steps` steps (coin
+  // tosses count as steps) have been executed. Wait-free algorithms must
+  // terminate well before any sensible cap; the cap exists so that a buggy
+  // algorithm yields a diagnosable outcome instead of a hang.
+  virtual RunOutcome run(System& sys, std::uint64_t max_steps) = 0;
+};
+
+// Round-robin: p_0, p_1, ..., p_{n-1}, p_0, ... skipping terminated
+// processes. The fully synchronous schedule.
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  RunOutcome run(System& sys, std::uint64_t max_steps) override;
+};
+
+// Uniformly random choice among live processes; seed-deterministic.
+class RandomScheduler final : public Scheduler {
+ public:
+  explicit RandomScheduler(std::uint64_t seed) : rng_(seed) {}
+  RunOutcome run(System& sys, std::uint64_t max_steps) override;
+
+ private:
+  Rng rng_;
+};
+
+// Runs the processes one at a time to completion, in id order: the fully
+// sequential schedule (maximum "solo" executions).
+class SequentialScheduler final : public Scheduler {
+ public:
+  RunOutcome run(System& sys, std::uint64_t max_steps) override;
+};
+
+// Replays an explicit sequence of process ids; each entry executes one step
+// of that process (skipped if the process has terminated). After the script
+// is exhausted, falls back to round-robin so runs still complete.
+class ScriptedScheduler final : public Scheduler {
+ public:
+  explicit ScriptedScheduler(std::vector<ProcId> script)
+      : script_(std::move(script)) {}
+  RunOutcome run(System& sys, std::uint64_t max_steps) override;
+
+ private:
+  std::vector<ProcId> script_;
+};
+
+}  // namespace llsc
+
+#endif  // LLSC_SCHED_SCHEDULER_H_

@@ -1,0 +1,99 @@
+#include "universal/consensus_based.h"
+
+#include <set>
+
+#include "util/check.h"
+
+namespace llsc {
+
+namespace {
+
+// The value decided into a log cell (and announced in announce registers):
+// one identified operation.
+struct CellVal {
+  OpId id;
+  ObjOp op;
+
+  bool operator==(const CellVal&) const = default;
+  std::string to_string() const {
+    return id.to_string() + ":" + op.to_string();
+  }
+  std::size_t hash() const { return mix64(id.hash() ^ op.hash()); }
+};
+
+}  // namespace
+
+ConsensusBasedUC::ConsensusBasedUC(int n, ObjectFactory factory, RegId base)
+    : n_(n), factory_(std::move(factory)), base_(base) {
+  LLSC_EXPECTS(n >= 1, "need at least one process");
+  LLSC_EXPECTS(factory_ != nullptr, "need an object factory");
+  next_seq_.assign(static_cast<std::size_t>(n), 0);
+  views_.resize(static_cast<std::size_t>(n));
+}
+
+SubTask<Value> ConsensusBasedUC::execute(ProcCtx ctx, ObjOp op) {
+  const ProcId p = ctx.id();
+  LLSC_EXPECTS(p >= 0 && p < n_, "caller outside this construction");
+  LocalView& view = views_[static_cast<std::size_t>(p)];
+
+  // 1. Announce (single-writer register; one swap).
+  const OpId id{.proc = p, .seq = next_seq_[static_cast<std::size_t>(p)]++};
+  {
+    CellVal mine{.id = id, .op = op};
+    co_await ctx.swap(announce_reg(p), Value::of(std::move(mine)));
+  }
+
+  // 2. Advance the log, cell by cell, until the operation is decided.
+  for (;;) {
+    const std::uint64_t k = view.next_cell;
+
+    // Round-robin helping: offer the announced-but-undecided operation of
+    // process (k mod n), else our own.
+    const ProcId helpee = static_cast<ProcId>(k % static_cast<std::uint64_t>(n_));
+    const Value announced = co_await ctx.read(announce_reg(helpee));
+    CellVal proposal{.id = id, .op = op};
+    if (const CellVal* a = announced.get_if<CellVal>()) {
+      if (!(a->id == id) && !view.decided_ids.contains(a->id)) proposal = *a;
+    }
+
+    // One-shot consensus on cell k, inline from LL/SC: LL; if undecided,
+    // a deciding SC; on failure read the winner.
+    Value decided_val = co_await ctx.ll(cell_reg(k));
+    if (decided_val.is_nil()) {
+      Value proposal_val = Value::of(std::move(proposal));
+      const ScResult sc = co_await ctx.sc(cell_reg(k), proposal_val);
+      if (sc.ok) {
+        decided_val = std::move(proposal_val);
+      } else {
+        const Value after = co_await ctx.read(cell_reg(k));
+        decided_val = after;
+      }
+    }
+    const CellVal* decided = decided_val.get_if<CellVal>();
+    LLSC_CHECK(decided != nullptr && !decided_val.is_nil(),
+               "log cell decided to a non-CellVal");
+
+    view.log.emplace_back(decided->id, decided->op);
+    view.decided_ids.insert(decided->id);
+    view.next_cell = k + 1;
+    if (decided->id == id) break;
+  }
+
+  // 3. Replay the decided prefix locally for the response. Stale helpers
+  // may decide the same operation into two cells; only the first
+  // occurrence of an id is applied.
+  std::unique_ptr<SequentialObject> replay = factory_();
+  std::set<OpId> applied;
+  Value response;
+  for (const auto& [did, dop] : view.log) {
+    if (!applied.insert(did).second) continue;
+    Value r = replay->apply(dop);
+    if (did == id) {
+      response = std::move(r);
+      break;  // later cells cannot affect an already-computed response
+    }
+  }
+  co_return response;
+}
+
+}  // namespace llsc

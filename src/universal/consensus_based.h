@@ -1,0 +1,79 @@
+// Herlihy-style consensus-based universal construction — the O(n)
+// comparator from the related work.
+//
+// The paper cites Jayanti–Tan–Toueg [25]: oblivious universal
+// constructions built from consensus objects (rather than LL/SC) have
+// shared-access time complexity Ω(n). This is the classic matching upper
+// bound (Herlihy [17,18]): operations are agreed into a single totally-
+// ordered log, one consensus decision per log cell, with round-robin
+// helping for wait-freedom.
+//
+//   * announce[i] — single-writer register holding process i's latest
+//     announced operation;
+//   * cell k — a one-shot consensus object (realized inline from LL/SC:
+//     LL, deciding SC, read) choosing the k-th operation of the log;
+//   * a process advances cell by cell from its cached position; at cell k
+//     it first offers the announced-but-undecided operation of process
+//     (k mod n) ("helping"), otherwise its own. Once announced, an
+//     operation is decided within at most 2n cells, so the construction
+//     is wait-free with Θ(n) worst-case shared ops per operation;
+//   * responses are recovered locally by replaying the decided log prefix
+//     against the sequential specification (local steps are free in the
+//     shared-access cost model); duplicate proposals of an already-decided
+//     operation are filtered by OpId during replay.
+//
+// Together with GroupUpdateUC (O(log n)) and SingleRegisterUC (O(n),
+// LL/SC helping) this completes the construction spectrum the E10 bench
+// compares against the Ω(log n) lower bound.
+#ifndef LLSC_UNIVERSAL_CONSENSUS_BASED_H_
+#define LLSC_UNIVERSAL_CONSENSUS_BASED_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "universal/op_id.h"
+#include "universal/universal.h"
+
+namespace llsc {
+
+class ConsensusBasedUC final : public UniversalConstruction {
+ public:
+  // Registers used: base + i            — announce register of process i;
+  //                 base + n + k        — consensus cell k (k unbounded).
+  ConsensusBasedUC(int n, ObjectFactory factory, RegId base = 0);
+
+  SubTask<Value> execute(ProcCtx ctx, ObjOp op) override;
+  // Helping guarantees a decision within 2n cells of the announcement;
+  // each cell costs at most 4 shared ops (announce read + LL + SC + read),
+  // plus the announce swap.
+  std::uint64_t worst_case_shared_ops() const override {
+    return 1 + 8 * static_cast<std::uint64_t>(n_) + 4;
+  }
+  std::string name() const override { return "consensus-based"; }
+
+ private:
+  RegId announce_reg(ProcId p) const {
+    return base_ + static_cast<RegId>(p);
+  }
+  RegId cell_reg(std::uint64_t k) const {
+    return base_ + static_cast<RegId>(n_) + k;
+  }
+
+  int n_;
+  ObjectFactory factory_;
+  RegId base_;
+  std::vector<std::uint64_t> next_seq_;
+  // Per-process cache of the decided log and replay state; entries are
+  // only touched by their owning process (single-threaded simulation).
+  struct LocalView {
+    std::vector<std::pair<OpId, ObjOp>> log;  // decided ops, in cell order
+    std::set<OpId> decided_ids;               // ids appearing in `log`
+    std::uint64_t next_cell = 0;              // first cell not in `log`
+  };
+  std::vector<LocalView> views_;
+};
+
+}  // namespace llsc
+
+#endif  // LLSC_UNIVERSAL_CONSENSUS_BASED_H_

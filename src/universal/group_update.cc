@@ -1,0 +1,117 @@
+#include "universal/group_update.h"
+
+#include "util/check.h"
+
+namespace llsc {
+
+RootState apply_pending(const RootState& root, const AnnounceSet& announced) {
+  RootState next = root;
+  std::unique_ptr<SequentialObject> working;
+  for (const auto& [id, op] : announced.ops) {
+    if (next.responses.contains(id)) continue;
+    if (working == nullptr) working = next.object->clone();
+    next.responses.emplace(id, working->apply(op));
+  }
+  if (working != nullptr) {
+    next.object = std::shared_ptr<const SequentialObject>(std::move(working));
+  }
+  return next;
+}
+
+namespace {
+
+// Decode a register value as an AnnounceSet (nil = empty).
+const AnnounceSet& as_announce(const Value& v) {
+  static const AnnounceSet kEmpty;
+  if (v.is_nil()) return kEmpty;
+  const AnnounceSet* set = v.get_if<AnnounceSet>();
+  LLSC_CHECK(set != nullptr, "register does not hold an AnnounceSet");
+  return *set;
+}
+
+}  // namespace
+
+GroupUpdateUC::GroupUpdateUC(int n, ObjectFactory factory, RegId base,
+                             std::size_t prune_interval)
+    : n_(n),
+      factory_(std::move(factory)),
+      base_(base),
+      prune_interval_(prune_interval) {
+  LLSC_EXPECTS(n >= 1, "need at least one process");
+  LLSC_EXPECTS(factory_ != nullptr, "need an object factory");
+  leaves_ = 2;
+  height_ = 1;
+  while (leaves_ < static_cast<std::uint64_t>(n)) {
+    leaves_ *= 2;
+    ++height_;
+  }
+  next_seq_.assign(static_cast<std::size_t>(n), 0);
+  announced_.assign(static_cast<std::size_t>(n), AnnounceSet{});
+}
+
+RootState GroupUpdateUC::initial_root() const {
+  return RootState{.object = factory_(), .responses = {}};
+}
+
+std::uint64_t GroupUpdateUC::worst_case_shared_ops() const {
+  // leaf swap + per-level two attempts of (LL + 2 child reads + SC) +
+  // final response validate (+ one root read when pruning is enabled).
+  return 1 + 8 * height_ + 1 + (prune_interval_ > 0 ? 1 : 0);
+}
+
+SubTask<Value> GroupUpdateUC::execute(ProcCtx ctx, ObjOp op) {
+  const ProcId p = ctx.id();
+  LLSC_EXPECTS(p >= 0 && p < n_, "caller outside this construction");
+
+  AnnounceSet& mine = announced_[static_cast<std::size_t>(p)];
+
+  // 0. Optional pruning for long-lived use: drop already-applied
+  //    operations from the announce set (one root read).
+  if (prune_interval_ > 0 && mine.ops.size() >= prune_interval_) {
+    const Value root_val = co_await ctx.read(reg_of(1));
+    if (const RootState* root = root_val.get_if<RootState>()) {
+      std::erase_if(mine.ops, [root](const auto& entry) {
+        return root->responses.contains(entry.first);
+      });
+    }
+  }
+
+  // 1. Announce: publish the new operation in the caller's leaf (single
+  //    writer, so one unconditional swap suffices).
+  const OpId id{.proc = p, .seq = next_seq_[static_cast<std::size_t>(p)]++};
+  mine.ops.emplace(id, std::move(op));
+  co_await ctx.swap(reg_of(leaf_of(p)), Value::of(mine));
+
+  // 2. Climb: refresh each ancestor with two merge attempts.
+  for (std::uint64_t node = leaf_of(p) / 2; node >= 1; node /= 2) {
+    const bool is_root = node == 1;
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      const Value cur = co_await ctx.ll(reg_of(node));
+      // Reading the children AFTER the LL is what makes the second
+      // attempt's failure imply our update is already merged.
+      const Value left = co_await ctx.read(reg_of(2 * node));
+      const Value right = co_await ctx.read(reg_of(2 * node + 1));
+      AnnounceSet merged = as_announce(left);
+      merged.merge(as_announce(right));
+      if (is_root) {
+        const RootState* cur_root =
+            cur.is_nil() ? nullptr : cur.get_if<RootState>();
+        RootState next =
+            apply_pending(cur_root ? *cur_root : initial_root(), merged);
+        co_await ctx.sc(reg_of(node), Value::of(std::move(next)));
+      } else {
+        co_await ctx.sc(reg_of(node), Value::of(std::move(merged)));
+      }
+    }
+  }
+
+  // 3. Fetch the response: after two root attempts the operation is
+  //    guaranteed applied, so a single read suffices.
+  const Value root_val = co_await ctx.read(reg_of(1));
+  const RootState* root = root_val.get_if<RootState>();
+  LLSC_CHECK(root != nullptr && root->responses.contains(id),
+             "group-update: operation not applied after two root attempts");
+  co_return root->responses.at(id);
+}
+
+}  // namespace llsc

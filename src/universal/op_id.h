@@ -1,0 +1,97 @@
+// Register payload types shared by the universal constructions.
+//
+// Both constructions announce operations tagged with an OpId = (process,
+// per-process sequence number), propagate sets of announced operations
+// through registers, and keep the implemented object's state plus every
+// response in a "root" register. Registers being unbounded (the paper's
+// model), a whole map of operations or an entire object snapshot is a
+// single register value.
+#ifndef LLSC_UNIVERSAL_OP_ID_H_
+#define LLSC_UNIVERSAL_OP_ID_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "memory/op.h"
+#include "memory/value.h"
+#include "objects/object.h"
+#include "util/rng.h"
+
+namespace llsc {
+
+// Identity of one operation instance.
+struct OpId {
+  ProcId proc = -1;
+  std::uint64_t seq = 0;
+
+  auto operator<=>(const OpId&) const = default;
+  std::string to_string() const {
+    return "p" + std::to_string(proc) + "#" + std::to_string(seq);
+  }
+  std::size_t hash() const {
+    return mix64(static_cast<std::uint64_t>(proc) * 0x9E3779B97F4A7C15ULL ^
+                 seq);
+  }
+};
+
+// Value stored in announce/tree registers: the set of operations announced
+// from some region (a process, or a subtree), keyed by id. Sets only grow
+// over successful writes — the monotonicity both constructions rely on.
+struct AnnounceSet {
+  std::map<OpId, ObjOp> ops;
+
+  bool operator==(const AnnounceSet&) const = default;
+
+  // Union (the merge performed while climbing the tree).
+  void merge(const AnnounceSet& other) {
+    ops.insert(other.ops.begin(), other.ops.end());
+  }
+
+  std::string to_string() const {
+    return "{" + std::to_string(ops.size()) + " ops}";
+  }
+  std::size_t hash() const {
+    std::size_t h = 0;
+    for (const auto& [id, op] : ops) h = mix64(h ^ id.hash() ^ op.hash());
+    return h;
+  }
+};
+
+// Value stored in the root register: an immutable snapshot of the
+// implemented object plus the response of every operation applied so far.
+// The snapshot is shared (never mutated in place): appliers clone, apply
+// the new batch, and publish a fresh RootState.
+struct RootState {
+  std::shared_ptr<const SequentialObject> object;
+  std::map<OpId, Value> responses;
+
+  bool operator==(const RootState& rhs) const {
+    if (responses != rhs.responses) return false;
+    if (object == rhs.object) return true;
+    if (object == nullptr || rhs.object == nullptr) return false;
+    return object->state_fingerprint() == rhs.object->state_fingerprint();
+  }
+
+  std::string to_string() const {
+    return "root{" + (object ? object->state_fingerprint() : "?") + ", " +
+           std::to_string(responses.size()) + " resp}";
+  }
+  std::size_t hash() const {
+    std::size_t h = object ? std::hash<std::string>{}(
+                                 object->state_fingerprint())
+                           : 0;
+    for (const auto& [id, v] : responses) h = mix64(h ^ id.hash() ^ v.hash());
+    return h;
+  }
+};
+
+// Applies every operation of `announced` absent from `root.responses` to a
+// clone of the object, in ascending OpId order (the deterministic
+// linearization order appliers agree on), returning the new root state.
+RootState apply_pending(const RootState& root, const AnnounceSet& announced);
+
+}  // namespace llsc
+
+#endif  // LLSC_UNIVERSAL_OP_ID_H_

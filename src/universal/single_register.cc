@@ -1,0 +1,58 @@
+#include "universal/single_register.h"
+
+#include "util/check.h"
+
+namespace llsc {
+
+SingleRegisterUC::SingleRegisterUC(int n, ObjectFactory factory, RegId base)
+    : n_(n), factory_(std::move(factory)), base_(base) {
+  LLSC_EXPECTS(n >= 1, "need at least one process");
+  LLSC_EXPECTS(factory_ != nullptr, "need an object factory");
+  next_seq_.assign(static_cast<std::size_t>(n), 0);
+  announced_.assign(static_cast<std::size_t>(n), AnnounceSet{});
+}
+
+RootState SingleRegisterUC::initial_root() const {
+  return RootState{.object = factory_(), .responses = {}};
+}
+
+std::uint64_t SingleRegisterUC::worst_case_shared_ops() const {
+  return 1 + 2 * (1 + static_cast<std::uint64_t>(n_) + 1) + 1;
+}
+
+SubTask<Value> SingleRegisterUC::execute(ProcCtx ctx, ObjOp op) {
+  const ProcId p = ctx.id();
+  LLSC_EXPECTS(p >= 0 && p < n_, "caller outside this construction");
+
+  // 1. Announce (single writer: one swap).
+  const OpId id{.proc = p, .seq = next_seq_[static_cast<std::size_t>(p)]++};
+  AnnounceSet& mine = announced_[static_cast<std::size_t>(p)];
+  mine.ops.emplace(id, std::move(op));
+  co_await ctx.swap(announce_reg(p), Value::of(mine));
+
+  // 2. Two helping attempts.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const Value cur = co_await ctx.ll(root_reg());
+    AnnounceSet all;
+    for (ProcId q = 0; q < n_; ++q) {
+      const Value a = co_await ctx.read(announce_reg(q));
+      if (a.is_nil()) continue;
+      const AnnounceSet* set = a.get_if<AnnounceSet>();
+      LLSC_CHECK(set != nullptr, "announce register holds a non-AnnounceSet");
+      all.merge(*set);
+    }
+    const RootState* cur_root =
+        cur.is_nil() ? nullptr : cur.get_if<RootState>();
+    RootState next = apply_pending(cur_root ? *cur_root : initial_root(), all);
+    co_await ctx.sc(root_reg(), Value::of(std::move(next)));
+  }
+
+  // 3. Fetch the response.
+  const Value root_val = co_await ctx.read(root_reg());
+  const RootState* root = root_val.get_if<RootState>();
+  LLSC_CHECK(root != nullptr && root->responses.contains(id),
+             "single-register: operation not applied after two attempts");
+  co_return root->responses.at(id);
+}
+
+}  // namespace llsc

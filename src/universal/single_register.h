@@ -1,0 +1,55 @@
+// Single-register helping universal construction — the O(n) baseline.
+//
+// The classic LL/SC helping scheme (Herlihy-style, in the unbounded-
+// register setting): every process announces its operations in a
+// single-writer announce register; to make progress, a process twice
+// (1) LLs the root (object snapshot + responses), (2) reads all n announce
+// registers, (3) applies every announced-but-unapplied operation in
+// ascending OpId order, and (4) SCs the new snapshot. The two-attempt
+// argument guarantees the caller's operation is applied even if both its
+// SCs fail.
+//
+// Per-operation cost: 1 (announce swap) + 2·(1 + n + 1) (two attempts of
+// LL + n reads + SC) + 1 (response validate) = 2n + 6 = Θ(n) shared
+// operations — the O(n) upper bound the paper's open-problems section
+// cites, and the baseline the E2 bench compares GroupUpdateUC against.
+#ifndef LLSC_UNIVERSAL_SINGLE_REGISTER_H_
+#define LLSC_UNIVERSAL_SINGLE_REGISTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "universal/op_id.h"
+#include "universal/universal.h"
+
+namespace llsc {
+
+class SingleRegisterUC final : public UniversalConstruction {
+ public:
+  // Uses registers [base, base + register_span()): base is the root,
+  // base + 1 + i is process i's announce register.
+  SingleRegisterUC(int n, ObjectFactory factory, RegId base = 0);
+
+  SubTask<Value> execute(ProcCtx ctx, ObjOp op) override;
+  std::uint64_t worst_case_shared_ops() const override;
+  std::string name() const override { return "single-register"; }
+
+  RegId register_span() const { return static_cast<RegId>(n_) + 1; }
+
+ private:
+  RegId root_reg() const { return base_; }
+  RegId announce_reg(ProcId p) const {
+    return base_ + 1 + static_cast<RegId>(p);
+  }
+  RootState initial_root() const;
+
+  int n_;
+  ObjectFactory factory_;
+  RegId base_;
+  std::vector<std::uint64_t> next_seq_;
+  std::vector<AnnounceSet> announced_;
+};
+
+}  // namespace llsc
+
+#endif  // LLSC_UNIVERSAL_SINGLE_REGISTER_H_

@@ -1,0 +1,47 @@
+// Universal constructions (paper Sections 1.1 and 6).
+//
+// A universal construction turns the sequential specification of any type T
+// into a wait-free linearizable n-process shared object of type T. It is
+// *oblivious* when it never exploits T's semantics — both constructions
+// here are: they treat operations as opaque (name, argument) pairs and
+// apply them through SequentialObject::apply.
+//
+// The paper's headline results, in terms of this interface:
+//   * lower bound — any object obtained from ANY oblivious universal
+//     construction over LL/SC/VL/swap/move memory costs some process
+//     Ω(log n) shared-memory operations per implemented operation;
+//   * tightness — GroupUpdateUC (universal/group_update.h) achieves
+//     O(log n) worst-case when register size is unrestricted;
+//   * baseline — SingleRegisterUC (universal/single_register.h) is the
+//     classic O(n) helping construction the paper's open-problems section
+//     cites as the best practical bound.
+#ifndef LLSC_UNIVERSAL_UNIVERSAL_H_
+#define LLSC_UNIVERSAL_UNIVERSAL_H_
+
+#include <string>
+
+#include "objects/object.h"
+#include "runtime/process.h"
+#include "runtime/sub_task.h"
+
+namespace llsc {
+
+class UniversalConstruction {
+ public:
+  virtual ~UniversalConstruction() = default;
+
+  // Executes one operation on the implemented object on behalf of the
+  // calling process (ctx.id()). Wait-free: completes in a bounded number
+  // of the caller's own shared-memory steps regardless of other processes.
+  virtual SubTask<Value> execute(ProcCtx ctx, ObjOp op) = 0;
+
+  // Worst-case number of shared-memory operations execute() performs
+  // (the construction's shared-access time complexity).
+  virtual std::uint64_t worst_case_shared_ops() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace llsc
+
+#endif  // LLSC_UNIVERSAL_UNIVERSAL_H_

@@ -1,0 +1,279 @@
+#include "util/bigint.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace llsc {
+
+namespace {
+constexpr std::size_t kLimbBits = 64;
+}  // namespace
+
+BigInt::BigInt(std::uint64_t v) {
+  if (v != 0) limbs_.push_back(v);
+}
+
+BigInt BigInt::pow2(std::size_t bit) {
+  BigInt r;
+  r.limbs_.assign(bit / kLimbBits + 1, 0);
+  r.limbs_.back() = std::uint64_t{1} << (bit % kLimbBits);
+  return r;
+}
+
+BigInt BigInt::ones(std::size_t k) {
+  BigInt r;
+  if (k == 0) return r;
+  r.limbs_.assign((k + kLimbBits - 1) / kLimbBits, ~std::uint64_t{0});
+  const std::size_t rem = k % kLimbBits;
+  if (rem != 0) r.limbs_.back() = (std::uint64_t{1} << rem) - 1;
+  return r;
+}
+
+BigInt BigInt::from_hex(const std::string& hex) {
+  std::size_t start = 0;
+  if (hex.size() >= 2 && hex[0] == '0' && (hex[1] == 'x' || hex[1] == 'X')) {
+    start = 2;
+  }
+  BigInt r;
+  for (std::size_t i = start; i < hex.size(); ++i) {
+    const char c = hex[i];
+    std::uint64_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint64_t>(c - 'a') + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<std::uint64_t>(c - 'A') + 10;
+    } else {
+      LLSC_EXPECTS(false, "non-hex character in BigInt::from_hex");
+    }
+    r <<= 4;
+    r |= BigInt(digit);
+  }
+  return r;
+}
+
+bool BigInt::bit(std::size_t i) const {
+  const std::size_t limb = i / kLimbBits;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % kLimbBits)) & 1;
+}
+
+void BigInt::set_bit(std::size_t i, bool v) {
+  const std::size_t limb = i / kLimbBits;
+  if (limb >= limbs_.size()) {
+    if (!v) return;
+    limbs_.resize(limb + 1, 0);
+  }
+  const std::uint64_t mask = std::uint64_t{1} << (i % kLimbBits);
+  if (v) {
+    limbs_[limb] |= mask;
+  } else {
+    limbs_[limb] &= ~mask;
+    trim();
+  }
+}
+
+std::size_t BigInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  const std::uint64_t top = limbs_.back();
+  const auto top_bits =
+      kLimbBits - static_cast<std::size_t>(__builtin_clzll(top));
+  return (limbs_.size() - 1) * kLimbBits + top_bits;
+}
+
+BigInt& BigInt::operator+=(const BigInt& rhs) {
+  if (limbs_.size() < rhs.limbs_.size()) limbs_.resize(rhs.limbs_.size(), 0);
+  unsigned __int128 carry = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    unsigned __int128 sum = carry + limbs_[i];
+    if (i < rhs.limbs_.size()) sum += rhs.limbs_[i];
+    limbs_[i] = static_cast<std::uint64_t>(sum);
+    carry = sum >> kLimbBits;
+  }
+  if (carry != 0) limbs_.push_back(static_cast<std::uint64_t>(carry));
+  return *this;
+}
+
+BigInt& BigInt::operator-=(const BigInt& rhs) {
+  LLSC_EXPECTS(*this >= rhs, "BigInt subtraction would underflow");
+  std::uint64_t borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const std::uint64_t sub =
+        (i < rhs.limbs_.size() ? rhs.limbs_[i] : 0);
+    const std::uint64_t before = limbs_[i];
+    const std::uint64_t mid = before - sub;
+    const std::uint64_t after = mid - borrow;
+    borrow = (before < sub) || (mid < borrow) ? 1 : 0;
+    limbs_[i] = after;
+  }
+  LLSC_CHECK(borrow == 0);
+  trim();
+  return *this;
+}
+
+BigInt& BigInt::operator*=(const BigInt& rhs) {
+  if (is_zero() || rhs.is_zero()) {
+    limbs_.clear();
+    return *this;
+  }
+  std::vector<std::uint64_t> out(limbs_.size() + rhs.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    unsigned __int128 carry = 0;
+    for (std::size_t j = 0; j < rhs.limbs_.size(); ++j) {
+      unsigned __int128 cur =
+          static_cast<unsigned __int128>(limbs_[i]) * rhs.limbs_[j] +
+          out[i + j] + carry;
+      out[i + j] = static_cast<std::uint64_t>(cur);
+      carry = cur >> kLimbBits;
+    }
+    std::size_t k = i + rhs.limbs_.size();
+    while (carry != 0) {
+      unsigned __int128 cur = carry + out[k];
+      out[k] = static_cast<std::uint64_t>(cur);
+      carry = cur >> kLimbBits;
+      ++k;
+    }
+  }
+  limbs_ = std::move(out);
+  trim();
+  return *this;
+}
+
+BigInt& BigInt::operator&=(const BigInt& rhs) {
+  if (limbs_.size() > rhs.limbs_.size()) limbs_.resize(rhs.limbs_.size());
+  for (std::size_t i = 0; i < limbs_.size(); ++i) limbs_[i] &= rhs.limbs_[i];
+  trim();
+  return *this;
+}
+
+BigInt& BigInt::operator|=(const BigInt& rhs) {
+  if (limbs_.size() < rhs.limbs_.size()) limbs_.resize(rhs.limbs_.size(), 0);
+  for (std::size_t i = 0; i < rhs.limbs_.size(); ++i) {
+    limbs_[i] |= rhs.limbs_[i];
+  }
+  return *this;
+}
+
+BigInt& BigInt::operator^=(const BigInt& rhs) {
+  if (limbs_.size() < rhs.limbs_.size()) limbs_.resize(rhs.limbs_.size(), 0);
+  for (std::size_t i = 0; i < rhs.limbs_.size(); ++i) {
+    limbs_[i] ^= rhs.limbs_[i];
+  }
+  trim();
+  return *this;
+}
+
+BigInt& BigInt::operator<<=(std::size_t bits) {
+  if (is_zero() || bits == 0) return *this;
+  const std::size_t limb_shift = bits / kLimbBits;
+  const std::size_t bit_shift = bits % kLimbBits;
+  std::vector<std::uint64_t> out(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    out[i + limb_shift] |= bit_shift == 0 ? limbs_[i] : (limbs_[i] << bit_shift);
+    if (bit_shift != 0) {
+      out[i + limb_shift + 1] |= limbs_[i] >> (kLimbBits - bit_shift);
+    }
+  }
+  limbs_ = std::move(out);
+  trim();
+  return *this;
+}
+
+BigInt& BigInt::operator>>=(std::size_t bits) {
+  if (is_zero() || bits == 0) return *this;
+  const std::size_t limb_shift = bits / kLimbBits;
+  const std::size_t bit_shift = bits % kLimbBits;
+  if (limb_shift >= limbs_.size()) {
+    limbs_.clear();
+    return *this;
+  }
+  std::vector<std::uint64_t> out(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = bit_shift == 0 ? limbs_[i + limb_shift]
+                            : (limbs_[i + limb_shift] >> bit_shift);
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      out[i] |= limbs_[i + limb_shift + 1] << (kLimbBits - bit_shift);
+    }
+  }
+  limbs_ = std::move(out);
+  trim();
+  return *this;
+}
+
+BigInt& BigInt::truncate(std::size_t k) {
+  const std::size_t full = k / kLimbBits;
+  const std::size_t rem = k % kLimbBits;
+  if (limbs_.size() > full + (rem != 0 ? 1 : 0)) {
+    limbs_.resize(full + (rem != 0 ? 1 : 0));
+  }
+  if (rem != 0 && limbs_.size() == full + 1) {
+    limbs_.back() &= (std::uint64_t{1} << rem) - 1;
+  }
+  trim();
+  return *this;
+}
+
+std::strong_ordering BigInt::operator<=>(const BigInt& rhs) const {
+  if (limbs_.size() != rhs.limbs_.size()) {
+    return limbs_.size() <=> rhs.limbs_.size();
+  }
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != rhs.limbs_[i]) return limbs_[i] <=> rhs.limbs_[i];
+  }
+  return std::strong_ordering::equal;
+}
+
+std::string BigInt::to_hex() const {
+  if (is_zero()) return "0x0";
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    for (std::size_t nib = 16; nib-- > 0;) {
+      const unsigned d = (limbs_[i] >> (nib * 4)) & 0xF;
+      if (out.empty() && d == 0) continue;
+      out.push_back(kDigits[d]);
+    }
+  }
+  return "0x" + out;
+}
+
+std::string BigInt::to_dec() const {
+  if (is_zero()) return "0";
+  // Repeated division by 10^19 (largest power of ten in a u64).
+  constexpr std::uint64_t kChunk = 10'000'000'000'000'000'000ULL;
+  std::vector<std::uint64_t> limbs = limbs_;
+  std::string out;
+  while (!limbs.empty()) {
+    unsigned __int128 rem = 0;
+    for (std::size_t i = limbs.size(); i-- > 0;) {
+      unsigned __int128 cur = (rem << kLimbBits) | limbs[i];
+      limbs[i] = static_cast<std::uint64_t>(cur / kChunk);
+      rem = cur % kChunk;
+    }
+    while (!limbs.empty() && limbs.back() == 0) limbs.pop_back();
+    std::string chunk = std::to_string(static_cast<std::uint64_t>(rem));
+    if (!limbs.empty()) {
+      chunk.insert(chunk.begin(), 19 - chunk.size(), '0');
+    }
+    out.insert(0, chunk);
+  }
+  return out;
+}
+
+std::size_t BigInt::hash() const {
+  // FNV-1a over the limbs.
+  std::size_t h = 1469598103934665603ULL;
+  for (const std::uint64_t limb : limbs_) {
+    h ^= static_cast<std::size_t>(limb);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void BigInt::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+}  // namespace llsc

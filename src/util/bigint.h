@@ -1,0 +1,87 @@
+// Unbounded unsigned integer arithmetic.
+//
+// The paper's Theorem 6.2 needs k-bit objects with k >= n (fetch&and,
+// fetch&or, fetch&complement, fetch&multiply); for experiments with
+// n in the thousands these states do not fit machine words. BigInt is a
+// small, self-contained unsigned bignum sufficient for those object types:
+// add, subtract, multiply, truncation mod 2^k, bitwise ops, single-bit ops,
+// comparison and hex formatting. It is a regular value type (copyable,
+// movable, equality-comparable) per the Core Guidelines.
+#ifndef LLSC_UTIL_BIGINT_H_
+#define LLSC_UTIL_BIGINT_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace llsc {
+
+class BigInt {
+ public:
+  // Zero.
+  BigInt() = default;
+  // From a machine word.
+  explicit BigInt(std::uint64_t v);
+
+  // The integer 2^bit (a single set bit). `bit` may be arbitrarily large.
+  static BigInt pow2(std::size_t bit);
+  // The integer 2^k - 1 (k consecutive set bits), i.e. the all-ones k-bit word.
+  static BigInt ones(std::size_t k);
+  // Parse from a hexadecimal string ("0x" prefix optional). Returns zero for
+  // an empty string. Precondition: all characters are hex digits.
+  static BigInt from_hex(const std::string& hex);
+
+  bool is_zero() const { return limbs_.empty(); }
+  // Value of bit i (i may exceed bit_length(); such bits are 0).
+  bool bit(std::size_t i) const;
+  void set_bit(std::size_t i, bool v);
+  // Number of significant bits (0 for zero).
+  std::size_t bit_length() const;
+  // Low 64 bits.
+  std::uint64_t low64() const { return limbs_.empty() ? 0 : limbs_[0]; }
+  // True iff the value fits in 64 bits.
+  bool fits64() const { return limbs_.size() <= 1; }
+
+  BigInt& operator+=(const BigInt& rhs);
+  // Precondition: *this >= rhs.
+  BigInt& operator-=(const BigInt& rhs);
+  BigInt& operator*=(const BigInt& rhs);
+  BigInt& operator&=(const BigInt& rhs);
+  BigInt& operator|=(const BigInt& rhs);
+  BigInt& operator^=(const BigInt& rhs);
+  BigInt& operator<<=(std::size_t bits);
+  BigInt& operator>>=(std::size_t bits);
+
+  friend BigInt operator+(BigInt a, const BigInt& b) { return a += b; }
+  friend BigInt operator-(BigInt a, const BigInt& b) { return a -= b; }
+  friend BigInt operator*(BigInt a, const BigInt& b) { return a *= b; }
+  friend BigInt operator&(BigInt a, const BigInt& b) { return a &= b; }
+  friend BigInt operator|(BigInt a, const BigInt& b) { return a |= b; }
+  friend BigInt operator^(BigInt a, const BigInt& b) { return a ^= b; }
+  friend BigInt operator<<(BigInt a, std::size_t b) { return a <<= b; }
+  friend BigInt operator>>(BigInt a, std::size_t b) { return a >>= b; }
+
+  // Truncate to the low k bits (value mod 2^k).
+  BigInt& truncate(std::size_t k);
+
+  bool operator==(const BigInt& rhs) const { return limbs_ == rhs.limbs_; }
+  std::strong_ordering operator<=>(const BigInt& rhs) const;
+
+  // Lowercase hex with "0x" prefix ("0x0" for zero).
+  std::string to_hex() const;
+  // Decimal rendering (O(bits^2); fine at experiment scales).
+  std::string to_dec() const;
+
+  // Stable hash of the value.
+  std::size_t hash() const;
+
+ private:
+  void trim();
+  // Little-endian 64-bit limbs; no trailing zero limb (zero == empty).
+  std::vector<std::uint64_t> limbs_;
+};
+
+}  // namespace llsc
+
+#endif  // LLSC_UTIL_BIGINT_H_

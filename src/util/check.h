@@ -1,0 +1,51 @@
+// Contract-checking helpers used throughout the library.
+//
+// These follow the Core Guidelines "Expects/Ensures" spirit: preconditions
+// and invariants are checked unconditionally (the simulator is a correctness
+// tool; a silent contract violation would invalidate every experiment built
+// on top of it) and abort with a source location and message.
+#ifndef LLSC_UTIL_CHECK_H_
+#define LLSC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace llsc {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line,
+                                          const std::string& msg) {
+  std::fprintf(stderr, "%s failed: %s at %s:%d%s%s\n", kind, expr, file, line,
+               msg.empty() ? "" : " — ", msg.c_str());
+  std::abort();
+}
+
+}  // namespace llsc
+
+// Precondition check. Usage: LLSC_EXPECTS(n > 0) or
+// LLSC_EXPECTS(n > 0, "n-process system needs n >= 1").
+#define LLSC_EXPECTS(cond, ...)                                       \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::llsc::contract_failure("precondition", #cond, __FILE__,       \
+                               __LINE__, ::std::string(__VA_ARGS__)); \
+    }                                                                 \
+  } while (false)
+
+// Internal-invariant check.
+#define LLSC_CHECK(cond, ...)                                         \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::llsc::contract_failure("invariant", #cond, __FILE__,          \
+                               __LINE__, ::std::string(__VA_ARGS__)); \
+    }                                                                 \
+  } while (false)
+
+// Unreachable-code marker.
+#define LLSC_UNREACHABLE(msg)                                              \
+  ::llsc::contract_failure("unreachable", msg, __FILE__, __LINE__, \
+                           ::std::string())
+
+#endif  // LLSC_UTIL_CHECK_H_

@@ -1,0 +1,55 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything in this library that is "random" — sampled toss assignments,
+// random schedulers, property-test inputs — draws from Rng seeded
+// explicitly, so every experiment and test is replayable from its seed.
+// The generator is xoshiro256**, seeded through splitmix64.
+#ifndef LLSC_UTIL_RNG_H_
+#define LLSC_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace llsc {
+
+// splitmix64 step: good for seeding and for stateless hashing of (seed, i)
+// pairs (used by lazily-materialized toss assignments).
+std::uint64_t splitmix64(std::uint64_t& state);
+
+// Stateless mix of a 64-bit value (one splitmix64 round).
+std::uint64_t mix64(std::uint64_t x);
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+  // Uniform in [0, bound). Precondition: bound > 0. Uses rejection sampling,
+  // so the distribution is exactly uniform.
+  std::uint64_t next_below(std::uint64_t bound);
+  // Uniform in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi);
+  bool next_bool() { return next_u64() & 1; }
+  // Uniform double in [0, 1).
+  double next_double();
+
+  // Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Derive an independent child generator (for per-process streams).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace llsc
+
+#endif  // LLSC_UTIL_RNG_H_

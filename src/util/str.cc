@@ -1,0 +1,43 @@
+#include "util/str.h"
+
+#include <cmath>
+
+namespace llsc {
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::size_t ceil_log2(std::size_t n) {
+  if (n <= 1) return 0;
+  std::size_t bits = 0;
+  std::size_t v = n - 1;
+  while (v != 0) {
+    v >>= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+std::size_t floor_log2(std::size_t n) {
+  std::size_t bits = 0;
+  while (n > 1) {
+    n >>= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+std::size_t ceil_log4(std::size_t n) {
+  return (ceil_log2(n) + 1) / 2;
+}
+
+double log4(double n) { return std::log2(n) / 2.0; }
+
+}  // namespace llsc

@@ -1,0 +1,30 @@
+// Small string helpers shared by traces, benches and examples.
+#ifndef LLSC_UTIL_STR_H_
+#define LLSC_UTIL_STR_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace llsc {
+
+// Join the elements of `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+// ceil(log2(n)) for n >= 1; 0 for n <= 1.
+std::size_t ceil_log2(std::size_t n);
+
+// floor(log2(n)) for n >= 1. Precondition: n >= 1.
+std::size_t floor_log2(std::size_t n);
+
+// ceil(log4(n)) for n >= 1; 0 for n <= 1. This is the paper's bound
+// "log_4 n" rounded up to a step count.
+std::size_t ceil_log4(std::size_t n);
+
+// log base 4 as a double (the exact bound in Theorem 6.1).
+double log4(double n);
+
+}  // namespace llsc
+
+#endif  // LLSC_UTIL_STR_H_

@@ -1,0 +1,252 @@
+#include "wakeup/algorithms.h"
+
+#include "runtime/sub_task.h"
+#include "util/check.h"
+
+namespace llsc {
+
+namespace {
+
+// Tree geometry shared by the tournament-style algorithms: a heap-indexed
+// complete binary tree (root = node 1) with `leaves(n)` leaves; process p
+// owns leaf `leaves(n) + p`, registered at the node id itself.
+std::uint64_t leaves(int n) {
+  std::uint64_t m = 2;
+  while (m < static_cast<std::uint64_t>(n)) m *= 2;
+  return m;
+}
+
+const UpSetVal& as_upset(const Value& v) {
+  static const UpSetVal kEmpty;
+  if (v.is_nil()) return kEmpty;
+  const UpSetVal* set = v.get_if<UpSetVal>();
+  LLSC_CHECK(set != nullptr, "register does not hold an UpSetVal");
+  return *set;
+}
+
+// Core combining-tree climb from p's leaf to the root: two merge attempts
+// per node (LL; read both children; SC the merge), then a root read.
+// Because the two subtrees under a node are disjoint, a node only needs
+// the COUNT of up-processes in its subtree (leaf = 1, merge = sum): counts
+// are monotone under successful writes exactly like the subtree up-sets,
+// and the root count reaching n certifies that everyone announced.
+// `randomized` adds toss-driven read orders and probe operations without
+// changing the information flow. Returns 1 iff the root count equals n.
+SubTask<Value> tree_wakeup_body(ProcCtx ctx, ProcId i, int n,
+                                bool randomized) {
+  const std::uint64_t m = leaves(n);
+  const RegId leaf = m + static_cast<std::uint64_t>(i);
+
+  co_await ctx.swap(leaf, Value::of_u64(1));
+
+  const auto count_of = [](const Value& v) {
+    return v.is_nil() ? 0 : v.as_u64();
+  };
+  for (std::uint64_t node = leaf / 2; node >= 1; node /= 2) {
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      const Value cur = co_await ctx.ll(node);
+      (void)cur;  // the merge is rebuilt from the children
+      bool left_first = true;
+      if (randomized) {
+        // NOTE: co_await must never appear inside an if/while/switch
+        // condition — GCC 12's coroutine codegen inserts spurious
+        // suspensions there (see Process::resume); bind to a local first.
+        const std::uint64_t coin = co_await ctx.toss(2);
+        left_first = coin == 0;
+      }
+      const RegId first = left_first ? 2 * node : 2 * node + 1;
+      const RegId second = left_first ? 2 * node + 1 : 2 * node;
+      const Value a = co_await ctx.read(first);
+      const Value b = co_await ctx.read(second);
+      const Value merged = Value::of_u64(count_of(a) + count_of(b));
+      co_await ctx.sc(node, merged);
+      if (randomized) {
+        const std::uint64_t probe_coin = co_await ctx.toss(4);
+        if (probe_coin == 0) {
+          // An information-free probe of a random tree register.
+          const RegId probe = 1 + (co_await ctx.toss(2 * m - 1));
+          (void)co_await ctx.validate(probe);
+        }
+      }
+    }
+  }
+
+  const Value root = co_await ctx.read(1);
+  const bool all_up = count_of(root) == static_cast<std::uint64_t>(n);
+  co_return Value::of_u64(all_up ? 1 : 0);
+}
+
+// SimTask adapter for the tree climb.
+SimTask run_tree_wakeup(ProcCtx ctx, ProcId i, int n, bool randomized) {
+  co_return co_await tree_wakeup_body(ctx, i, n, randomized);
+}
+
+SimTask counter_body(ProcCtx ctx, ProcId, int n) {
+  // LL/SC retry loop on a single counter register. Lock-free rather than
+  // wait-free: under the Fig. 2 adversary the last finisher retries Θ(n)
+  // times (one SC per register succeeds per round).
+  for (;;) {
+    const Value v = co_await ctx.ll(0);
+    const std::uint64_t c = v.is_nil() ? 0 : v.as_u64();
+    const ScResult r = co_await ctx.sc(0, Value::of_u64(c + 1));
+    if (r.ok) {
+      co_return Value::of_u64(c + 1 == static_cast<std::uint64_t>(n) ? 1 : 0);
+    }
+  }
+}
+
+SimTask swap_mix_body(ProcCtx ctx, ProcId i, int n) {
+  // Announce with a swap into a staging register, move the announcement
+  // into the tree leaf, then run the combining climb — all five operation
+  // types appear in one correct wakeup algorithm.
+  const std::uint64_t m = leaves(n);
+  const RegId staging = 2 * m + static_cast<std::uint64_t>(i);
+  const RegId leaf = m + static_cast<std::uint64_t>(i);
+
+  UpSetVal mine;
+  mine.ups.insert(i);
+  co_await ctx.swap(staging, Value::of(std::move(mine)));
+  co_await ctx.move(staging, leaf);
+
+  for (std::uint64_t node = leaf / 2; node >= 1; node /= 2) {
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      (void)co_await ctx.ll(node);
+      const Value a = co_await ctx.read(2 * node);
+      const Value b = co_await ctx.read(2 * node + 1);
+      UpSetVal merged = as_upset(a);
+      const UpSetVal& other = as_upset(b);
+      merged.ups.insert(other.ups.begin(), other.ups.end());
+      co_await ctx.sc(node, Value::of(std::move(merged)));
+    }
+  }
+
+  const Value root = co_await ctx.read(1);
+  const bool all_up = as_upset(root).ups.size() == static_cast<std::size_t>(n);
+  co_return Value::of_u64(all_up ? 1 : 0);
+}
+
+SimTask backoff_counter_body(ProcCtx ctx, ProcId, int n) {
+  for (;;) {
+    const Value v = co_await ctx.ll(0);
+    const std::uint64_t c = v.is_nil() ? 0 : v.as_u64();
+    const ScResult r = co_await ctx.sc(0, Value::of_u64(c + 1));
+    if (r.ok) {
+      co_return Value::of_u64(c + 1 == static_cast<std::uint64_t>(n) ? 1 : 0);
+    }
+    // Random backoff: 0-3 information-free probes before retrying.
+    const std::uint64_t backoff = co_await ctx.toss(4);
+    for (std::uint64_t b = 0; b < backoff; ++b) {
+      (void)co_await ctx.validate(1);
+    }
+  }
+}
+
+SimTask flaky_body(ProcCtx ctx, ProcId i, int n, std::uint64_t denominator) {
+  // co_await must not appear inside a condition (GCC 12 coroutine codegen
+  // bug — see Process::resume); bind to a local first.
+  const std::uint64_t spin_coin = co_await ctx.toss(denominator);
+  if (spin_coin == 0) {
+    for (;;) (void)co_await ctx.validate(0);  // never terminates
+  }
+  co_return co_await tree_wakeup_body(ctx, i, n, /*randomized=*/false);
+}
+
+SimTask cheating_body(ProcCtx ctx, std::uint64_t ops) {
+  for (std::uint64_t j = 0; j < ops; ++j) (void)co_await ctx.validate(0);
+  co_return Value::of_u64(1);  // wrong on purpose: claims everyone is up
+}
+
+SimTask rmw_wakeup_body(ProcCtx ctx, int n) {
+  const Value old = co_await ctx.rmw(
+      0, make_rmw("wakeup-inc", [](const Value& cur) {
+        return Value::of_u64(cur.is_nil() ? 1 : cur.as_u64() + 1);
+      }));
+  const std::uint64_t before = old.is_nil() ? 0 : old.as_u64();
+  co_return Value::of_u64(
+      before == static_cast<std::uint64_t>(n) - 1 ? 1 : 0);
+}
+
+SimTask random_mix_task(ProcCtx ctx, ProcId i, int steps, RegId regs) {
+  LLSC_EXPECTS(regs >= 2, "random mix needs at least two registers");
+  for (int s = 0; s < steps; ++s) {
+    const std::uint64_t kind = co_await ctx.toss(5);
+    const RegId r = co_await ctx.toss(regs);
+    const Value payload = Value::of_u64(
+        static_cast<std::uint64_t>(i) * 1000003ULL +
+        static_cast<std::uint64_t>(s));
+    switch (kind) {
+      case 0:
+        (void)co_await ctx.ll(r);
+        break;
+      case 1:
+        (void)co_await ctx.sc(r, payload);
+        break;
+      case 2:
+        (void)co_await ctx.validate(r);
+        break;
+      case 3:
+        (void)co_await ctx.swap(r, payload);
+        break;
+      case 4: {
+        RegId dst = co_await ctx.toss(regs - 1);
+        if (dst >= r) ++dst;  // self-moves are excluded from the model
+        co_await ctx.move(r, dst);
+        break;
+      }
+      default:
+        LLSC_UNREACHABLE("toss(5) out of range");
+    }
+  }
+  co_return Value::of_u64(0);
+}
+
+}  // namespace
+
+ProcBody tournament_wakeup() {
+  return [](ProcCtx ctx, ProcId i, int n) {
+    return run_tree_wakeup(ctx, i, n, /*randomized=*/false);
+  };
+}
+
+ProcBody counter_wakeup() {
+  return [](ProcCtx ctx, ProcId i, int n) { return counter_body(ctx, i, n); };
+}
+
+ProcBody swap_mix_wakeup() {
+  return [](ProcCtx ctx, ProcId i, int n) { return swap_mix_body(ctx, i, n); };
+}
+
+ProcBody randomized_tournament_wakeup() {
+  return [](ProcCtx ctx, ProcId i, int n) {
+    return run_tree_wakeup(ctx, i, n, /*randomized=*/true);
+  };
+}
+
+ProcBody backoff_counter_wakeup() {
+  return [](ProcCtx ctx, ProcId i, int n) {
+    return backoff_counter_body(ctx, i, n);
+  };
+}
+
+ProcBody flaky_wakeup(std::uint64_t denominator) {
+  LLSC_EXPECTS(denominator >= 2, "denominator must be at least 2");
+  return [denominator](ProcCtx ctx, ProcId i, int n) {
+    return flaky_body(ctx, i, n, denominator);
+  };
+}
+
+ProcBody cheating_wakeup(std::uint64_t ops) {
+  return [ops](ProcCtx ctx, ProcId, int) { return cheating_body(ctx, ops); };
+}
+
+ProcBody rmw_wakeup() {
+  return [](ProcCtx ctx, ProcId, int n) { return rmw_wakeup_body(ctx, n); };
+}
+
+ProcBody random_mix_body(int steps, RegId regs) {
+  return [steps, regs](ProcCtx ctx, ProcId i, int) {
+    return random_mix_task(ctx, i, steps, regs);
+  };
+}
+
+}  // namespace llsc

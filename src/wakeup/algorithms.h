@@ -1,0 +1,82 @@
+// Direct wakeup algorithms over raw LL/SC/VL/swap/move shared memory.
+//
+// These exhibit the whole complexity spectrum the paper frames:
+//
+//   tournament_wakeup       Θ(log n) per process — a combining tree of
+//                           up-sets, matching the Ω(log n) lower bound up
+//                           to the constant (the same technique that makes
+//                           the Group-Update construction O(log n));
+//   counter_wakeup          the naive LL/SC retry counter: lock-free, the
+//                           adversary forces Θ(n) on the last finisher;
+//   swap_mix_wakeup         a tournament variant whose announce and probe
+//                           steps use swap and move, exercising all five
+//                           operation types under the adversary;
+//   randomized_tournament_wakeup
+//                           coin tosses choose probe patterns and read
+//                           orders; terminates with probability 1 — the
+//                           randomized-lower-bound subject (E4);
+//   flaky_wakeup(d)         with probability 1/d a process spins forever:
+//                           terminates with probability c = (1-1/d)^n,
+//                           exercising Lemma 3.1's "terminates with
+//                           probability c" setting;
+//   cheating_wakeup(k)      deliberately WRONG: returns 1 after k
+//                           operations regardless. Used to demonstrate the
+//                           Theorem 6.1 machinery catching a sub-log-n
+//                           "solution" via an (S,A)-run witness;
+//   random_mix_body(steps, regs)
+//                           not a wakeup solution at all: every process
+//                           performs `steps` toss-driven random operations
+//                           (all five kinds) over `regs` registers and
+//                           returns 0. Lemma 5.1/5.2 hold for arbitrary
+//                           algorithms, and the property tests use this to
+//                           exercise them far from the happy path.
+#ifndef LLSC_WAKEUP_ALGORITHMS_H_
+#define LLSC_WAKEUP_ALGORITHMS_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "runtime/process.h"
+#include "util/rng.h"
+
+namespace llsc {
+
+// Register payload used by the tree-based wakeups: the set of processes
+// known to be up in some subtree.
+struct UpSetVal {
+  std::set<ProcId> ups;
+
+  bool operator==(const UpSetVal&) const = default;
+  std::string to_string() const {
+    return "up{" + std::to_string(ups.size()) + "}";
+  }
+  std::size_t hash() const {
+    std::size_t h = 0x9E3779B97F4A7C15ULL;
+    for (const ProcId p : ups) h = mix64(h ^ static_cast<std::uint64_t>(p));
+    return h;
+  }
+};
+
+ProcBody tournament_wakeup();
+ProcBody counter_wakeup();
+ProcBody swap_mix_wakeup();
+ProcBody randomized_tournament_wakeup();
+// LL/SC retry counter with toss-driven backoff probes after each failed
+// SC: run length genuinely varies with the toss assignment (unlike the
+// randomized tournament, whose op count is fixed), so expected-complexity
+// estimates average over distinct run shapes.
+ProcBody backoff_counter_wakeup();
+ProcBody flaky_wakeup(std::uint64_t denominator);
+ProcBody cheating_wakeup(std::uint64_t ops);
+ProcBody random_mix_body(int steps, RegId regs);
+// Wakeup over read-modify-write memory — the problem's ORIGINAL setting
+// (Fischer–Moran–Rudich–Taubenfeld [16], cited in the paper's §2): one RMW
+// increment-and-observe per process solves wakeup. With RMW available the
+// Ω(log n) bound evaporates to 1; correspondingly the Fig. 2 adversary
+// refuses to schedule this algorithm (RMW is outside its operation set).
+ProcBody rmw_wakeup();
+
+}  // namespace llsc
+
+#endif  // LLSC_WAKEUP_ALGORITHMS_H_

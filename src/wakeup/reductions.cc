@@ -1,0 +1,249 @@
+#include "wakeup/reductions.h"
+
+#include "objects/arith.h"
+#include "objects/basic.h"
+#include "objects/bitwise.h"
+#include "objects/containers.h"
+#include "util/check.h"
+#include "util/str.h"
+
+namespace llsc {
+
+namespace {
+
+// Bit width for the k >= log n objects (fetch&increment, counter): enough
+// bits that n distinct values fit.
+unsigned log_bits(int n) {
+  return static_cast<unsigned>(ceil_log2(static_cast<std::size_t>(n)) + 1);
+}
+
+// --- per-reduction wakeup recipes (each a coroutine over the UC) ---
+
+SimTask fai_body(ProcCtx ctx, int n, UniversalConstruction* uc) {
+  // Braced-init temporaries must not appear inside co_await expressions
+  // (GCC 12 double-destroys them; see runtime/sub_task.h) — every op below
+  // is hoisted into a named local first.
+  ObjOp op{"fetch&increment", {}};
+  const Value r = co_await uc->execute(ctx, std::move(op));
+  co_return Value::of_u64(
+      r.as_u64() == static_cast<std::uint64_t>(n) - 1 ? 1 : 0);
+}
+
+SimTask fand_body(ProcCtx ctx, ProcId i, int n, UniversalConstruction* uc) {
+  // v_i: all ones except bit i. Response with 0s in the first n bits except
+  // bit i means everyone else already ANDed theirs.
+  BigInt v = BigInt::ones(static_cast<std::size_t>(n));
+  v.set_bit(static_cast<std::size_t>(i), false);
+  ObjOp op{"fetch&and", Value::of_big(v)};
+  const Value r = co_await uc->execute(ctx, std::move(op));
+  co_return Value::of_u64(
+      r.as_big() == BigInt::pow2(static_cast<std::size_t>(i)) ? 1 : 0);
+}
+
+SimTask for_body(ProcCtx ctx, ProcId i, int n, UniversalConstruction* uc) {
+  // Dual of fetch&and over an all-zero initial state: OR in bit i; the
+  // last process sees every bit but possibly its own already set.
+  const BigInt mine = BigInt::pow2(static_cast<std::size_t>(i));
+  ObjOp op{"fetch&or", Value::of_big(mine)};
+  const Value r = co_await uc->execute(ctx, std::move(op));
+  BigInt expected = BigInt::ones(static_cast<std::size_t>(n));
+  expected ^= mine;  // all first-n bits except bit i
+  co_return Value::of_u64(r.as_big() == expected ? 1 : 0);
+}
+
+SimTask fxor_body(ProcCtx ctx, ProcId i, int n, UniversalConstruction* uc) {
+  // XOR in bit i of an all-zero word (each process exactly once): the last
+  // process sees every other bit already set — same shape as complement.
+  const BigInt mine = BigInt::pow2(static_cast<std::size_t>(i));
+  ObjOp op{"fetch&xor", Value::of_big(mine)};
+  const Value r = co_await uc->execute(ctx, std::move(op));
+  BigInt expected = BigInt::ones(static_cast<std::size_t>(n));
+  expected ^= mine;
+  co_return Value::of_u64(r.as_big() == expected ? 1 : 0);
+}
+
+SimTask fcompl_body(ProcCtx ctx, ProcId i, int n, UniversalConstruction* uc) {
+  // Everyone flips their own bit of an all-zero word exactly once; the
+  // last process sees every other bit already flipped to 1.
+  ObjOp op{"fetch&complement", Value::of_u64(static_cast<std::uint64_t>(i))};
+  const Value r = co_await uc->execute(ctx, std::move(op));
+  BigInt expected = BigInt::ones(static_cast<std::size_t>(n));
+  expected.set_bit(static_cast<std::size_t>(i), false);
+  co_return Value::of_u64(r.as_big() == expected ? 1 : 0);
+}
+
+SimTask fmul_body(ProcCtx ctx, int n, UniversalConstruction* uc) {
+  // Response 2^(n-1) witnesses exactly n-1 earlier multiplications (see
+  // the header comment on the deviation from the paper's "response is 0").
+  ObjOp op{"fetch&multiply", Value::of_big(BigInt(2))};
+  const Value r = co_await uc->execute(ctx, std::move(op));
+  co_return Value::of_u64(
+      r.as_big() == BigInt::pow2(static_cast<std::size_t>(n) - 1) ? 1 : 0);
+}
+
+SimTask queue_body(ProcCtx ctx, int n, UniversalConstruction* uc) {
+  // Queue initially holds 1..n with n at the rear; the dequeuer of n is
+  // the n-th dequeuer.
+  ObjOp op{"dequeue", {}};
+  const Value r = co_await uc->execute(ctx, std::move(op));
+  co_return Value::of_u64(
+      r.holds_u64() && r.as_u64() == static_cast<std::uint64_t>(n) ? 1 : 0);
+}
+
+SimTask stack_body(ProcCtx ctx, int n, UniversalConstruction* uc) {
+  // Stack initially holds n..1 bottom-to-top; popping the bottom item (n)
+  // means n-1 pops happened first.
+  ObjOp op{"pop", {}};
+  const Value r = co_await uc->execute(ctx, std::move(op));
+  co_return Value::of_u64(
+      r.holds_u64() && r.as_u64() == static_cast<std::uint64_t>(n) ? 1 : 0);
+}
+
+SimTask pqueue_body(ProcCtx ctx, int n, UniversalConstruction* uc) {
+  // Priority queue initially holding keys 1..n: delete-min hands out keys
+  // in ascending order, so the process receiving n is the n-th deleter.
+  ObjOp op{"delete-min", {}};
+  const Value r = co_await uc->execute(ctx, std::move(op));
+  co_return Value::of_u64(
+      r.holds_u64() && r.as_u64() == static_cast<std::uint64_t>(n) ? 1 : 0);
+}
+
+SimTask counter_body(ProcCtx ctx, int n, UniversalConstruction* uc) {
+  // The theorem's item 4: increment (ack only), then read; the reader who
+  // sees n knows everyone incremented. Two operations per process.
+  ObjOp inc{"increment", {}};
+  (void)co_await uc->execute(ctx, std::move(inc));
+  ObjOp read{"read", {}};
+  const Value r = co_await uc->execute(ctx, std::move(read));
+  co_return Value::of_u64(
+      r.as_u64() == static_cast<std::uint64_t>(n) ? 1 : 0);
+}
+
+}  // namespace
+
+const std::vector<ObjectReduction>& all_reductions() {
+  static const std::vector<ObjectReduction> kAll = {
+      {"fetch&increment", 1}, {"fetch&and", 1},  {"fetch&or", 1},
+      {"fetch&xor", 1},       {"fetch&complement", 1},
+      {"fetch&multiply", 1},  {"queue", 1},      {"stack", 1},
+      {"priority-queue", 1},  {"read+increment", 2},
+  };
+  return kAll;
+}
+
+ObjectFactory reduction_object_factory(const std::string& name, int n) {
+  LLSC_EXPECTS(n >= 1, "need at least one process");
+  const auto bits = static_cast<std::size_t>(n);
+  if (name == "fetch&increment") {
+    return [b = log_bits(n)] {
+      return std::make_unique<FetchAddObject>(b, 0);
+    };
+  }
+  if (name == "fetch&and") {
+    return [bits] {
+      return std::make_unique<BitwiseObject>(bits, BigInt::ones(bits));
+    };
+  }
+  if (name == "fetch&or" || name == "fetch&xor") {
+    return [bits] { return std::make_unique<BitwiseObject>(bits, BigInt()); };
+  }
+  if (name == "fetch&complement") {
+    return [bits] {
+      return std::make_unique<FetchComplementObject>(bits, BigInt());
+    };
+  }
+  if (name == "fetch&multiply") {
+    return [bits] {
+      return std::make_unique<FetchMultiplyObject>(bits, BigInt(1));
+    };
+  }
+  if (name == "queue") {
+    return [n] {
+      std::vector<Value> items;
+      for (int k = 1; k <= n; ++k) {
+        items.push_back(Value::of_u64(static_cast<std::uint64_t>(k)));
+      }
+      return std::make_unique<QueueObject>(std::move(items));
+    };
+  }
+  if (name == "stack") {
+    return [n] {
+      std::vector<Value> items;  // bottom first: n, n-1, ..., 1
+      for (int k = n; k >= 1; --k) {
+        items.push_back(Value::of_u64(static_cast<std::uint64_t>(k)));
+      }
+      return std::make_unique<StackObject>(std::move(items));
+    };
+  }
+  if (name == "priority-queue") {
+    return [n] {
+      std::vector<std::uint64_t> keys;
+      for (int k = 1; k <= n; ++k) {
+        keys.push_back(static_cast<std::uint64_t>(k));
+      }
+      return std::make_unique<PriorityQueueObject>(std::move(keys));
+    };
+  }
+  if (name == "read+increment") {
+    return [b = log_bits(n)] { return std::make_unique<CounterObject>(b, 0); };
+  }
+  LLSC_EXPECTS(false, "unknown reduction: " + name);
+  return nullptr;
+}
+
+ProcBody reduction_wakeup_body(const std::string& name,
+                               UniversalConstruction& uc) {
+  UniversalConstruction* ucp = &uc;
+  if (name == "fetch&increment") {
+    return [ucp](ProcCtx ctx, ProcId, int n) { return fai_body(ctx, n, ucp); };
+  }
+  if (name == "fetch&and") {
+    return [ucp](ProcCtx ctx, ProcId i, int n) {
+      return fand_body(ctx, i, n, ucp);
+    };
+  }
+  if (name == "fetch&or") {
+    return [ucp](ProcCtx ctx, ProcId i, int n) {
+      return for_body(ctx, i, n, ucp);
+    };
+  }
+  if (name == "fetch&xor") {
+    return [ucp](ProcCtx ctx, ProcId i, int n) {
+      return fxor_body(ctx, i, n, ucp);
+    };
+  }
+  if (name == "fetch&complement") {
+    return [ucp](ProcCtx ctx, ProcId i, int n) {
+      return fcompl_body(ctx, i, n, ucp);
+    };
+  }
+  if (name == "fetch&multiply") {
+    return [ucp](ProcCtx ctx, ProcId, int n) {
+      return fmul_body(ctx, n, ucp);
+    };
+  }
+  if (name == "queue") {
+    return [ucp](ProcCtx ctx, ProcId, int n) {
+      return queue_body(ctx, n, ucp);
+    };
+  }
+  if (name == "stack") {
+    return [ucp](ProcCtx ctx, ProcId, int n) {
+      return stack_body(ctx, n, ucp);
+    };
+  }
+  if (name == "priority-queue") {
+    return [ucp](ProcCtx ctx, ProcId, int n) {
+      return pqueue_body(ctx, n, ucp);
+    };
+  }
+  if (name == "read+increment") {
+    return [ucp](ProcCtx ctx, ProcId, int n) {
+      return counter_body(ctx, n, ucp);
+    };
+  }
+  LLSC_EXPECTS(false, "unknown reduction: " + name);
+  return nullptr;
+}
+
+}  // namespace llsc

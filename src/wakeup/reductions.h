@@ -1,0 +1,59 @@
+// Theorem 6.2 object reductions.
+//
+// For each object type listed by the theorem there is a wakeup algorithm
+// in which every process performs at most k operations on a single shared
+// object of that type (k = 1 for items 1-3, k = 2 for read+increment).
+// By Corollary 6.1, any linearizable n-process implementation of such a
+// type over LL/SC/VL/swap/move memory therefore has worst-case expected
+// shared-access time complexity at least (1/k)·log_4 n.
+//
+// Each reduction bundles: the correctly initialized sequential object (the
+// theorem fixes the initial state — queue holding 1..n, fetch&and holding
+// all ones, ...), the per-process wakeup recipe, and k. Running a
+// reduction through an *oblivious* universal construction (src/universal)
+// realizes the paper's punchline: no matter the type, the implemented
+// operation costs Ω(log n) shared-memory steps, so constant-time
+// implementations must exploit type semantics.
+//
+// One deviation from the paper's text, documented in EXPERIMENTS.md: for
+// fetch&multiply the paper says "if O's response is 0, return 1", but with
+// each of n processes multiplying the initial state 1 by 2 exactly once,
+// no response is ever 0 (the last response is 2^(n-1); only the state
+// afterwards overflows k = n bits to 0). We return 1 iff the response is
+// 2^(n-1), which witnesses exactly n-1 prior operations — the inference
+// the recipe needs.
+#ifndef LLSC_WAKEUP_REDUCTIONS_H_
+#define LLSC_WAKEUP_REDUCTIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "objects/object.h"
+#include "runtime/process.h"
+#include "universal/universal.h"
+
+namespace llsc {
+
+struct ObjectReduction {
+  std::string name;     // "fetch&increment", "queue", ...
+  int ops_per_process;  // the theorem's k
+};
+
+// The eight reductions of Theorem 6.2, plus two natural extensions the
+// same argument covers (fetch&xor, behaving like fetch&complement, and a
+// priority queue, behaving like queue/stack: the n-th removal is
+// identifiable).
+const std::vector<ObjectReduction>& all_reductions();
+
+// Sequential object for reduction `name`, initialized as the theorem
+// prescribes for n processes.
+ObjectFactory reduction_object_factory(const std::string& name, int n);
+
+// The wakeup algorithm for reduction `name`, performing its operations on
+// the object implemented by `uc`. `uc` must outlive the System.
+ProcBody reduction_wakeup_body(const std::string& name,
+                               UniversalConstruction& uc);
+
+}  // namespace llsc
+
+#endif  // LLSC_WAKEUP_REDUCTIONS_H_

@@ -1,0 +1,71 @@
+#include "wakeup/spec.h"
+
+#include <algorithm>
+
+namespace llsc {
+
+std::string WakeupCheckResult::summary() const {
+  return std::string(ok ? "OK" : "VIOLATED") + " (" +
+         std::to_string(num_winners) + " winner(s), " +
+         std::to_string(violations.size()) + " violation(s))";
+}
+
+WakeupCheckResult check_wakeup_run(const System& sys) {
+  WakeupCheckResult res;
+  const int n = sys.num_processes();
+  const auto violation = [&res](std::string msg) {
+    res.ok = false;
+    res.violations.push_back(std::move(msg));
+  };
+
+  // (1) termination with a 0/1 result.
+  bool all_done = true;
+  for (ProcId p = 0; p < n; ++p) {
+    const Process& proc = sys.process(p);
+    if (!proc.done()) {
+      all_done = false;
+      violation("p" + std::to_string(p) + " did not terminate");
+      continue;
+    }
+    const Value& r = proc.result();
+    if (!r.holds_u64() || r.as_u64() > 1) {
+      violation("p" + std::to_string(p) + " returned " + r.to_string() +
+                " (not 0/1)");
+    }
+  }
+
+  // Earliest 1-return, by completion clock.
+  std::uint64_t earliest_win = 0;
+  for (ProcId p = 0; p < n; ++p) {
+    const Process& proc = sys.process(p);
+    if (!proc.done() || !proc.result().holds_u64() ||
+        proc.result().as_u64() != 1) {
+      continue;
+    }
+    ++res.num_winners;
+    const std::uint64_t t = sys.completion_event(p);
+    if (earliest_win == 0 || t < earliest_win) earliest_win = t;
+  }
+
+  // (2) someone returns 1 whenever everyone terminated.
+  if (all_done && res.num_winners == 0) {
+    violation("all processes terminated but none returned 1");
+  }
+
+  // (3) every process stepped strictly before the first 1-return.
+  if (res.num_winners > 0) {
+    for (ProcId p = 0; p < n; ++p) {
+      const std::uint64_t first = sys.first_event(p);
+      // A return happens immediately after the returner's final step, so a
+      // first step *at* the winning clock value (necessarily the winner's
+      // own, since steps are serialized) precedes the return.
+      if (first == 0 || first > earliest_win) {
+        violation("p" + std::to_string(p) +
+                  " had not taken a step before the first 1-return");
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace llsc

@@ -1,0 +1,39 @@
+// The wakeup problem (paper Section 1.1) and its run checker.
+//
+// Specification, for n processes:
+//   (1) every process terminates in a finite number of its own steps,
+//       returning 0 or 1;
+//   (2) in every run in which all processes terminate, at least one
+//       process returns 1;
+//   (3) in every run in which one or more processes return 1, every
+//       process takes at least one step before any process returns 1.
+//
+// Intuitively: whoever wakes up last must detect that everyone is up.
+// check_wakeup_run() verifies (1)-(3) on a finished System, using the
+// System's event clock (which ticks on coin tosses as well as shared
+// steps, matching the paper's notion of "step").
+#ifndef LLSC_WAKEUP_SPEC_H_
+#define LLSC_WAKEUP_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "runtime/system.h"
+
+namespace llsc {
+
+struct WakeupCheckResult {
+  bool ok = true;
+  std::vector<std::string> violations;
+  int num_winners = 0;  // processes that returned 1
+
+  std::string summary() const;
+};
+
+// Checks the wakeup conditions on a run that was driven to completion (or
+// to a step cap — non-termination is reported as a violation of (1)).
+WakeupCheckResult check_wakeup_run(const System& sys);
+
+}  // namespace llsc
+
+#endif  // LLSC_WAKEUP_SPEC_H_

@@ -1,0 +1,98 @@
+// Tests for the Section 7 register-width auditor: log-time wakeup fits in
+// O(log n)-bit registers; the log-time universal construction does not.
+#include "core/audit.h"
+
+#include <gtest/gtest.h>
+
+#include "core/adversary.h"
+#include "objects/arith.h"
+#include "sched/scheduler.h"
+#include "universal/group_update.h"
+#include "util/str.h"
+#include "wakeup/algorithms.h"
+
+namespace llsc {
+namespace {
+
+TEST(Value, EncodedBits) {
+  EXPECT_EQ(Value{}.encoded_bits(), 0u);
+  EXPECT_EQ(Value::of_u64(0).encoded_bits(), 1u);
+  EXPECT_EQ(Value::of_u64(1).encoded_bits(), 1u);
+  EXPECT_EQ(Value::of_u64(255).encoded_bits(), 8u);
+  EXPECT_EQ(Value::of_u64(256).encoded_bits(), 9u);
+  EXPECT_EQ(Value::of_big(BigInt::pow2(100)).encoded_bits(), 101u);
+  EXPECT_EQ(Value::of_string("ab").encoded_bits(), 16u);
+  // Structured payloads without an encoded_bits hook are unbounded.
+  EXPECT_EQ(Value::of(UpSetVal{{1, 2}}).encoded_bits(), ~std::size_t{0});
+}
+
+TEST(Audit, TournamentFitsLogNBitRegisters) {
+  for (const int n : {4, 16, 64, 256}) {
+    System sys(n, tournament_wakeup());
+    const RunLog log = run_adversary(sys);
+    ASSERT_TRUE(log.all_terminated);
+    const WidthAudit audit = audit_register_widths(sys.trace());
+    EXPECT_TRUE(audit.bounded) << "n=" << n;
+    // Counts are at most n: ceil(log2(n)) + 1 bits suffice.
+    EXPECT_LE(audit.max_bits, ceil_log2(static_cast<std::size_t>(n)) + 1)
+        << "n=" << n;
+    EXPECT_GT(audit.writes_inspected, 0u);
+  }
+}
+
+TEST(Audit, NaiveCounterFitsLogNBitRegisters) {
+  const int n = 32;
+  System sys(n, counter_wakeup());
+  const RunLog log = run_adversary(sys);
+  ASSERT_TRUE(log.all_terminated);
+  const WidthAudit audit = audit_register_widths(sys.trace());
+  EXPECT_TRUE(audit.bounded);
+  EXPECT_LE(audit.max_bits, ceil_log2(n) + 1);
+}
+
+SimTask uc_worker(ProcCtx ctx, UniversalConstruction* uc) {
+  ObjOp op{"fetch&increment", {}};
+  const Value r = co_await uc->execute(ctx, std::move(op));
+  co_return r;
+}
+
+TEST(Audit, GroupUpdateNeedsUnboundedRegisters) {
+  // The tight O(log n) construction writes announce sets and object
+  // snapshots into registers — the "impractical register size" the paper's
+  // Section 7 calls out.
+  const int n = 8;
+  GroupUpdateUC uc(n, [] { return std::make_unique<FetchAddObject>(64); });
+  System sys(n, [&uc](ProcCtx ctx, ProcId, int) {
+    return uc_worker(ctx, &uc);
+  });
+  RoundRobinScheduler sched;
+  ASSERT_TRUE(sched.run(sys, 1 << 22).all_terminated);
+  const WidthAudit audit = audit_register_widths(sys.trace());
+  EXPECT_FALSE(audit.bounded);
+  EXPECT_NE(audit.summary().find("UNBOUNDED"), std::string::npos);
+}
+
+TEST(Audit, EmptyTraceIsTriviallyBounded) {
+  const WidthAudit audit = audit_register_widths({});
+  EXPECT_TRUE(audit.bounded);
+  EXPECT_EQ(audit.max_bits, 0u);
+  EXPECT_EQ(audit.writes_inspected, 0u);
+}
+
+TEST(Audit, FailedScWritesNothing) {
+  // Only successful SCs install values; failed ones must not count.
+  System sys(4, counter_wakeup());
+  RoundRobinScheduler sched;
+  ASSERT_TRUE(sched.run(sys, 10000).all_terminated);
+  std::uint64_t successes = 0;
+  std::uint64_t swaps = 0;
+  for (const OpRecord& rec : sys.trace()) {
+    successes += rec.op.kind == OpKind::kSC && rec.result.flag;
+    swaps += rec.op.kind == OpKind::kSwap;
+  }
+  const WidthAudit audit = audit_register_widths(sys.trace());
+  EXPECT_EQ(audit.writes_inspected, successes + swaps);
+}
+
+}  // namespace
+}  // namespace llsc

@@ -1,0 +1,187 @@
+// Unit and property tests for util/bigint.h.
+#include "util/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace llsc {
+namespace {
+
+TEST(BigInt, DefaultIsZero) {
+  BigInt z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.bit_length(), 0u);
+  EXPECT_EQ(z.to_hex(), "0x0");
+  EXPECT_EQ(z.to_dec(), "0");
+  EXPECT_EQ(z.low64(), 0u);
+}
+
+TEST(BigInt, FromU64) {
+  BigInt v(0xDEADBEEFULL);
+  EXPECT_FALSE(v.is_zero());
+  EXPECT_EQ(v.low64(), 0xDEADBEEFULL);
+  EXPECT_EQ(v.to_hex(), "0xdeadbeef");
+  EXPECT_TRUE(v.fits64());
+}
+
+TEST(BigInt, Pow2) {
+  EXPECT_EQ(BigInt::pow2(0), BigInt(1));
+  EXPECT_EQ(BigInt::pow2(10), BigInt(1024));
+  const BigInt big = BigInt::pow2(200);
+  EXPECT_EQ(big.bit_length(), 201u);
+  EXPECT_TRUE(big.bit(200));
+  EXPECT_FALSE(big.bit(199));
+  EXPECT_FALSE(big.fits64());
+}
+
+TEST(BigInt, Ones) {
+  EXPECT_TRUE(BigInt::ones(0).is_zero());
+  EXPECT_EQ(BigInt::ones(8), BigInt(255));
+  EXPECT_EQ(BigInt::ones(64), BigInt(~std::uint64_t{0}));
+  const BigInt o100 = BigInt::ones(100);
+  EXPECT_EQ(o100.bit_length(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_TRUE(o100.bit(i));
+  EXPECT_FALSE(o100.bit(100));
+}
+
+TEST(BigInt, AddCarriesAcrossLimbs) {
+  BigInt a(~std::uint64_t{0});
+  a += BigInt(1);
+  EXPECT_EQ(a, BigInt::pow2(64));
+}
+
+TEST(BigInt, SubBorrowsAcrossLimbs) {
+  BigInt a = BigInt::pow2(128);
+  a -= BigInt(1);
+  EXPECT_EQ(a, BigInt::ones(128));
+}
+
+TEST(BigInt, MulSmall) {
+  EXPECT_EQ(BigInt(6) * BigInt(7), BigInt(42));
+  EXPECT_TRUE((BigInt(0) * BigInt(7)).is_zero());
+}
+
+TEST(BigInt, MulLarge) {
+  // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+  const BigInt m(~std::uint64_t{0});
+  BigInt expected = BigInt::pow2(128);
+  expected -= BigInt::pow2(65);
+  expected += BigInt(1);
+  EXPECT_EQ(m * m, expected);
+}
+
+TEST(BigInt, ShiftRoundTrip) {
+  BigInt v(0x123456789ABCDEFULL);
+  const BigInt shifted = v << 100;
+  EXPECT_EQ(shifted >> 100, v);
+  EXPECT_TRUE((v >> 60).fits64());
+  EXPECT_EQ(v >> 200, BigInt());
+}
+
+TEST(BigInt, TruncateDropsHighBits) {
+  BigInt v = BigInt::ones(100);
+  v.truncate(10);
+  EXPECT_EQ(v, BigInt::ones(10));
+  BigInt w(0xFFFF);
+  w.truncate(8);
+  EXPECT_EQ(w, BigInt(0xFF));
+  BigInt untouched(42);
+  untouched.truncate(64);
+  EXPECT_EQ(untouched, BigInt(42));
+}
+
+TEST(BigInt, BitSetAndClear) {
+  BigInt v;
+  v.set_bit(77, true);
+  EXPECT_TRUE(v.bit(77));
+  EXPECT_EQ(v, BigInt::pow2(77));
+  v.set_bit(77, false);
+  EXPECT_TRUE(v.is_zero());
+  v.set_bit(5, false);  // clearing an absent bit is a no-op
+  EXPECT_TRUE(v.is_zero());
+}
+
+TEST(BigInt, Ordering) {
+  EXPECT_LT(BigInt(1), BigInt(2));
+  EXPECT_LT(BigInt(~std::uint64_t{0}), BigInt::pow2(64));
+  EXPECT_GT(BigInt::pow2(128), BigInt::pow2(127));
+  EXPECT_EQ(BigInt(5) <=> BigInt(5), std::strong_ordering::equal);
+}
+
+TEST(BigInt, HexRoundTrip) {
+  const BigInt v = BigInt::pow2(130) + BigInt(0xABC);
+  EXPECT_EQ(BigInt::from_hex(v.to_hex()), v);
+  EXPECT_EQ(BigInt::from_hex("0xFF"), BigInt(255));
+  EXPECT_EQ(BigInt::from_hex("ff"), BigInt(255));
+  EXPECT_EQ(BigInt::from_hex(""), BigInt());
+}
+
+TEST(BigInt, DecRendering) {
+  EXPECT_EQ(BigInt(1234567890123456789ULL).to_dec(), "1234567890123456789");
+  // 2^64 = 18446744073709551616
+  EXPECT_EQ(BigInt::pow2(64).to_dec(), "18446744073709551616");
+}
+
+TEST(BigInt, XorIsSelfInverse) {
+  const BigInt a = BigInt::ones(100);
+  const BigInt b = BigInt::pow2(77) + BigInt(12345);
+  EXPECT_EQ((a ^ b) ^ b, a);
+}
+
+// Property: BigInt arithmetic on values < 2^32 agrees with u64 arithmetic.
+class BigIntPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BigIntPropertyTest, MatchesU64Reference) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t x = rng.next_below(1ULL << 32);
+    const std::uint64_t y = rng.next_below(1ULL << 32);
+    EXPECT_EQ((BigInt(x) + BigInt(y)).low64(), x + y);
+    EXPECT_EQ((BigInt(x) * BigInt(y)).low64(), x * y);
+    EXPECT_EQ((BigInt(x) & BigInt(y)).low64(), x & y);
+    EXPECT_EQ((BigInt(x) | BigInt(y)).low64(), x | y);
+    EXPECT_EQ((BigInt(x) ^ BigInt(y)).low64(), x ^ y);
+    if (x >= y) {
+      EXPECT_EQ((BigInt(x) - BigInt(y)).low64(), x - y);
+    }
+    EXPECT_EQ((BigInt(x) < BigInt(y)), x < y);
+    BigInt t(x);
+    t.truncate(16);
+    EXPECT_EQ(t.low64(), x & 0xFFFF);
+  }
+}
+
+TEST_P(BigIntPropertyTest, ShiftedArithmeticConsistent) {
+  Rng rng(GetParam() ^ 0x1234);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t x = rng.next_below(1ULL << 32);
+    const std::uint64_t y = rng.next_below(1ULL << 32);
+    const std::size_t s = rng.next_below(300);
+    // (x + y) << s == (x << s) + (y << s)
+    EXPECT_EQ((BigInt(x) + BigInt(y)) << s,
+              (BigInt(x) << s) + (BigInt(y) << s));
+    // (x * y) << s == (x << s) * y
+    EXPECT_EQ((BigInt(x) * BigInt(y)) << s, (BigInt(x) << s) * BigInt(y));
+  }
+}
+
+TEST_P(BigIntPropertyTest, HashConsistentWithEquality) {
+  Rng rng(GetParam() ^ 0x9999);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t x = rng.next_u64();
+    const std::size_t s = rng.next_below(200);
+    const BigInt a = BigInt(x) << s;
+    const BigInt b = BigInt(x) << s;
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.hash(), b.hash());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntPropertyTest,
+                         ::testing::Values(1, 2, 3, 42, 1337));
+
+}  // namespace
+}  // namespace llsc

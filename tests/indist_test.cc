@@ -1,0 +1,185 @@
+// Empirical validation of the Indistinguishability Lemma (Lemma 5.2):
+// for every algorithm, toss assignment, and choice of S, any process or
+// register X with UP(X, r) ⊆ S sees identical executions in the
+// (All,A)-run and the (S,A)-run through round r.
+#include "core/indistinguishability.h"
+
+#include <gtest/gtest.h>
+
+#include "core/adversary.h"
+#include "core/s_run.h"
+#include "core/up_tracker.h"
+#include "runtime/toss.h"
+#include "util/rng.h"
+#include "wakeup/algorithms.h"
+
+namespace llsc {
+namespace {
+
+struct Subject {
+  const char* name;
+  ProcBody body;
+  bool randomized;
+};
+
+std::vector<Subject> subjects() {
+  return {
+      {"tournament", tournament_wakeup(), false},
+      {"counter", counter_wakeup(), false},
+      {"swap_mix", swap_mix_wakeup(), false},
+      {"randomized_tournament", randomized_tournament_wakeup(), true},
+      {"random_mix", random_mix_body(10, 6), true},
+      {"cheating", cheating_wakeup(2), false},
+      {"backoff_counter", backoff_counter_wakeup(), true},
+  };
+}
+
+// Runs the full pipeline for one (algorithm, n, S, seed) choice and checks
+// the lemma.
+void check_lemma(const ProcBody& body, int n, const ProcSet& s,
+                 std::uint64_t toss_seed, const std::string& label) {
+  const auto tosses = std::make_shared<SeededTossAssignment>(toss_seed);
+
+  System all_sys(n, body, tosses);
+  AdversaryOptions opts;
+  opts.max_rounds = 4000;
+  const RunLog all_log = run_adversary(all_sys, opts);
+  ASSERT_TRUE(all_log.all_terminated) << label;
+  const UpTracker up = UpTracker::over(all_log);
+
+  System s_sys(n, body, tosses);
+  const RunLog s_log = run_s_run(s_sys, all_log, up, s);
+
+  const IndistReport report =
+      check_indistinguishability(all_log, s_log, up, s);
+  EXPECT_TRUE(report.ok) << label << ": " << report.violations.front();
+  EXPECT_GT(report.process_checks, 0u) << label;
+}
+
+class IndistSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(IndistSweep, LemmaHoldsForSingletonAndRandomSubsets) {
+  const int n = std::get<0>(GetParam());
+  const int subject_idx = std::get<1>(GetParam());
+  const Subject subject = subjects()[static_cast<std::size_t>(subject_idx)];
+
+  Rng rng(static_cast<std::uint64_t>(n) * 31 +
+          static_cast<std::uint64_t>(subject_idx));
+  // Singleton subsets: S = {p}.
+  for (ProcId p = 0; p < std::min(n, 3); ++p) {
+    check_lemma(subject.body, n, ProcSet::singleton(n, p), 7,
+                std::string(subject.name) + " singleton p" +
+                    std::to_string(p));
+  }
+  // The full set (the (All,A)-run itself must replay exactly).
+  check_lemma(subject.body, n, ProcSet::full(n), 7,
+              std::string(subject.name) + " full");
+  // Random subsets.
+  for (int iter = 0; iter < 3; ++iter) {
+    ProcSet s(n);
+    for (ProcId p = 0; p < n; ++p) {
+      if (rng.next_bool()) s.insert(p);
+    }
+    if (s.empty()) s.insert(0);
+    check_lemma(subject.body, n, s, 100 + static_cast<std::uint64_t>(iter),
+                std::string(subject.name) + " random subset");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IndistSweep,
+    ::testing::Combine(::testing::Values(2, 3, 5, 8, 13),
+                       ::testing::Values(0, 1, 2, 3, 4, 5, 6)));
+
+TEST(SRun, EmptySMeansNobodySteps) {
+  // UP(p, 0) = {p} is never contained in the empty set, so no process is
+  // ever scheduled: the (S,A)-run for S = {} is the empty run, and the
+  // lemma holds vacuously for processes (registers stay at their initial
+  // state in both runs only if nobody wrote them — which is precisely the
+  // registers with UP(R, r) = {} ⊆ S).
+  const int n = 5;
+  System all_sys(n, tournament_wakeup());
+  const RunLog all_log = run_adversary(all_sys);
+  const UpTracker up = UpTracker::over(all_log);
+  System s_sys(n, tournament_wakeup());
+  const RunLog s_log = run_s_run(s_sys, all_log, up, ProcSet(n));
+  for (ProcId p = 0; p < n; ++p) {
+    EXPECT_EQ(s_sys.process(p).shared_ops(), 0u);
+    EXPECT_EQ(s_sys.process(p).num_tosses(), 0u);
+  }
+  const IndistReport report =
+      check_indistinguishability(all_log, s_log, up, ProcSet(n));
+  EXPECT_TRUE(report.ok)
+      << (report.violations.empty() ? "" : report.violations.front());
+  EXPECT_EQ(report.process_checks, 0u);
+}
+
+TEST(SRun, OnlyMembersOfSTakeSteps) {
+  const int n = 8;
+  System all_sys(n, tournament_wakeup());
+  const RunLog all_log = run_adversary(all_sys);
+  const UpTracker up = UpTracker::over(all_log);
+  const ProcSet s = ProcSet::of(n, {1, 4, 6});
+
+  System s_sys(n, tournament_wakeup());
+  const RunLog s_log = run_s_run(s_sys, all_log, up, s);
+  for (ProcId p = 0; p < n; ++p) {
+    if (!s.contains(p)) {
+      EXPECT_EQ(s_sys.process(p).shared_ops(), 0u)
+          << "p" << p << " outside S took a step in the (S,A)-run";
+      EXPECT_EQ(s_sys.process(p).num_tosses(), 0u);
+    }
+  }
+}
+
+TEST(SRun, FullSetReproducesAllRunExactly) {
+  const int n = 6;
+  const auto tosses = std::make_shared<SeededTossAssignment>(11);
+  System all_sys(n, randomized_tournament_wakeup(), tosses);
+  const RunLog all_log = run_adversary(all_sys);
+  const UpTracker up = UpTracker::over(all_log);
+
+  System s_sys(n, randomized_tournament_wakeup(), tosses);
+  const RunLog s_log = run_s_run(s_sys, all_log, up, ProcSet::full(n));
+
+  ASSERT_EQ(s_log.num_rounds(), all_log.num_rounds());
+  for (int r = 1; r <= all_log.num_rounds(); ++r) {
+    const RoundRecord& a = all_log.rounds[static_cast<std::size_t>(r - 1)];
+    const RoundRecord& b = s_log.rounds[static_cast<std::size_t>(r - 1)];
+    ASSERT_EQ(a.ops.size(), b.ops.size()) << "round " << r;
+    for (std::size_t i = 0; i < a.ops.size(); ++i) {
+      EXPECT_EQ(a.ops[i].proc, b.ops[i].proc);
+      EXPECT_EQ(a.ops[i].op.kind, b.ops[i].op.kind);
+      EXPECT_EQ(a.ops[i].op.reg, b.ops[i].op.reg);
+      EXPECT_EQ(a.ops[i].result.flag, b.ops[i].result.flag);
+      EXPECT_EQ(a.ops[i].result.value, b.ops[i].result.value);
+    }
+  }
+}
+
+TEST(SRun, MoveGroupFollowsRestrictedSigma) {
+  const int n = 10;
+  System all_sys(n, swap_mix_wakeup());
+  const RunLog all_log = run_adversary(all_sys);
+  const UpTracker up = UpTracker::over(all_log);
+  const ProcSet s = ProcSet::of(n, {0, 2, 3, 7, 9});
+
+  System s_sys(n, swap_mix_wakeup());
+  const RunLog s_log = run_s_run(s_sys, all_log, up, s);
+  for (int r = 1; r <= s_log.num_rounds(); ++r) {
+    const RoundRecord& srec = s_log.rounds[static_cast<std::size_t>(r - 1)];
+    const RoundRecord& arec = all_log.rounds[static_cast<std::size_t>(r - 1)];
+    // The S-run's sigma must be a subsequence of the All-run's.
+    std::size_t ai = 0;
+    for (const ProcId p : srec.sigma) {
+      while (ai < arec.sigma.size() && arec.sigma[ai] != p) ++ai;
+      ASSERT_LT(ai, arec.sigma.size())
+          << "S-run mover p" << p << " not in sigma_" << r;
+      ++ai;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace llsc

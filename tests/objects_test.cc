@@ -1,0 +1,197 @@
+// Tests for the sequential object specifications (src/objects).
+#include <gtest/gtest.h>
+
+#include "objects/arith.h"
+#include "objects/basic.h"
+#include "objects/bitwise.h"
+#include "objects/containers.h"
+
+namespace llsc {
+namespace {
+
+TEST(FetchAdd, IncrementReturnsOldAndWraps) {
+  FetchAddObject o(3, 6);  // 3-bit counter starting at 6
+  EXPECT_EQ(o.apply({"fetch&increment", {}}).as_u64(), 6u);
+  EXPECT_EQ(o.apply({"fetch&increment", {}}).as_u64(), 7u);
+  EXPECT_EQ(o.apply({"fetch&increment", {}}).as_u64(), 0u);  // wrapped
+  EXPECT_EQ(o.state(), 1u);
+}
+
+TEST(FetchAdd, AddArbitraryAmounts) {
+  FetchAddObject o(8);
+  EXPECT_EQ(o.apply({"fetch&add", Value::of_u64(200)}).as_u64(), 0u);
+  EXPECT_EQ(o.apply({"fetch&add", Value::of_u64(100)}).as_u64(), 200u);
+  EXPECT_EQ(o.state(), 44u);  // (200 + 100) mod 256
+}
+
+TEST(FetchAdd, ReadLeavesStateAlone) {
+  FetchAddObject o(8, 5);
+  EXPECT_EQ(o.apply({"read", {}}).as_u64(), 5u);
+  EXPECT_EQ(o.state(), 5u);
+}
+
+TEST(FetchAdd, CloneIsIndependent) {
+  FetchAddObject o(8, 1);
+  auto copy = o.clone();
+  o.apply({"fetch&increment", {}});
+  EXPECT_EQ(o.state_fingerprint(), "f&a:2");
+  EXPECT_EQ(copy->state_fingerprint(), "f&a:1");
+}
+
+TEST(FetchMultiply, MultipliesModulo2K) {
+  FetchMultiplyObject o(4, BigInt(3));  // 4-bit
+  EXPECT_EQ(o.apply({"fetch&multiply", Value::of_big(BigInt(5))}).as_big(),
+            BigInt(3));
+  EXPECT_EQ(o.state(), BigInt(15));
+  EXPECT_EQ(o.apply({"fetch&multiply", Value::of_big(BigInt(2))}).as_big(),
+            BigInt(15));
+  EXPECT_EQ(o.state(), BigInt(14));  // 30 mod 16
+}
+
+TEST(FetchMultiply, PowersOfTwoOverflowToZero) {
+  const int n = 10;
+  FetchMultiplyObject o(static_cast<std::size_t>(n), BigInt(1));
+  for (int i = 0; i < n; ++i) {
+    const Value r = o.apply({"fetch&multiply", Value::of_big(BigInt(2))});
+    EXPECT_EQ(r.as_big(), BigInt::pow2(static_cast<std::size_t>(i)));
+  }
+  EXPECT_TRUE(o.state().is_zero());  // 2^n mod 2^n
+}
+
+TEST(Bitwise, FetchAndClearsBits) {
+  BitwiseObject o(8, BigInt(0xFF));
+  BigInt mask(0xFF);
+  mask.set_bit(3, false);
+  EXPECT_EQ(o.apply({"fetch&and", Value::of_big(mask)}).as_big(),
+            BigInt(0xFF));
+  EXPECT_EQ(o.state(), BigInt(0xF7));
+}
+
+TEST(Bitwise, FetchOrSetsBitsAndTruncates) {
+  BitwiseObject o(4, BigInt(0));
+  EXPECT_EQ(o.apply({"fetch&or", Value::of_big(BigInt(0x3))}).as_big(),
+            BigInt(0));
+  EXPECT_EQ(o.apply({"fetch&or", Value::of_big(BigInt(0xFF))}).as_big(),
+            BigInt(3));
+  EXPECT_EQ(o.state(), BigInt(0xF));  // truncated to 4 bits
+}
+
+TEST(FetchComplement, FlipsOneBit) {
+  FetchComplementObject o(100, BigInt(0));
+  EXPECT_EQ(o.apply({"fetch&complement", Value::of_u64(77)}).as_big(),
+            BigInt(0));
+  EXPECT_EQ(o.state(), BigInt::pow2(77));
+  EXPECT_EQ(o.apply({"fetch&complement", Value::of_u64(77)}).as_big(),
+            BigInt::pow2(77));
+  EXPECT_TRUE(o.state().is_zero());
+}
+
+TEST(Queue, FifoOrderWithInitialContents) {
+  QueueObject q({Value::of_u64(1), Value::of_u64(2)});
+  q.apply({"enqueue", Value::of_u64(3)});
+  EXPECT_EQ(q.apply({"dequeue", {}}).as_u64(), 1u);
+  EXPECT_EQ(q.apply({"dequeue", {}}).as_u64(), 2u);
+  EXPECT_EQ(q.apply({"dequeue", {}}).as_u64(), 3u);
+  EXPECT_TRUE(q.apply({"dequeue", {}}).is_nil());  // empty
+}
+
+TEST(Queue, EnqueueReturnsAck) {
+  QueueObject q;
+  EXPECT_TRUE(q.apply({"enqueue", Value::of_u64(9)}).is_nil());
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(Stack, LifoOrder) {
+  StackObject s;
+  s.apply({"push", Value::of_u64(1)});
+  s.apply({"push", Value::of_u64(2)});
+  EXPECT_EQ(s.apply({"pop", {}}).as_u64(), 2u);
+  EXPECT_EQ(s.apply({"pop", {}}).as_u64(), 1u);
+  EXPECT_TRUE(s.apply({"pop", {}}).is_nil());
+}
+
+TEST(Stack, InitialContentsBottomFirst) {
+  StackObject s({Value::of_u64(3), Value::of_u64(2), Value::of_u64(1)});
+  EXPECT_EQ(s.apply({"pop", {}}).as_u64(), 1u);  // top was pushed last
+  EXPECT_EQ(s.apply({"pop", {}}).as_u64(), 2u);
+  EXPECT_EQ(s.apply({"pop", {}}).as_u64(), 3u);
+}
+
+TEST(Bitwise, FetchXorTogglesBits) {
+  BitwiseObject o(8, BigInt(0));
+  EXPECT_EQ(o.apply({"fetch&xor", Value::of_big(BigInt(0b1010))}).as_big(),
+            BigInt(0));
+  EXPECT_EQ(o.apply({"fetch&xor", Value::of_big(BigInt(0b0110))}).as_big(),
+            BigInt(0b1010));
+  EXPECT_EQ(o.state(), BigInt(0b1100));
+}
+
+TEST(PriorityQueue, DeleteMinOrder) {
+  PriorityQueueObject pq({5, 1, 3});
+  pq.apply({"insert", Value::of_u64(2)});
+  EXPECT_EQ(pq.apply({"delete-min", {}}).as_u64(), 1u);
+  EXPECT_EQ(pq.apply({"delete-min", {}}).as_u64(), 2u);
+  EXPECT_EQ(pq.apply({"delete-min", {}}).as_u64(), 3u);
+  EXPECT_EQ(pq.apply({"delete-min", {}}).as_u64(), 5u);
+  EXPECT_TRUE(pq.apply({"delete-min", {}}).is_nil());
+}
+
+TEST(PriorityQueue, DuplicateKeysSupported) {
+  PriorityQueueObject pq;
+  pq.apply({"insert", Value::of_u64(7)});
+  pq.apply({"insert", Value::of_u64(7)});
+  EXPECT_EQ(pq.size(), 2u);
+  EXPECT_EQ(pq.apply({"delete-min", {}}).as_u64(), 7u);
+  EXPECT_EQ(pq.apply({"delete-min", {}}).as_u64(), 7u);
+}
+
+TEST(Register, ReadWrite) {
+  RegisterObject r(Value::of_u64(1));
+  EXPECT_EQ(r.apply({"read", {}}).as_u64(), 1u);
+  EXPECT_TRUE(r.apply({"write", Value::of_u64(9)}).is_nil());
+  EXPECT_EQ(r.apply({"read", {}}).as_u64(), 9u);
+}
+
+TEST(Counter, IncrementAcksAndReadSees) {
+  CounterObject c(8);
+  EXPECT_TRUE(c.apply({"increment", {}}).is_nil());
+  EXPECT_TRUE(c.apply({"increment", {}}).is_nil());
+  EXPECT_EQ(c.apply({"read", {}}).as_u64(), 2u);
+}
+
+TEST(Cas, SwapsOnlyOnMatch) {
+  CasObject c(Value::of_u64(1));
+  const Value miss = c.apply(
+      {"cas", Value::of(CasArgs{Value::of_u64(2), Value::of_u64(9)})});
+  EXPECT_EQ(miss.as_u64(), 1u);
+  EXPECT_EQ(c.apply({"read", {}}).as_u64(), 1u);  // unchanged
+  const Value hit = c.apply(
+      {"cas", Value::of(CasArgs{Value::of_u64(1), Value::of_u64(9)})});
+  EXPECT_EQ(hit.as_u64(), 1u);
+  EXPECT_EQ(c.apply({"read", {}}).as_u64(), 9u);
+}
+
+TEST(Consensus, FirstProposalWins) {
+  ConsensusObject c;
+  EXPECT_EQ(c.apply({"propose", Value::of_u64(5)}).as_u64(), 5u);
+  EXPECT_EQ(c.apply({"propose", Value::of_u64(7)}).as_u64(), 5u);
+}
+
+TEST(Objects, FingerprintsDistinguishStates) {
+  QueueObject a({Value::of_u64(1)});
+  QueueObject b({Value::of_u64(2)});
+  EXPECT_NE(a.state_fingerprint(), b.state_fingerprint());
+  b.apply({"dequeue", {}});
+  b.apply({"enqueue", Value::of_u64(1)});
+  EXPECT_EQ(a.state_fingerprint(), b.state_fingerprint());
+}
+
+TEST(ObjectsDeath, UnknownOperationRejected) {
+  QueueObject q;
+  EXPECT_DEATH(q.apply({"pop", {}}), "unknown operation");
+  FetchAddObject f(8);
+  EXPECT_DEATH(f.apply({"dequeue", {}}), "unknown operation");
+}
+
+}  // namespace
+}  // namespace llsc

@@ -1,0 +1,124 @@
+// Tests for the Theorem 6.2 object reductions: every reduction solves
+// wakeup through an obliviously-implemented object, under both generic
+// schedulers and the Fig. 2 adversary, and the forced complexity respects
+// (1/k)·log_4 n.
+#include "wakeup/reductions.h"
+
+#include <gtest/gtest.h>
+
+#include "core/adversary.h"
+#include "core/lower_bound.h"
+#include "sched/scheduler.h"
+#include "universal/group_update.h"
+#include "universal/single_register.h"
+#include "util/str.h"
+#include "wakeup/spec.h"
+
+namespace llsc {
+namespace {
+
+TEST(Reductions, CatalogHasTenEntries) {
+  const auto& all = all_reductions();
+  ASSERT_EQ(all.size(), 10u);  // Theorem 6.2's eight + fetch&xor + pqueue
+  for (const ObjectReduction& r : all) {
+    EXPECT_GE(r.ops_per_process, 1);
+    EXPECT_LE(r.ops_per_process, 2);
+    // Factories and bodies must exist for every catalog entry.
+    EXPECT_NE(reduction_object_factory(r.name, 4), nullptr);
+  }
+}
+
+class ReductionSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, int, bool>> {};
+
+TEST_P(ReductionSweep, SolvesWakeupThroughObliviousConstruction) {
+  const std::string& name = std::get<0>(GetParam());
+  const int n = std::get<1>(GetParam());
+  const bool group = std::get<2>(GetParam());
+
+  ObjectFactory factory = reduction_object_factory(name, n);
+  std::unique_ptr<UniversalConstruction> uc;
+  if (group) {
+    uc = std::make_unique<GroupUpdateUC>(n, std::move(factory));
+  } else {
+    uc = std::make_unique<SingleRegisterUC>(n, std::move(factory));
+  }
+  System sys(n, reduction_wakeup_body(name, *uc));
+  RoundRobinScheduler sched;
+  const RunOutcome out = sched.run(sys, 1 << 24);
+  ASSERT_TRUE(out.all_terminated) << name << " n=" << n;
+  const WakeupCheckResult check = check_wakeup_run(sys);
+  EXPECT_TRUE(check.ok) << name << ": " << check.violations.front();
+  EXPECT_GE(check.num_winners, 1) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ReductionSweep,
+    ::testing::Combine(
+        ::testing::Values("fetch&increment", "fetch&and", "fetch&or",
+                          "fetch&xor", "fetch&complement", "fetch&multiply",
+                          "queue", "stack", "priority-queue",
+                          "read+increment"),
+        ::testing::Values(1, 2, 3, 6, 9), ::testing::Bool()));
+
+class ReductionAdversarySweep
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ReductionAdversarySweep, AdversaryForcesTheCorollaryBound) {
+  const std::string name = GetParam();
+  const int n = 16;
+  int k = 0;
+  for (const ObjectReduction& r : all_reductions()) {
+    if (r.name == name) k = r.ops_per_process;
+  }
+  ASSERT_GT(k, 0);
+
+  GroupUpdateUC uc(n, reduction_object_factory(name, n));
+  System sys(n, reduction_wakeup_body(name, uc));
+  const RunLog log = run_adversary(sys);
+  ASSERT_TRUE(log.all_terminated) << name;
+  const WakeupCheckResult check = check_wakeup_run(sys);
+  ASSERT_TRUE(check.ok) << name << ": " << check.violations.front();
+
+  // Corollary 6.1: the winner performs >= (1/k) log_4 n operations on the
+  // implementation's shared memory.
+  std::uint64_t winner_ops = ~std::uint64_t{0};
+  for (ProcId p = 0; p < n; ++p) {
+    const Process& proc = sys.process(p);
+    if (proc.done() && proc.result().as_u64() == 1) {
+      winner_ops = std::min(winner_ops, proc.shared_ops());
+    }
+  }
+  ASSERT_NE(winner_ops, ~std::uint64_t{0});
+  EXPECT_GE(static_cast<double>(winner_ops), log4(n) / k) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllReductions, ReductionAdversarySweep,
+    ::testing::Values("fetch&increment", "fetch&and", "fetch&or",
+                      "fetch&xor", "fetch&complement", "fetch&multiply",
+                      "queue", "stack", "priority-queue",
+                      "read+increment"));
+
+TEST(Reductions, ExactlyOneWinnerForSingleUseReductions) {
+  // For the k=1 reductions each process applies one operation, and only
+  // the process observing the "last" response can return 1.
+  for (const char* name : {"fetch&increment", "queue", "stack"}) {
+    const int n = 7;
+    GroupUpdateUC uc(n, reduction_object_factory(name, n));
+    System sys(n, reduction_wakeup_body(name, uc));
+    RandomScheduler sched(1234);
+    ASSERT_TRUE(sched.run(sys, 1 << 24).all_terminated);
+    const WakeupCheckResult check = check_wakeup_run(sys);
+    EXPECT_TRUE(check.ok) << name;
+    EXPECT_EQ(check.num_winners, 1) << name;
+  }
+}
+
+TEST(ReductionsDeath, UnknownReductionRejected) {
+  EXPECT_DEATH(reduction_object_factory("no-such-type", 4),
+               "unknown reduction");
+}
+
+}  // namespace
+}  // namespace llsc

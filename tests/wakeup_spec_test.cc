@@ -1,0 +1,128 @@
+// Tests for the wakeup specification checker itself (wakeup/spec.h):
+// each of the three conditions must be detected when violated.
+#include "wakeup/spec.h"
+
+#include <gtest/gtest.h>
+
+#include "sched/scheduler.h"
+#include "util/str.h"
+#include "wakeup/algorithms.h"
+
+namespace llsc {
+namespace {
+
+SimTask return_value_body(ProcCtx ctx, std::uint64_t v, int ops) {
+  for (int i = 0; i < ops; ++i) (void)co_await ctx.validate(0);
+  co_return Value::of_u64(v);
+}
+
+TEST(WakeupSpec, AllZerosViolatesCondition2) {
+  System sys(3, [](ProcCtx ctx, ProcId, int) {
+    return return_value_body(ctx, 0, 1);
+  });
+  RoundRobinScheduler sched;
+  ASSERT_TRUE(sched.run(sys, 1000).all_terminated);
+  const WakeupCheckResult res = check_wakeup_run(sys);
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.num_winners, 0);
+  EXPECT_NE(res.violations.front().find("none returned 1"),
+            std::string::npos);
+}
+
+TEST(WakeupSpec, NonBinaryResultViolatesCondition1) {
+  System sys(2, [](ProcCtx ctx, ProcId i, int) {
+    return return_value_body(ctx, i == 0 ? 7 : 1, 1);
+  });
+  RoundRobinScheduler sched;
+  ASSERT_TRUE(sched.run(sys, 1000).all_terminated);
+  const WakeupCheckResult res = check_wakeup_run(sys);
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(WakeupSpec, NonTerminationViolatesCondition1) {
+  System sys(2, flaky_wakeup(2));  // zero tosses: both spin forever
+  RoundRobinScheduler sched;
+  ASSERT_FALSE(sched.run(sys, 100).all_terminated);
+  const WakeupCheckResult res = check_wakeup_run(sys);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.violations.front().find("did not terminate"),
+            std::string::npos);
+}
+
+TEST(WakeupSpec, EarlyOneReturnViolatesCondition3) {
+  // p0 returns 1 after a single step while p1 has not moved: run p0 solo
+  // first via the sequential scheduler.
+  System sys(2, cheating_wakeup(1));
+  SequentialScheduler sched;
+  ASSERT_TRUE(sched.run(sys, 1000).all_terminated);
+  const WakeupCheckResult res = check_wakeup_run(sys);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.violations.front().find("before the first 1-return"),
+            std::string::npos);
+}
+
+TEST(WakeupSpec, SingleProcessTrivialWakeupOk) {
+  // n = 1: the lone process takes a step and returns 1.
+  System sys(1, tournament_wakeup());
+  RoundRobinScheduler sched;
+  ASSERT_TRUE(sched.run(sys, 1000).all_terminated);
+  const WakeupCheckResult res = check_wakeup_run(sys);
+  EXPECT_TRUE(res.ok) << res.violations.front();
+  EXPECT_EQ(res.num_winners, 1);
+}
+
+TEST(WakeupSpec, MultipleWinnersAreLegal) {
+  // The spec requires >= 1 winner; several are fine as long as everyone
+  // stepped before the first. Tournament can produce several winners under
+  // round-robin (all finishers see the full root).
+  const int n = 4;
+  System sys(n, tournament_wakeup());
+  RoundRobinScheduler sched;
+  ASSERT_TRUE(sched.run(sys, 1 << 20).all_terminated);
+  const WakeupCheckResult res = check_wakeup_run(sys);
+  EXPECT_TRUE(res.ok) << res.violations.front();
+  EXPECT_GE(res.num_winners, 1);
+}
+
+TEST(WakeupSpec, RmwWakeupSolvesInOneOperation) {
+  // The original FMRT setting: with read-modify-write, wakeup costs ONE
+  // shared operation per process — the Ω(log n) bound is specific to the
+  // LL/SC/VL/swap/move operation set.
+  for (const int n : {1, 2, 5, 16, 64}) {
+    System sys(n, rmw_wakeup());
+    RandomScheduler sched(static_cast<std::uint64_t>(n));
+    ASSERT_TRUE(sched.run(sys, 1 << 20).all_terminated) << "n=" << n;
+    const WakeupCheckResult res = check_wakeup_run(sys);
+    EXPECT_TRUE(res.ok) << res.violations.front();
+    EXPECT_EQ(res.num_winners, 1) << "n=" << n;
+    for (ProcId p = 0; p < n; ++p) {
+      EXPECT_EQ(sys.process(p).shared_ops(), 1u);
+    }
+  }
+}
+
+TEST(UtilStr, LogHelpers) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1025), 11u);
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(1023), 9u);
+  EXPECT_EQ(floor_log2(1024), 10u);
+  EXPECT_EQ(ceil_log4(1), 0u);
+  EXPECT_EQ(ceil_log4(4), 1u);
+  EXPECT_EQ(ceil_log4(5), 2u);
+  EXPECT_EQ(ceil_log4(256), 4u);
+  EXPECT_DOUBLE_EQ(log4(16.0), 2.0);
+  EXPECT_DOUBLE_EQ(log4(4.0), 1.0);
+}
+
+TEST(UtilStr, Join) {
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"a"}, ","), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+}  // namespace
+}  // namespace llsc

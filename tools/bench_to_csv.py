@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Convert google-benchmark console output into CSV.
+
+Usage:
+    ./build/bench/bench_wakeup_lower_bound | tools/bench_to_csv.py > e1.csv
+    tools/bench_to_csv.py < bench_output.txt > all.csv
+
+Parses benchmark rows of the form
+
+    llsc::BM_Tournament/64   3.87 ms   3.75 ms   7  log4_n=3 n=64 winner_ops=50
+
+into one CSV row per benchmark with columns: name, arg, time_ns, cpu_ns,
+iterations, plus one column per user counter (the union across rows).
+"""
+import csv
+import re
+import sys
+
+ROW = re.compile(
+    r"^(?P<name>[\w:<>,]+(?:/\S+)?)\s+(?P<time>[\d.e+-]+) (?P<tunit>\w+)"
+    r"\s+(?P<cpu>[\d.e+-]+) (?P<cunit>\w+)\s+(?P<iters>\d+)(?P<rest>.*)$")
+COUNTER = re.compile(r"(\w+)=([\d.e+kMG-]+)")
+UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+SUFFIX = {"k": 1e3, "M": 1e6, "G": 1e9}
+
+
+def parse_number(text):
+    if text and text[-1] in SUFFIX:
+        return float(text[:-1]) * SUFFIX[text[-1]]
+    return float(text)
+
+
+def main():
+    rows = []
+    counters = []
+    for line in sys.stdin:
+        m = ROW.match(line.strip())
+        if not m:
+            continue
+        name = m.group("name")
+        base, _, arg = name.partition("/")
+        row = {
+            "name": base,
+            "arg": arg,
+            "time_ns": float(m.group("time")) * UNIT_NS[m.group("tunit")],
+            "cpu_ns": float(m.group("cpu")) * UNIT_NS[m.group("cunit")],
+            "iterations": int(m.group("iters")),
+        }
+        for key, value in COUNTER.findall(m.group("rest")):
+            row[key] = parse_number(value)
+            if key not in counters:
+                counters.append(key)
+        rows.append(row)
+    fields = ["name", "arg", "time_ns", "cpu_ns", "iterations"] + counters
+    writer = csv.DictWriter(sys.stdout, fieldnames=fields)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+
+
+if __name__ == "__main__":
+    main()
