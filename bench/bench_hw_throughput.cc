@@ -1,0 +1,128 @@
+// E10 — hw backend throughput: the universal constructions running on real
+// threads (HwExecutor over HwMemory) vs the single-threaded simulator.
+//
+// Reported per case: ops/sec across all processes, p50/p99 per-operation
+// latency, and the observed worst per-op shared-access cost (which must
+// stay within the analytic worst case — wait-freedom on metal). The
+// `*_Simulator` benchmarks run the identical workload body through System
+// under round-robin as the contrast column.
+//
+// Expected shape: hw ops/sec scales with thread count up to the core
+// count; on a single-core host hw and simulator throughput are comparable
+// (the hw column then mainly demonstrates correctness under preemptive
+// interleavings, not speedup — see EXPERIMENTS.md E10 for the recorded
+// caveat). shared_ops_per_uc_op grows ~log2(n) for Group-Update and ~n for
+// the single-register construction on BOTH platforms.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "hw/hw_executor.h"
+#include "objects/arith.h"
+#include "universal/group_update.h"
+#include "universal/single_register.h"
+#include "util/check.h"
+
+namespace llsc {
+namespace {
+
+enum class Which { kGroupUpdate, kSingleRegister };
+
+std::unique_ptr<UniversalConstruction> make_uc(Which which, int n) {
+  const ObjectFactory factory = [] {
+    return std::make_unique<FetchAddObject>(64, 0);
+  };
+  if (which == Which::kGroupUpdate) {
+    return std::make_unique<GroupUpdateUC>(n, factory);
+  }
+  return std::make_unique<SingleRegisterUC>(n, factory);
+}
+
+void check_and_report(benchmark::State& state, const UcThroughput& t,
+                      std::uint64_t analytic_worst_case) {
+  // Every fetch&increment response is a distinct counter value — the sum
+  // is schedule-independent, so this catches lost/duplicated operations.
+  LLSC_CHECK(t.response_sum ==
+                 t.total_uc_ops * (t.total_uc_ops - 1) / 2,
+             "fetch&increment responses are wrong");
+  state.counters["n_threads"] = t.n;
+  state.counters["uc_ops_per_sec"] = t.ops_per_second;
+  state.counters["latency_p50_ns"] = static_cast<double>(t.latency_p50_ns);
+  state.counters["latency_p99_ns"] = static_cast<double>(t.latency_p99_ns);
+  state.counters["shared_ops_per_uc_op"] = t.shared_ops_per_uc_op;
+  state.counters["analytic_worst_case"] =
+      static_cast<double>(analytic_worst_case);
+  LLSC_CHECK(t.shared_ops_per_uc_op <=
+                 static_cast<double>(analytic_worst_case),
+             "a process exceeded the analytic worst case");
+}
+
+void run_hw(benchmark::State& state, Which which) {
+  const int n = static_cast<int>(state.range(0));
+  const int ops = static_cast<int>(state.range(1));
+  const UcOpFactory make_op = [](ProcId, int) {
+    return ObjOp{"fetch&increment", {}};
+  };
+  UcThroughput t;
+  std::uint64_t worst = 0;
+  for (auto _ : state) {
+    auto uc = make_uc(which, n);
+    worst = uc->worst_case_shared_ops();
+    HwExecutor exec;
+    t = run_uc_on_hw(exec, *uc, n, ops, make_op);
+  }
+  check_and_report(state, t, worst);
+}
+
+void run_sim(benchmark::State& state, Which which) {
+  const int n = static_cast<int>(state.range(0));
+  const int ops = static_cast<int>(state.range(1));
+  const UcOpFactory make_op = [](ProcId, int) {
+    return ObjOp{"fetch&increment", {}};
+  };
+  UcThroughput t;
+  std::uint64_t worst = 0;
+  for (auto _ : state) {
+    auto uc = make_uc(which, n);
+    worst = uc->worst_case_shared_ops();
+    t = run_uc_on_simulator(*uc, n, ops, make_op);
+  }
+  check_and_report(state, t, worst);
+}
+
+void BM_GroupUpdate_Hw(benchmark::State& state) {
+  run_hw(state, Which::kGroupUpdate);
+}
+void BM_GroupUpdate_Simulator(benchmark::State& state) {
+  run_sim(state, Which::kGroupUpdate);
+}
+void BM_SingleRegister_Hw(benchmark::State& state) {
+  run_hw(state, Which::kSingleRegister);
+}
+void BM_SingleRegister_Simulator(benchmark::State& state) {
+  run_sim(state, Which::kSingleRegister);
+}
+
+void thread_sweep(benchmark::internal::Benchmark* b) {
+  for (const int n : {1, 2, 4, 8, 16}) {
+    b->Args({n, /*ops_per_process=*/64});
+  }
+}
+
+}  // namespace
+}  // namespace llsc
+
+BENCHMARK(llsc::BM_GroupUpdate_Hw)
+    ->Apply(llsc::thread_sweep)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(llsc::BM_GroupUpdate_Simulator)
+    ->Apply(llsc::thread_sweep)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(llsc::BM_SingleRegister_Hw)
+    ->Apply(llsc::thread_sweep)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(llsc::BM_SingleRegister_Simulator)
+    ->Apply(llsc::thread_sweep)
+    ->Unit(benchmark::kMillisecond);

@@ -1,0 +1,57 @@
+// Bounded exponential backoff for contended CAS retry loops.
+//
+// Standard shape (cf. the Synch-framework-style thread harnesses): start
+// with a handful of spin iterations, double on every failure up to a cap,
+// and past a threshold yield the CPU instead of burning it — which matters
+// both under heavy contention and when threads outnumber cores.
+#ifndef LLSC_HW_BACKOFF_H_
+#define LLSC_HW_BACKOFF_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace llsc {
+
+class Backoff {
+ public:
+  explicit Backoff(std::uint32_t min_spins = 4, std::uint32_t max_spins = 1024)
+      : min_spins_(min_spins), max_spins_(max_spins), current_(min_spins) {}
+
+  // Wait once (called after a failed CAS), then widen the next window.
+  void pause() {
+    if (current_ >= kYieldThreshold) {
+      std::this_thread::yield();
+    } else {
+      for (std::uint32_t i = 0; i < current_; ++i) {
+        cpu_relax();
+      }
+    }
+    if (current_ < max_spins_) current_ *= 2;
+  }
+
+  void reset() { current_ = min_spins_; }
+
+ private:
+  // Spin windows at or above this count give up the timeslice instead;
+  // essential on machines with fewer cores than worker threads.
+  static constexpr std::uint32_t kYieldThreshold = 256;
+
+  static void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#else
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+  }
+
+  std::uint32_t min_spins_;
+  std::uint32_t max_spins_;
+  std::uint32_t current_;
+};
+
+}  // namespace llsc
+
+#endif  // LLSC_HW_BACKOFF_H_

@@ -1,0 +1,211 @@
+#include "hw/hw_executor.h"
+
+#include <algorithm>
+#include <barrier>
+#include <chrono>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "sched/scheduler.h"
+#include "runtime/system.h"
+#include "util/check.h"
+
+namespace llsc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+std::uint64_t percentile_ns(std::vector<std::uint64_t> sorted_or_not,
+                            int pct) {
+  if (sorted_or_not.empty()) return 0;
+  std::sort(sorted_or_not.begin(), sorted_or_not.end());
+  const std::size_t last = sorted_or_not.size() - 1;
+  const std::size_t idx = (last * static_cast<std::size_t>(pct)) / 100;
+  return sorted_or_not[idx];
+}
+
+// The shared workload coroutine (free function — see the GCC 12 coroutine
+// notes in src/runtime/sim_task.h): `ops` operations through the
+// construction, per-op wall latency appended to *latencies, responses
+// summed into the return value. On the hw platform every co_await runs
+// inline, so the recorded latency is the true on-thread cost of one UC
+// operation under contention; on the simulator it additionally spans the
+// interleaved steps of other processes and only the aggregate rate is
+// meaningful.
+SimTask uc_workload_body(ProcCtx ctx, UniversalConstruction* uc, int ops,
+                         const UcOpFactory* make_op,
+                         std::vector<std::uint64_t>* latencies) {
+  std::uint64_t sum = 0;
+  for (int k = 0; k < ops; ++k) {
+    ObjOp op = (*make_op)(ctx.id(), k);
+    const Clock::time_point t0 = Clock::now();
+    const Value r = co_await uc->execute(ctx, std::move(op));
+    const Clock::time_point t1 = Clock::now();
+    latencies->push_back(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count()));
+    sum += r.as_u64();
+  }
+  co_return Value::of_u64(sum);
+}
+
+UcThroughput summarize(int n, int ops_per_process, double wall_seconds,
+                       std::vector<std::vector<std::uint64_t>> latencies,
+                       const std::vector<std::uint64_t>& shared_ops,
+                       std::uint64_t response_sum) {
+  UcThroughput out;
+  out.n = n;
+  out.ops_per_process = ops_per_process;
+  out.total_uc_ops =
+      static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(ops_per_process);
+  out.wall_seconds = wall_seconds;
+  out.ops_per_second =
+      wall_seconds > 0 ? static_cast<double>(out.total_uc_ops) / wall_seconds
+                       : 0.0;
+  for (auto& per_proc : latencies) {
+    out.latencies_ns.insert(out.latencies_ns.end(), per_proc.begin(),
+                            per_proc.end());
+  }
+  out.latency_p50_ns = percentile_ns(out.latencies_ns, 50);
+  out.latency_p99_ns = percentile_ns(out.latencies_ns, 99);
+  for (std::uint64_t t : shared_ops) {
+    out.max_shared_ops = std::max(out.max_shared_ops, t);
+  }
+  out.shared_ops_per_uc_op =
+      ops_per_process > 0
+          ? static_cast<double>(out.max_shared_ops) / ops_per_process
+          : 0.0;
+  out.response_sum = response_sum;
+  return out;
+}
+
+}  // namespace
+
+HwExecutor::HwExecutor(HwRunOptions options) : options_(std::move(options)) {}
+
+HwRunResult HwExecutor::run(int n, const ProcBody& body) {
+  LLSC_EXPECTS(n >= 1, "an execution needs at least one process");
+  HwMemory memory(options_.num_registers, n);
+  std::shared_ptr<const TossAssignment> tosses = options_.tosses;
+  if (!tosses) {
+    tosses = std::make_shared<SeededTossAssignment>(options_.seed);
+  }
+  HwPlatform platform(&memory, tosses);
+
+  // Build control blocks and coroutine frames on the calling thread; a
+  // frame first executes inside start() on its worker thread (SimTask's
+  // initial suspend keeps attach() from running any body code here).
+  std::vector<std::unique_ptr<Process>> procs;
+  procs.reserve(static_cast<std::size_t>(n));
+  for (ProcId i = 0; i < n; ++i) {
+    auto proc = std::make_unique<Process>(i, n);
+    proc->set_platform(&platform);
+    proc->attach(body(ProcCtx(proc.get()), i, n));
+    procs.push_back(std::move(proc));
+  }
+
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
+  // n workers + this thread, so the wall clock starts when every worker
+  // is poised at its first instruction rather than at spawn time.
+  std::barrier sync(n + 1);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  for (ProcId i = 0; i < n; ++i) {
+    threads.emplace_back([&, i] {
+      sync.arrive_and_wait();
+      try {
+        // Synchronous platform: this runs the whole body to completion.
+        procs[static_cast<std::size_t>(i)]->start();
+      } catch (...) {
+        errors[static_cast<std::size_t>(i)] = std::current_exception();
+      }
+    });
+  }
+  // The clock starts just before this thread's arrival releases the
+  // barrier (not after: on a single-core host the OS may run a worker to
+  // completion before this thread is rescheduled, which would shrink the
+  // measured window to ~zero).
+  const Clock::time_point t0 = Clock::now();
+  sync.arrive_and_wait();
+  for (auto& t : threads) t.join();
+  const Clock::time_point t1 = Clock::now();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  HwRunResult out;
+  out.n = n;
+  out.wall_seconds = seconds_between(t0, t1);
+  out.results.reserve(static_cast<std::size_t>(n));
+  out.shared_ops.reserve(static_cast<std::size_t>(n));
+  out.num_tosses.reserve(static_cast<std::size_t>(n));
+  out.ok = true;
+  for (const auto& proc : procs) {
+    if (!proc->done()) {
+      out.ok = false;
+      continue;
+    }
+    out.results.push_back(proc->result());
+    out.shared_ops.push_back(proc->shared_ops());
+    out.num_tosses.push_back(proc->num_tosses());
+    out.max_shared_ops = std::max(out.max_shared_ops, proc->shared_ops());
+    out.total_shared_ops += proc->shared_ops();
+  }
+  LLSC_CHECK(out.ok, "a process failed to run to completion on hw");
+  out.reclaim = memory.reclaim_stats();
+  return out;
+}
+
+UcThroughput run_uc_on_hw(HwExecutor& exec, UniversalConstruction& uc, int n,
+                          int ops_per_process, const UcOpFactory& make_op) {
+  std::vector<std::vector<std::uint64_t>> latencies(
+      static_cast<std::size_t>(n));
+  for (auto& v : latencies) {
+    v.reserve(static_cast<std::size_t>(ops_per_process));
+  }
+  const ProcBody body = [&](ProcCtx ctx, ProcId i, int) {
+    return uc_workload_body(ctx, &uc, ops_per_process, &make_op,
+                            &latencies[static_cast<std::size_t>(i)]);
+  };
+  const HwRunResult run = exec.run(n, body);
+  std::uint64_t response_sum = 0;
+  for (const Value& v : run.results) response_sum += v.as_u64();
+  return summarize(n, ops_per_process, run.wall_seconds, std::move(latencies),
+                   run.shared_ops, response_sum);
+}
+
+UcThroughput run_uc_on_simulator(UniversalConstruction& uc, int n,
+                                 int ops_per_process,
+                                 const UcOpFactory& make_op,
+                                 std::uint64_t seed) {
+  std::vector<std::vector<std::uint64_t>> latencies(
+      static_cast<std::size_t>(n));
+  const ProcBody body = [&](ProcCtx ctx, ProcId i, int) {
+    return uc_workload_body(ctx, &uc, ops_per_process, &make_op,
+                            &latencies[static_cast<std::size_t>(i)]);
+  };
+  System sys(n, body, std::make_shared<SeededTossAssignment>(seed));
+  sys.set_recording(false);
+  const Clock::time_point t0 = Clock::now();
+  RoundRobinScheduler sched;
+  const bool done = sched.run(sys, 1ull << 40).all_terminated;
+  const Clock::time_point t1 = Clock::now();
+  LLSC_CHECK(done, "simulator workload did not terminate");
+  std::uint64_t response_sum = 0;
+  std::vector<std::uint64_t> shared_ops;
+  shared_ops.reserve(static_cast<std::size_t>(n));
+  for (ProcId p = 0; p < n; ++p) {
+    response_sum += sys.process(p).result().as_u64();
+    shared_ops.push_back(sys.process(p).shared_ops());
+  }
+  return summarize(n, ops_per_process, seconds_between(t0, t1),
+                   std::move(latencies), shared_ops, response_sum);
+}
+
+}  // namespace llsc

@@ -1,0 +1,134 @@
+// HwExecutor — run the paper's n-process algorithms on n real threads.
+//
+// The executor is the synchronous counterpart of System + a scheduler:
+// it builds one Process control block per simulated process, points each
+// at an HwPlatform (HwMemory + a pre-committed toss assignment), and runs
+// each process's coroutine body on its own std::thread. Because the
+// platform is synchronous, every co_awaited LL/SC/VL/swap/move executes
+// inline and a body runs start-to-finish on its thread — the interleaving
+// of shared-memory steps is whatever the hardware and the OS produce,
+// which is exactly the point.
+//
+// Determinism: coin tosses are served from SeededTossAssignment(seed)
+// (outcome(p, j) is a pure function of seed — a per-process shard of one
+// seed), so repeated runs with the same seed replay the same toss
+// outcomes and differ only in step interleaving. Per-process shared-op
+// and toss counters live in the per-thread Process blocks (no shared
+// counters to contend on); a std::barrier lines all threads up before the
+// first step so throughput numbers measure concurrent execution, not
+// thread spawn skew.
+#ifndef LLSC_HW_HW_EXECUTOR_H_
+#define LLSC_HW_HW_EXECUTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "hw/hw_memory.h"
+#include "hw/platform.h"
+#include "runtime/process.h"
+#include "runtime/toss.h"
+#include "universal/universal.h"
+
+namespace llsc {
+
+// Platform over HwMemory: steps execute inline on the calling thread.
+class HwPlatform final : public Platform {
+ public:
+  HwPlatform(HwMemory* memory, std::shared_ptr<const TossAssignment> tosses)
+      : memory_(memory), tosses_(std::move(tosses)) {}
+
+  bool synchronous() const override { return true; }
+  OpResult apply(ProcId p, const PendingOp& op) override {
+    return memory_->apply(p, op);
+  }
+  std::uint64_t toss(ProcId p, std::uint64_t j) override {
+    return tosses_->outcome(p, j);
+  }
+  std::string name() const override { return "hw"; }
+
+ private:
+  HwMemory* memory_;
+  std::shared_ptr<const TossAssignment> tosses_;
+};
+
+struct HwRunOptions {
+  // Seed of the SeededTossAssignment serving every process's coin tosses
+  // (ignored when `tosses` is set).
+  std::uint64_t seed = 1;
+  std::shared_ptr<const TossAssignment> tosses;
+  // Size of the fixed register table. Algorithms must declare enough
+  // (e.g. GroupUpdateUC::register_span()); the default fits every
+  // workload in tests/bench at n ≤ 1024.
+  std::size_t num_registers = 1 << 12;
+};
+
+struct HwRunResult {
+  int n = 0;
+  bool ok = false;  // all processes ran to completion
+  std::vector<Value> results;                // per process
+  std::vector<std::uint64_t> shared_ops;     // t(p) per process
+  std::vector<std::uint64_t> num_tosses;     // per process
+  std::uint64_t max_shared_ops = 0;          // the paper's t(R)
+  std::uint64_t total_shared_ops = 0;
+  double wall_seconds = 0.0;
+  HwReclaimStats reclaim;
+};
+
+class HwExecutor {
+ public:
+  explicit HwExecutor(HwRunOptions options = {});
+
+  // Runs body(ctx, i, n) for i in [0, n), one OS thread per process,
+  // against a fresh HwMemory. Exceptions thrown by a body are re-thrown
+  // on the calling thread after all threads join.
+  HwRunResult run(int n, const ProcBody& body);
+
+  const HwRunOptions& options() const { return options_; }
+
+ private:
+  HwRunOptions options_;
+};
+
+// --- universal-construction throughput workloads -------------------------
+//
+// The same workload shape on both platforms: every process performs
+// `ops_per_process` operations (produced by make_op(p, k)) through the
+// construction and returns the sum of its u64 responses. Per-operation
+// wall-clock latency is recorded into per-process vectors (no sharing).
+
+using UcOpFactory = std::function<ObjOp(ProcId p, int k)>;
+
+struct UcThroughput {
+  int n = 0;
+  int ops_per_process = 0;
+  std::uint64_t total_uc_ops = 0;
+  double wall_seconds = 0.0;
+  double ops_per_second = 0.0;
+  // max over p of (shared ops of p / ops_per_process) — the per-operation
+  // shared-access cost to compare against worst_case_shared_ops().
+  double shared_ops_per_uc_op = 0.0;
+  std::uint64_t max_shared_ops = 0;
+  // Sum over processes of returned response sums (for sanity checks).
+  std::uint64_t response_sum = 0;
+  // One entry per completed operation, merged across processes, unsorted.
+  std::vector<std::uint64_t> latencies_ns;
+  std::uint64_t latency_p50_ns = 0;
+  std::uint64_t latency_p99_ns = 0;
+};
+
+// Runs the workload on real threads via `exec`.
+UcThroughput run_uc_on_hw(HwExecutor& exec, UniversalConstruction& uc, int n,
+                          int ops_per_process, const UcOpFactory& make_op);
+
+// Runs the identical workload (same body coroutine) on the simulator
+// under a round-robin schedule — the contrast column for the hw bench.
+UcThroughput run_uc_on_simulator(UniversalConstruction& uc, int n,
+                                 int ops_per_process,
+                                 const UcOpFactory& make_op,
+                                 std::uint64_t seed = 1);
+
+}  // namespace llsc
+
+#endif  // LLSC_HW_HW_EXECUTOR_H_

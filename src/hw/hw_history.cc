@@ -1,0 +1,50 @@
+#include "hw/hw_history.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace llsc {
+
+ConcurrentHistoryRecorder::ConcurrentHistoryRecorder(UniversalConstruction& uc,
+                                                     int num_procs)
+    : uc_(&uc) {
+  LLSC_EXPECTS(num_procs >= 1, "recorder needs at least one process slot");
+  slots_.reserve(static_cast<std::size_t>(num_procs));
+  for (int i = 0; i < num_procs; ++i) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+}
+
+SubTask<Value> ConcurrentHistoryRecorder::execute(ProcCtx ctx, ObjOp op) {
+  const ProcId p = ctx.id();
+  LLSC_EXPECTS(p >= 0 && static_cast<std::size_t>(p) < slots_.size(),
+               "process id outside the recorder's slots");
+  HistOp rec;
+  rec.proc = p;
+  rec.op = op;
+  // fetch_add is the linearization point of "invoked": everything already
+  // responded has a strictly smaller stamp.
+  rec.inv_time = clock_.fetch_add(1) + 1;
+  const Value r = co_await uc_->execute(ctx, std::move(op));
+  rec.response = r;
+  rec.resp_time = clock_.fetch_add(1) + 1;
+  slots_[static_cast<std::size_t>(p)]->ops.push_back(std::move(rec));
+  co_return r;
+}
+
+History ConcurrentHistoryRecorder::take() {
+  History h;
+  for (auto& slot : slots_) {
+    h.ops.insert(h.ops.end(), slot->ops.begin(), slot->ops.end());
+    slot->ops.clear();
+  }
+  std::sort(h.ops.begin(), h.ops.end(),
+            [](const HistOp& a, const HistOp& b) {
+              return a.inv_time < b.inv_time;
+            });
+  return h;
+}
+
+}  // namespace llsc

@@ -1,0 +1,56 @@
+// Thread-safe history recording for hw runs.
+//
+// lin/history.h's HistoryRecorder assumes the simulator's cooperative
+// single-threaded step flow; on HwExecutor, operations of different
+// processes invoke and respond genuinely concurrently. This recorder
+// stamps invocations and responses with a global atomic counter — a
+// conservative approximation of real time: if op A's response stamp is
+// below op B's invocation stamp then A really did complete before B began,
+// so any linearization admitted under these stamps respects the true
+// real-time partial order. (Overlap may be over-reported, which only makes
+// the checker's job easier, never unsound.)
+//
+// Each process writes its completed ops into its own padded slot; take()
+// merges after the threads have joined, so no lock is ever held on the
+// operation path.
+#ifndef LLSC_HW_HW_HISTORY_H_
+#define LLSC_HW_HW_HISTORY_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "hw/hw_memory.h"
+#include "lin/history.h"
+#include "runtime/sub_task.h"
+#include "universal/universal.h"
+
+namespace llsc {
+
+class ConcurrentHistoryRecorder {
+ public:
+  ConcurrentHistoryRecorder(UniversalConstruction& uc, int num_procs);
+
+  // Executes `op` through the wrapped construction, recording it into the
+  // calling process's slot. Safe to call concurrently from distinct
+  // processes; a single process's calls must be sequential (they are — a
+  // process is one thread).
+  SubTask<Value> execute(ProcCtx ctx, ObjOp op);
+
+  // Merged history ordered by invocation stamp. Call only after the
+  // executor run has completed (quiescence).
+  History take();
+
+ private:
+  struct alignas(kCacheLineBytes) Slot {
+    std::vector<HistOp> ops;
+  };
+
+  UniversalConstruction* uc_;
+  std::atomic<std::uint64_t> clock_{0};
+  std::vector<std::unique_ptr<Slot>> slots_;
+};
+
+}  // namespace llsc
+
+#endif  // LLSC_HW_HW_HISTORY_H_

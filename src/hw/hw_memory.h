@@ -1,0 +1,161 @@
+// HwMemory — a lock-free multi-threaded emulation of the paper's
+// LL/SC/VL/swap/move shared memory over pointer-width CAS.
+//
+// Real hardware does not expose the paper's operations; following the
+// CAS-from-LL/SC literature (Blelloch & Wei, "LL/SC and Atomic Copy:
+// Constant Time, Space Efficient Implementations using only pointer-width
+// CAS" — see PAPERS.md and docs/hw_backend.md for where we simplify), each
+// register is a single `std::atomic<Node*>` head pointer. A Node is an
+// immutable (value, version) pair; every successful write installs a fresh
+// node whose version is its predecessor's plus one, so versions of a
+// register strictly increase and are never reused.
+//
+//   LL(p, r)   : load head; record its version as p's link for r; return
+//                the value.
+//   SC(p, r, v): succeeds iff head still carries p's linked version AND
+//                the pointer CAS from that node succeeds — i.e. iff no
+//                successful SC/swap/move hit r since p's LL, exactly the
+//                paper's Pset semantics (a successful write invalidates
+//                every outstanding link, including the writer's own).
+//   VL(p, r)   : link-valid flag (current version == linked version) plus
+//                the current value; no state change.
+//   swap/move  : unconditional install via a CAS retry loop with bounded
+//                exponential backoff (lock-free; in the paper's model they
+//                are single steps — see docs/hw_backend.md §relaxations).
+//   RMW(p,r,f) : atomic read-modify-write via the same retry loop
+//                (the Section 7 strong operation).
+//
+// ABA safety and reclamation. SC's pointer CAS is sound because a node
+// can neither be re-linked (writes install fresh allocations only) nor
+// freed-and-reused while any thread might still dereference it: replaced
+// nodes are retired into the unlinking thread's list and freed by
+// epoch-based reclamation (three-epoch scheme, see docs/hw_backend.md)
+// only two global epochs after retirement. Link validity itself needs no
+// protection at all — a link is a version NUMBER, not a pointer, and
+// versions are never reused. Per-thread contexts and register heads are
+// cache-line padded; heavy writers back off exponentially.
+//
+// Thread contract: operations for process p must all be issued by the one
+// thread running p (the HwExecutor guarantees this). Different processes'
+// operations may run fully concurrently. peek_* observers are for
+// quiescent use only (before threads start or after they join).
+#ifndef LLSC_HW_HW_MEMORY_H_
+#define LLSC_HW_HW_MEMORY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "memory/op.h"
+#include "memory/rmw.h"
+#include "memory/value.h"
+
+namespace llsc {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+// Reclamation counters (approximate totals aggregated over threads; read
+// when quiescent).
+struct HwReclaimStats {
+  std::uint64_t nodes_allocated = 0;
+  std::uint64_t nodes_retired = 0;
+  std::uint64_t nodes_freed = 0;
+  std::uint64_t global_epoch = 0;
+};
+
+class HwMemory {
+ public:
+  // A fixed table of `num_registers` registers (the simulator's lazy
+  // "infinite" array would need a concurrent map; algorithms declare their
+  // span up front) serving threads/processes [0, num_threads).
+  HwMemory(std::size_t num_registers, int num_threads);
+  ~HwMemory();
+  HwMemory(const HwMemory&) = delete;
+  HwMemory& operator=(const HwMemory&) = delete;
+
+  // The paper's five operations plus the optional Section 7 RMW; `p` is
+  // the invoking process == the invoking thread's slot.
+  Value ll(ProcId p, RegId r);
+  OpResult sc(ProcId p, RegId r, Value v);
+  OpResult validate(ProcId p, RegId r);
+  Value swap(ProcId p, RegId r, Value v);
+  void move(ProcId p, RegId src, RegId dst);
+  Value rmw(ProcId p, RegId r, const RmwFunction& f);
+
+  // Uniform entry point mirroring SharedMemory::apply (this is what the
+  // HwPlatform routes Process steps through).
+  OpResult apply(ProcId p, const PendingOp& op);
+
+  std::size_t num_registers() const { return regs_.size(); }
+  int num_threads() const { return static_cast<int>(ctxs_.size()); }
+
+  // --- quiescent observation (tests / post-run accounting only) ---
+  Value peek_value(RegId r) const;
+  std::uint64_t peek_version(RegId r) const;
+  bool peek_link_live(RegId r, ProcId p) const;
+  HwReclaimStats reclaim_stats() const;
+
+ private:
+  // Immutable once published; `version` strictly increases per register
+  // starting from 1 (so link 0 means "no live link").
+  struct Node {
+    Value value;
+    std::uint64_t version = 1;
+  };
+
+  struct alignas(kCacheLineBytes) PaddedHead {
+    std::atomic<Node*> head{nullptr};
+  };
+
+  struct alignas(kCacheLineBytes) ThreadCtx {
+    // 0 = quiescent; otherwise the global epoch observed at critical-
+    // section entry. Written only by the owning thread; read by everyone.
+    std::atomic<std::uint64_t> epoch{0};
+    // Linked version per register (owner-thread private).
+    std::vector<std::uint64_t> link;
+    // Retired nodes with their retirement epoch; epochs are non-decreasing
+    // in deque order, so the freeable nodes form a prefix.
+    std::deque<std::pair<std::uint64_t, Node*>> retired;
+    std::uint64_t retires_since_scan = 0;
+    std::uint64_t allocated = 0;
+    std::uint64_t retired_count = 0;
+    std::uint64_t freed = 0;
+  };
+
+  // RAII epoch critical section: dereferencing head-loaded nodes is safe
+  // only between construction and destruction.
+  class EpochGuard {
+   public:
+    EpochGuard(const std::atomic<std::uint64_t>& global, ThreadCtx& ctx)
+        : ctx_(ctx) {
+      ctx_.epoch.store(global.load());
+    }
+    ~EpochGuard() { ctx_.epoch.store(0); }
+    EpochGuard(const EpochGuard&) = delete;
+    EpochGuard& operator=(const EpochGuard&) = delete;
+
+   private:
+    ThreadCtx& ctx_;
+  };
+
+  ThreadCtx& ctx(ProcId p);
+  std::atomic<Node*>& head(RegId r);
+  Node* make_node(ThreadCtx& c, Value v, std::uint64_t version);
+  void retire(ThreadCtx& c, Node* n);
+  // Attempt a global-epoch advance, then free this thread's retired
+  // prefix that is two epochs stale.
+  void scan_and_reclaim(ThreadCtx& c);
+  // Unconditional install of `v` into r with a version bump (swap/move
+  // tail); returns the replaced value.
+  Value install(ThreadCtx& c, RegId r, Value v);
+
+  std::vector<PaddedHead> regs_;
+  std::vector<std::unique_ptr<ThreadCtx>> ctxs_;
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> global_epoch_{1};
+};
+
+}  // namespace llsc
+
+#endif  // LLSC_HW_HW_MEMORY_H_

@@ -1,0 +1,148 @@
+#include "hw/mc_driver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <memory>
+#include <thread>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/str.h"
+
+namespace llsc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Outcome of one sample, written by exactly one worker into its own slot
+// before the join (which is the synchronization point for the fold).
+struct SampleOutcome {
+  bool terminated = false;
+  std::uint64_t winner_ops = 0;
+  std::uint64_t max_ops = 0;
+};
+
+SampleOutcome run_one_sample(const ProcBody& algo, int n, std::uint64_t seed,
+                             const AdversaryOptions& adversary) {
+  SampleOutcome out;
+  const auto tosses = std::make_shared<SeededTossAssignment>(seed);
+  System sys(n, algo, tosses);
+  sys.set_recording(false);
+  AdversaryOptions opts = adversary;
+  opts.record_snapshots = false;
+  const RunLog log = run_adversary(sys, opts);
+  if (!log.all_terminated) return out;
+  out.terminated = true;
+  std::uint64_t winner_ops = ~std::uint64_t{0};
+  for (ProcId p = 0; p < n; ++p) {
+    const Process& proc = sys.process(p);
+    if (proc.done() && proc.result().holds_u64() &&
+        proc.result().as_u64() == 1) {
+      winner_ops = std::min(winner_ops, proc.shared_ops());
+    }
+  }
+  if (winner_ops == ~std::uint64_t{0}) winner_ops = 0;  // spec violation
+  out.winner_ops = winner_ops;
+  out.max_ops = sys.max_shared_ops();
+  return out;
+}
+
+}  // namespace
+
+ParallelMcResult estimate_expected_complexity_parallel(
+    const ProcBody& algo, int n, int samples, std::uint64_t seed,
+    int num_workers, const AdversaryOptions& adversary) {
+  LLSC_EXPECTS(samples >= 1, "need at least one sample");
+  if (num_workers <= 0) {
+    num_workers = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  }
+  num_workers = std::min(num_workers, samples);
+
+  // Sample seeds in serial draw order — the whole reproducibility story.
+  std::vector<std::uint64_t> seeds(static_cast<std::size_t>(samples));
+  Rng rng(seed);
+  for (auto& s : seeds) s = rng.next_u64();
+
+  std::vector<SampleOutcome> outcomes(static_cast<std::size_t>(samples));
+  std::atomic<int> cursor{0};
+  std::vector<McShardStats> shards(static_cast<std::size_t>(num_workers));
+  std::vector<std::exception_ptr> errors(
+      static_cast<std::size_t>(num_workers));
+
+  const auto worker_loop = [&](int w) {
+    const Clock::time_point w0 = Clock::now();
+    McShardStats& stats = shards[static_cast<std::size_t>(w)];
+    stats.worker = w;
+    for (;;) {
+      const int i = cursor.fetch_add(1);
+      if (i >= samples) break;
+      outcomes[static_cast<std::size_t>(i)] = run_one_sample(
+          algo, n, seeds[static_cast<std::size_t>(i)], adversary);
+      ++stats.samples_run;
+    }
+    stats.wall_seconds =
+        std::chrono::duration<double>(Clock::now() - w0).count();
+  };
+
+  const Clock::time_point t0 = Clock::now();
+  if (num_workers == 1) {
+    worker_loop(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(num_workers));
+    for (int w = 0; w < num_workers; ++w) {
+      threads.emplace_back([&, w] {
+        try {
+          worker_loop(w);
+        } catch (...) {
+          errors[static_cast<std::size_t>(w)] = std::current_exception();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (auto& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+  }
+
+  // Index-order fold — arithmetic identical to the serial driver's loop.
+  ExpectedComplexityEstimate est;
+  est.n = n;
+  est.samples = samples;
+  est.min_winner_ops = ~std::uint64_t{0};
+  int terminated = 0;
+  double sum_winner = 0.0;
+  double sum_max = 0.0;
+  for (const SampleOutcome& o : outcomes) {
+    if (!o.terminated) continue;
+    ++terminated;
+    sum_winner += static_cast<double>(o.winner_ops);
+    sum_max += static_cast<double>(o.max_ops);
+    est.min_winner_ops = std::min(est.min_winner_ops, o.winner_ops);
+  }
+  est.termination_rate =
+      static_cast<double>(terminated) / static_cast<double>(samples);
+  if (terminated > 0) {
+    est.mean_winner_ops = sum_winner / terminated;
+    est.mean_max_ops = sum_max / terminated;
+  }
+  est.bound = est.termination_rate * log4(static_cast<double>(n));
+  est.bound_met =
+      terminated == 0 ||
+      static_cast<double>(est.min_winner_ops) + 1e-9 >=
+          log4(static_cast<double>(n));
+
+  ParallelMcResult result;
+  result.estimate = est;
+  result.num_workers = num_workers;
+  result.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  result.shards = std::move(shards);
+  return result;
+}
+
+}  // namespace llsc

@@ -1,0 +1,56 @@
+// Parallel Monte-Carlo driver for the Lemma 3.1 estimator.
+//
+// estimate_expected_complexity (core/lower_bound.h) runs its samples
+// serially; the samples are embarrassingly parallel — each builds its own
+// System over its own SeededTossAssignment. This driver shards E4-style
+// sample sets across worker threads and folds the per-sample outcomes
+// into the SAME ExpectedComplexityEstimate, bit-for-bit:
+//
+//   * the per-sample seeds are drawn from Rng(seed) in serial order up
+//     front, so sample i sees the identical toss assignment it would see
+//     in the serial driver;
+//   * each worker claims sample indices from a shared atomic cursor and
+//     writes its outcome (terminated, winner_ops, max_ops — all integers)
+//     into a per-sample slot;
+//   * the fold walks the slots in index order. The accumulators sum
+//     integer-valued doubles far below 2^53, so the index-order fold is
+//     exact and equals the serial sum exactly, not just approximately.
+//
+// A ProcBody passed here is invoked concurrently from several workers (one
+// System per sample, but body(ctx, i, n) itself runs on many threads), so
+// it must be stateless or internally synchronized — true of everything in
+// wakeup/algorithms.h, and asserted in tests/hw_mc_test.cc.
+#ifndef LLSC_HW_MC_DRIVER_H_
+#define LLSC_HW_MC_DRIVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/lower_bound.h"
+
+namespace llsc {
+
+struct McShardStats {
+  int worker = 0;
+  int samples_run = 0;
+  double wall_seconds = 0.0;
+};
+
+struct ParallelMcResult {
+  // Identical (bitwise, field by field) to what the serial
+  // estimate_expected_complexity returns for the same inputs.
+  ExpectedComplexityEstimate estimate;
+  int num_workers = 0;
+  double wall_seconds = 0.0;
+  std::vector<McShardStats> shards;
+};
+
+// `num_workers` <= 0 picks std::thread::hardware_concurrency() (capped by
+// the sample count); 1 degenerates to the serial driver on this thread.
+ParallelMcResult estimate_expected_complexity_parallel(
+    const ProcBody& algo, int n, int samples, std::uint64_t seed,
+    int num_workers = 0, const AdversaryOptions& adversary = {});
+
+}  // namespace llsc
+
+#endif  // LLSC_HW_MC_DRIVER_H_

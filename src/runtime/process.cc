@@ -1,5 +1,6 @@
 #include "runtime/process.h"
 
+#include "hw/platform.h"
 #include "util/check.h"
 
 namespace llsc {
@@ -37,6 +38,28 @@ std::uint64_t Process::pending_toss_range() const {
   LLSC_EXPECTS(kind_ == StepKind::kToss,
                "pending_toss_range() requires a pending toss");
   return toss_range_;
+}
+
+bool Process::submit_op(PendingOp op, std::coroutine_handle<> frame) {
+  if (platform_ != nullptr && platform_->synchronous()) {
+    // Synchronous platform (hw backend): the step happens now, on this
+    // thread, and the coroutine continues without suspending.
+    op_result_ = platform_->apply(id_, op);
+    ++shared_ops_;
+    return false;
+  }
+  set_pending_op(std::move(op), frame);
+  return true;
+}
+
+bool Process::submit_toss(std::uint64_t range, std::coroutine_handle<> frame) {
+  if (platform_ != nullptr && platform_->synchronous()) {
+    toss_result_ = platform_->toss(id_, num_tosses_);
+    ++num_tosses_;
+    return false;
+  }
+  set_pending_toss(range, frame);
+  return true;
 }
 
 void Process::deliver_op_result(OpResult result) {

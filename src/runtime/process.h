@@ -32,6 +32,7 @@
 
 namespace llsc {
 
+class Platform;
 class Process;
 
 enum class StepKind : std::uint8_t {
@@ -121,7 +122,15 @@ class Process {
   ProcId id() const { return id_; }
   int num_processes() const { return n_; }
 
-  // Attach the coroutine (done once by System).
+  // The platform this process's steps execute on (hw/platform.h). A null
+  // or deferred platform keeps the classic simulator behaviour: awaitables
+  // suspend and a scheduler delivers results. A synchronous platform makes
+  // every awaitable execute its step inline, so start() runs the whole
+  // body to completion on the calling thread. Set before start().
+  void set_platform(Platform* platform) { platform_ = platform; }
+  Platform* platform() const { return platform_; }
+
+  // Attach the coroutine (done once by the owning executor/System).
   void attach(SimTask task);
 
   StepKind step_kind() const { return kind_; }
@@ -156,8 +165,15 @@ class Process {
   friend struct internal::OpAwaitableBase;
   friend struct internal::TossAwaitable;
 
-  // Called from awaitables. `frame` is the (possibly nested) coroutine
-  // that suspended; deliver/resume must resume exactly that frame.
+  // Called from awaitables: route one step through the platform. Returns
+  // true when the coroutine must stay suspended (deferred platform — a
+  // scheduler will deliver the result), false when the step already
+  // executed and the coroutine should continue inline (synchronous
+  // platform). `frame` is the (possibly nested) coroutine that suspended;
+  // in the deferred case deliver/resume must resume exactly that frame.
+  bool submit_op(PendingOp op, std::coroutine_handle<> frame);
+  bool submit_toss(std::uint64_t range, std::coroutine_handle<> frame);
+
   void set_pending_op(PendingOp op, std::coroutine_handle<> frame) {
     pending_op_ = std::move(op);
     kind_ = StepKind::kOp;
@@ -175,6 +191,7 @@ class Process {
 
   ProcId id_;
   int n_;
+  Platform* platform_ = nullptr;
   SimTask task_;
   StepKind kind_ = StepKind::kNotStarted;
   PendingOp pending_op_;
@@ -190,15 +207,18 @@ class Process {
 
 namespace internal {
 
-// Base behaviour shared by the operation awaitables: suspend with a pending
-// op; on resume, pick up the OpResult the scheduler delivered.
+// Base behaviour shared by the operation awaitables: submit the step to
+// the process's platform. Deferred platform (simulator): suspend with a
+// pending op and pick up the OpResult the scheduler delivered on resume.
+// Synchronous platform (hw): the step executes inside await_suspend, which
+// returns false so the coroutine continues without ever suspending.
 struct OpAwaitableBase {
   Process* proc;
   PendingOp op;
 
   bool await_ready() const noexcept { return false; }
-  void await_suspend(std::coroutine_handle<> frame) {
-    proc->set_pending_op(std::move(op), frame);
+  bool await_suspend(std::coroutine_handle<> frame) {
+    return proc->submit_op(std::move(op), frame);
   }
 
  protected:
@@ -244,8 +264,8 @@ struct TossAwaitable {
   std::uint64_t range;
 
   bool await_ready() const noexcept { return false; }
-  void await_suspend(std::coroutine_handle<> frame) {
-    proc->set_pending_toss(range, frame);
+  bool await_suspend(std::coroutine_handle<> frame) {
+    return proc->submit_toss(range, frame);
   }
   std::uint64_t await_resume() {
     const std::uint64_t raw = proc->toss_result();

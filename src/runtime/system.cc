@@ -9,13 +9,15 @@ namespace llsc {
 System::System(int n, const ProcBody& body,
                std::shared_ptr<const TossAssignment> tosses)
     : tosses_(tosses ? std::move(tosses)
-                     : std::make_shared<ZeroTossAssignment>()) {
+                     : std::make_shared<ZeroTossAssignment>()),
+      platform_(&memory_, tosses_.get()) {
   LLSC_EXPECTS(n >= 1, "a system needs at least one process");
   first_event_.assign(static_cast<std::size_t>(n), 0);
   completion_event_.assign(static_cast<std::size_t>(n), 0);
   procs_.reserve(static_cast<std::size_t>(n));
   for (ProcId i = 0; i < n; ++i) {
     auto proc = std::make_unique<Process>(i, n);
+    proc->set_platform(&platform_);
     proc->attach(body(ProcCtx(proc.get()), i, n));
     procs_.push_back(std::move(proc));
   }
@@ -40,7 +42,7 @@ void System::step(ProcId p) {
     return;  // running to the first suspension point is local computation
   }
   if (proc.step_kind() == StepKind::kToss) {
-    proc.deliver_toss(tosses_->outcome(p, proc.num_tosses()));
+    proc.deliver_toss(platform_.toss(p, proc.num_tosses()));
     ++event_clock_;
     note_step(p);
     return;
@@ -53,7 +55,7 @@ std::uint64_t System::advance_through_tosses(ProcId p) {
   if (proc.step_kind() == StepKind::kNotStarted) proc.start();
   std::uint64_t served = 0;
   while (proc.step_kind() == StepKind::kToss) {
-    proc.deliver_toss(tosses_->outcome(p, proc.num_tosses()));
+    proc.deliver_toss(platform_.toss(p, proc.num_tosses()));
     ++event_clock_;
     ++served;
   }
@@ -68,7 +70,7 @@ OpRecord System::execute_pending_op(ProcId p) {
   OpRecord rec;
   rec.proc = p;
   rec.op = proc.pending_op();
-  rec.result = memory_.apply(p, rec.op);
+  rec.result = platform_.apply(p, rec.op);
   rec.step_index = next_step_index_++;
   proc.deliver_op_result(rec.result);
   ++event_clock_;

@@ -14,11 +14,38 @@
 #include <memory>
 #include <vector>
 
+#include "hw/platform.h"
 #include "memory/shared_memory.h"
 #include "runtime/process.h"
 #include "runtime/toss.h"
 
 namespace llsc {
+
+// The simulator's Platform (hw/platform.h): steps are DEFERRED — a
+// suspended process exposes its pending step and a scheduler decides when
+// it executes — and when one executes it goes against the paper-exact
+// SharedMemory, with tosses served from the run's pre-committed
+// assignment. System owns one of these and registers it with every
+// process, making the simulator and the hw backend two implementations of
+// the same step interface.
+class SimPlatform final : public Platform {
+ public:
+  SimPlatform(SharedMemory* memory, const TossAssignment* tosses)
+      : memory_(memory), tosses_(tosses) {}
+
+  bool synchronous() const override { return false; }
+  OpResult apply(ProcId p, const PendingOp& op) override {
+    return memory_->apply(p, op);
+  }
+  std::uint64_t toss(ProcId p, std::uint64_t j) override {
+    return tosses_->outcome(p, j);
+  }
+  std::string name() const override { return "sim"; }
+
+ private:
+  SharedMemory* memory_;
+  const TossAssignment* tosses_;
+};
 
 class System {
  public:
@@ -80,6 +107,8 @@ class System {
   SharedMemory memory_;
   std::vector<std::unique_ptr<Process>> procs_;
   std::shared_ptr<const TossAssignment> tosses_;
+  // Declared after memory_ and tosses_ (it points into both).
+  SimPlatform platform_;
   // Marks completion/first-step clocks for p after it executed a step.
   void note_step(ProcId p);
 

@@ -1,0 +1,64 @@
+// Parallel Monte-Carlo driver: the sharded estimator must reproduce the
+// serial Lemma 3.1 estimator EXACTLY (same seeds, same fold), not merely
+// statistically.
+#include "hw/mc_driver.h"
+
+#include <gtest/gtest.h>
+
+#include "core/lower_bound.h"
+#include "wakeup/algorithms.h"
+
+namespace llsc {
+namespace {
+
+void expect_identical(const ExpectedComplexityEstimate& a,
+                      const ExpectedComplexityEstimate& b) {
+  EXPECT_EQ(a.n, b.n);
+  EXPECT_EQ(a.samples, b.samples);
+  EXPECT_EQ(a.termination_rate, b.termination_rate);
+  EXPECT_EQ(a.mean_winner_ops, b.mean_winner_ops);
+  EXPECT_EQ(a.mean_max_ops, b.mean_max_ops);
+  EXPECT_EQ(a.min_winner_ops, b.min_winner_ops);
+  EXPECT_EQ(a.bound, b.bound);
+  EXPECT_EQ(a.bound_met, b.bound_met);
+}
+
+TEST(HwMcTest, ParallelMatchesSerialBitForBit) {
+  const int n = 6;
+  const int samples = 32;
+  const std::uint64_t seed = 7;
+  const ExpectedComplexityEstimate serial =
+      estimate_expected_complexity(backoff_counter_wakeup(), n, samples, seed);
+  for (const int workers : {1, 2, 4}) {
+    const ParallelMcResult par = estimate_expected_complexity_parallel(
+        backoff_counter_wakeup(), n, samples, seed, workers);
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    expect_identical(serial, par.estimate);
+    EXPECT_EQ(par.num_workers, workers);
+    int run = 0;
+    for (const McShardStats& s : par.shards) run += s.samples_run;
+    EXPECT_EQ(run, samples);
+  }
+}
+
+TEST(HwMcTest, ParallelMatchesSerialOnRandomizedTournament) {
+  const int n = 8;
+  const int samples = 24;
+  const ExpectedComplexityEstimate serial = estimate_expected_complexity(
+      randomized_tournament_wakeup(), n, samples, /*seed=*/11);
+  const ParallelMcResult par = estimate_expected_complexity_parallel(
+      randomized_tournament_wakeup(), n, samples, /*seed=*/11, /*workers=*/3);
+  expect_identical(serial, par.estimate);
+  // The randomized tournament meets the paper's bound on every sample.
+  EXPECT_TRUE(par.estimate.bound_met);
+}
+
+TEST(HwMcTest, WorkerCountIsCappedBySamples) {
+  const ParallelMcResult par = estimate_expected_complexity_parallel(
+      tournament_wakeup(), /*n=*/4, /*samples=*/2, /*seed=*/1, /*workers=*/16);
+  EXPECT_EQ(par.num_workers, 2);
+  EXPECT_EQ(par.estimate.samples, 2);
+}
+
+}  // namespace
+}  // namespace llsc

@@ -1,0 +1,198 @@
+// HwMemory: single-thread parity with the paper-exact SharedMemory, the
+// deterministic cross-thread SC/VL invalidation contract, lock-free
+// fetch&increment counting under real contention, and epoch reclamation
+// accounting.
+#include "hw/hw_memory.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "memory/rmw.h"
+#include "memory/shared_memory.h"
+#include "util/rng.h"
+
+namespace llsc {
+namespace {
+
+TEST(HwMemoryTest, LlScBasics) {
+  HwMemory mem(4, 2);
+  EXPECT_TRUE(mem.ll(0, 0).is_nil());
+  OpResult r = mem.sc(0, 0, Value::of_u64(7));
+  EXPECT_TRUE(r.flag);
+  EXPECT_TRUE(r.value.is_nil());  // previous value on success
+  EXPECT_EQ(mem.peek_value(0).as_u64(), 7u);
+  // A successful SC clears the whole Pset, including the writer's own
+  // link: an immediate second SC must fail and report the current value.
+  r = mem.sc(0, 0, Value::of_u64(8));
+  EXPECT_FALSE(r.flag);
+  EXPECT_EQ(r.value.as_u64(), 7u);
+  EXPECT_EQ(mem.peek_value(0).as_u64(), 7u);
+}
+
+TEST(HwMemoryTest, InterveningScInvalidatesOtherLinks) {
+  HwMemory mem(4, 2);
+  (void)mem.ll(0, 0);
+  (void)mem.ll(1, 0);
+  ASSERT_TRUE(mem.sc(1, 0, Value::of_u64(1)).flag);
+  // Process 0's link died with process 1's successful SC.
+  EXPECT_FALSE(mem.validate(0, 0).flag);
+  OpResult r = mem.sc(0, 0, Value::of_u64(2));
+  EXPECT_FALSE(r.flag);
+  EXPECT_EQ(r.value.as_u64(), 1u);
+}
+
+TEST(HwMemoryTest, SwapAndMoveInvalidate) {
+  HwMemory mem(4, 2);
+  (void)mem.ll(0, 0);
+  EXPECT_TRUE(mem.swap(1, 0, Value::of_u64(3)).is_nil());
+  EXPECT_FALSE(mem.validate(0, 0).flag);
+  EXPECT_FALSE(mem.sc(0, 0, Value::of_u64(9)).flag);
+
+  (void)mem.ll(0, 1);
+  mem.move(1, /*src=*/0, /*dst=*/1);
+  EXPECT_EQ(mem.peek_value(1).as_u64(), 3u);
+  EXPECT_EQ(mem.peek_value(0).as_u64(), 3u);  // source unchanged
+  EXPECT_FALSE(mem.validate(0, 1).flag);
+}
+
+TEST(HwMemoryTest, RmwAppliesAndReturnsOld) {
+  HwMemory mem(2, 1);
+  (void)mem.swap(0, 0, Value::of_u64(10));
+  const auto inc = make_rmw("inc", [](const Value& v) {
+    return Value::of_u64(v.as_u64() + 1);
+  });
+  EXPECT_EQ(mem.rmw(0, 0, *inc).as_u64(), 10u);
+  EXPECT_EQ(mem.peek_value(0).as_u64(), 11u);
+}
+
+// Random single-thread op script applied to both memories step by step —
+// every response (flag and value) must match the paper-exact model.
+TEST(HwMemoryTest, RandomParityWithSharedMemory) {
+  constexpr int kProcs = 3;
+  constexpr RegId kRegs = 4;
+  HwMemory hw(kRegs, kProcs);
+  SharedMemory model;
+  Rng rng(42);
+  for (int step = 0; step < 5000; ++step) {
+    PendingOp op;
+    op.reg = rng.next_below(kRegs);
+    const ProcId p = static_cast<ProcId>(rng.next_below(kProcs));
+    switch (rng.next_below(5)) {
+      case 0:
+        op.kind = OpKind::kLL;
+        break;
+      case 1:
+        op.kind = OpKind::kSC;
+        op.arg = Value::of_u64(rng.next_u64() % 1000);
+        break;
+      case 2:
+        op.kind = OpKind::kValidate;
+        break;
+      case 3:
+        op.kind = OpKind::kSwap;
+        op.arg = Value::of_u64(rng.next_u64() % 1000);
+        break;
+      default:
+        op.kind = OpKind::kMove;
+        op.src = (op.reg + 1 + rng.next_below(kRegs - 1)) % kRegs;
+        break;
+    }
+    const OpResult got = hw.apply(p, op);
+    const OpResult want = model.apply(p, op);
+    ASSERT_EQ(got.flag, want.flag) << "step " << step;
+    ASSERT_EQ(got.value, want.value) << "step " << step;
+  }
+}
+
+// Deterministic two-thread handshake: after an intervening swap, the
+// reader's VL and SC must both fail — every round, no races about it.
+TEST(HwMemoryTest, ScAndVlNeverSucceedAfterInterveningWrite) {
+  constexpr int kRounds = 2000;
+  HwMemory mem(2, 2);
+  std::atomic<int> linked_round{-1};
+  std::atomic<int> swapped_round{-1};
+  std::thread writer([&] {
+    for (int i = 0; i < kRounds; ++i) {
+      while (linked_round.load() < i) std::this_thread::yield();
+      (void)mem.swap(1, 0, Value::of_u64(static_cast<std::uint64_t>(i)));
+      swapped_round.store(i);
+    }
+  });
+  for (int i = 0; i < kRounds; ++i) {
+    (void)mem.ll(0, 0);
+    linked_round.store(i);
+    while (swapped_round.load() < i) std::this_thread::yield();
+    EXPECT_FALSE(mem.validate(0, 0).flag) << "round " << i;
+    EXPECT_FALSE(mem.sc(0, 0, Value::of_u64(~0ull)).flag) << "round " << i;
+  }
+  writer.join();
+  // No bogus SC ever landed: the register holds the last swap's value.
+  EXPECT_EQ(mem.peek_value(0).as_u64(),
+            static_cast<std::uint64_t>(kRounds - 1));
+}
+
+// Lock-free fetch&increment via LL/SC retry from several threads. Every
+// successful SC adds exactly 1, so the final value must equal the summed
+// success counts — lost updates (an SC succeeding despite an intervening
+// write) or duplicated ones would break the equality.
+TEST(HwMemoryTest, ConcurrentFetchIncrementIsExact) {
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 3000;
+  HwMemory mem(1, kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::uint64_t ok = 0;
+      while (ok < kPerThread) {
+        const Value v = mem.ll(t, 0);
+        const std::uint64_t cur = v.is_nil() ? 0 : v.as_u64();
+        if (mem.sc(t, 0, Value::of_u64(cur + 1)).flag) ++ok;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mem.peek_value(0).as_u64(), kThreads * kPerThread);
+}
+
+TEST(HwMemoryTest, EpochReclamationFreesRetiredNodes) {
+  HwMemory mem(1, 1);
+  for (int i = 0; i < 20000; ++i) {
+    (void)mem.swap(0, 0, Value::of_u64(static_cast<std::uint64_t>(i)));
+  }
+  const HwReclaimStats s = mem.reclaim_stats();
+  EXPECT_EQ(s.nodes_allocated, 20000u);
+  EXPECT_EQ(s.nodes_retired, 20000u);  // every install retires its predecessor
+  EXPECT_LE(s.nodes_freed, s.nodes_retired);
+  // The unfreed tail is bounded by a few scan intervals, not the workload.
+  EXPECT_GT(s.nodes_freed, 19000u);
+  EXPECT_GT(s.global_epoch, 1u);
+}
+
+TEST(HwMemoryTest, ReclamationUnderContention) {
+  constexpr int kThreads = 4;
+  HwMemory mem(2, kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 4000; ++i) {
+        const RegId r = static_cast<RegId>(i & 1);
+        const Value v = mem.ll(t, r);
+        const std::uint64_t cur = v.is_nil() ? 0 : v.as_u64();
+        if (!mem.sc(t, r, Value::of_u64(cur + 1)).flag) {
+          (void)mem.swap(t, r, Value::of_u64(cur));
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const HwReclaimStats s = mem.reclaim_stats();
+  EXPECT_EQ(s.nodes_retired, s.nodes_allocated);
+  EXPECT_GT(s.nodes_freed, 0u);
+  EXPECT_LE(s.nodes_freed, s.nodes_retired);
+}
+
+}  // namespace
+}  // namespace llsc

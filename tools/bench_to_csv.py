@@ -1,18 +1,36 @@
 #!/usr/bin/env python3
-"""Convert google-benchmark console output into CSV.
+"""Convert google-benchmark output (console or JSON) into CSV.
 
 Usage:
     ./build/bench/bench_wakeup_lower_bound | tools/bench_to_csv.py > e1.csv
-    tools/bench_to_csv.py < bench_output.txt > all.csv
+    ./build/bench/bench_hw_throughput --benchmark_format=json \
+        | tools/bench_to_csv.py > e10.csv
+    tools/bench_to_csv.py --check < bench_output.json   # validate only
 
-Parses benchmark rows of the form
+The input format is auto-detected: JSON when the stream starts with '{'
+(the --benchmark_format=json shape: {"context": ..., "benchmarks": [...]}),
+console rows otherwise:
 
-    llsc::BM_Tournament/64   3.87 ms   3.75 ms   7  log4_n=3 n=64 winner_ops=50
+    llsc::BM_Tournament/64   3.87 ms   3.75 ms   7  log4_n=3 n=64 ...
 
-into one CSV row per benchmark with columns: name, arg, time_ns, cpu_ns,
-iterations, plus one column per user counter (the union across rows).
+Output: one CSV row per benchmark with columns name, arg, threads,
+time_ns, cpu_ns, iterations, plus one column per user counter (union
+across rows, in first-seen order). `threads` is taken from the
+`n_threads` counter the hw benchmarks report (bench/bench_hw_throughput.cc)
+and left empty for single-threaded benchmarks; latency percentile
+counters (latency_p50_ns / latency_p99_ns) flow through like any other
+counter.
+
+--check: validate instead of convert. Exits 1 with a diagnostic on
+malformed input (unparseable JSON, missing/empty "benchmarks", rows
+missing required fields, or non-finite measurements) and 0 with a one-line
+summary when the input is sound. Use it in CI to fail fast on truncated
+benchmark artifacts.
 """
+import argparse
 import csv
+import json
+import math
 import re
 import sys
 
@@ -23,6 +41,13 @@ COUNTER = re.compile(r"(\w+)=([\d.e+kMG-]+)")
 UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 SUFFIX = {"k": 1e3, "M": 1e6, "G": 1e9}
 
+BASE_FIELDS = ["name", "arg", "threads", "time_ns", "cpu_ns", "iterations"]
+REQUIRED_JSON_FIELDS = ["name", "real_time", "cpu_time", "iterations"]
+
+
+class MalformedInput(Exception):
+    pass
+
 
 def parse_number(text):
     if text and text[-1] in SUFFIX:
@@ -30,15 +55,18 @@ def parse_number(text):
     return float(text)
 
 
-def main():
+def split_name(full_name):
+    base, _, arg = full_name.partition("/")
+    return base, arg
+
+
+def parse_console(stream):
     rows = []
-    counters = []
-    for line in sys.stdin:
+    for line in stream:
         m = ROW.match(line.strip())
         if not m:
             continue
-        name = m.group("name")
-        base, _, arg = name.partition("/")
+        base, arg = split_name(m.group("name"))
         row = {
             "name": base,
             "arg": arg,
@@ -48,15 +76,121 @@ def main():
         }
         for key, value in COUNTER.findall(m.group("rest")):
             row[key] = parse_number(value)
-            if key not in counters:
-                counters.append(key)
         rows.append(row)
-    fields = ["name", "arg", "time_ns", "cpu_ns", "iterations"] + counters
-    writer = csv.DictWriter(sys.stdout, fieldnames=fields)
+    return rows
+
+
+def parse_json(text):
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as e:
+        raise MalformedInput(f"not valid JSON: {e}")
+    if not isinstance(doc, dict) or "benchmarks" not in doc:
+        raise MalformedInput('missing top-level "benchmarks" array')
+    benches = doc["benchmarks"]
+    if not isinstance(benches, list) or not benches:
+        raise MalformedInput('"benchmarks" is empty or not an array')
+    rows = []
+    for i, b in enumerate(benches):
+        if not isinstance(b, dict):
+            raise MalformedInput(f"benchmarks[{i}] is not an object")
+        # Aggregate rows (mean/median/stddev) ride along like regular runs.
+        missing = [f for f in REQUIRED_JSON_FIELDS if f not in b]
+        if missing:
+            raise MalformedInput(
+                f"benchmarks[{i}] missing field(s): {', '.join(missing)}")
+        unit = b.get("time_unit", "ns")
+        if unit not in UNIT_NS:
+            raise MalformedInput(
+                f"benchmarks[{i}] has unknown time_unit {unit!r}")
+        base, arg = split_name(str(b["name"]))
+        row = {
+            "name": base,
+            "arg": arg,
+            "time_ns": float(b["real_time"]) * UNIT_NS[unit],
+            "cpu_ns": float(b["cpu_time"]) * UNIT_NS[unit],
+            "iterations": int(b["iterations"]),
+        }
+        reserved = set(REQUIRED_JSON_FIELDS) | {
+            "run_name", "run_type", "repetitions", "repetition_index",
+            "threads", "time_unit", "family_index",
+            "per_family_instance_index", "aggregate_name", "aggregate_unit",
+            "label", "error_occurred", "error_message",
+        }
+        for key, value in b.items():
+            if key in reserved or not isinstance(value, (int, float)):
+                continue
+            row[key] = float(value)
+        rows.append(row)
+    return rows
+
+
+def validate(rows):
+    if not rows:
+        raise MalformedInput("no benchmark rows found")
+    for row in rows:
+        for key, value in row.items():
+            if isinstance(value, float) and not math.isfinite(value):
+                raise MalformedInput(
+                    f"benchmark {row['name']}/{row['arg']}: "
+                    f"non-finite value for {key}")
+        if row["iterations"] <= 0:
+            raise MalformedInput(
+                f"benchmark {row['name']}/{row['arg']}: "
+                f"non-positive iteration count")
+        if row["time_ns"] < 0 or row["cpu_ns"] < 0:
+            raise MalformedInput(
+                f"benchmark {row['name']}/{row['arg']}: negative time")
+
+
+def write_csv(rows, out):
+    counters = []
+    for row in rows:
+        # The hw benchmarks report their process/thread count as a counter;
+        # surface it as a first-class column.
+        if "n_threads" in row:
+            row["threads"] = int(row.pop("n_threads"))
+        for key in row:
+            if key not in BASE_FIELDS and key not in counters:
+                counters.append(key)
+    writer = csv.DictWriter(out, fieldnames=BASE_FIELDS + counters)
     writer.writeheader()
     for row in rows:
         writer.writerow(row)
 
 
+def main():
+    ap = argparse.ArgumentParser(
+        description="google-benchmark output (console or JSON) -> CSV")
+    ap.add_argument("--check", action="store_true",
+                    help="validate the input instead of converting; exit 1 "
+                         "on malformed benchmark output")
+    args = ap.parse_args()
+
+    text = sys.stdin.read()
+    try:
+        stripped = text.lstrip()
+        if stripped.startswith("{"):
+            rows = parse_json(text)
+        else:
+            if args.check and not stripped:
+                raise MalformedInput("empty input")
+            rows = parse_console(text.splitlines())
+        validate(rows)
+    except MalformedInput as e:
+        if args.check:
+            print(f"bench_to_csv: malformed benchmark output: {e}",
+                  file=sys.stderr)
+            return 1
+        raise SystemExit(f"bench_to_csv: {e}")
+
+    if args.check:
+        names = {row["name"] for row in rows}
+        print(f"ok: {len(rows)} benchmark rows from {len(names)} benchmarks")
+        return 0
+    write_csv(rows, sys.stdout)
+    return 0
+
+
 if __name__ == "__main__":
-    main()
+    sys.exit(main())
