@@ -13,11 +13,21 @@
 // interleavings, not speedup — see EXPERIMENTS.md E10 for the recorded
 // caveat). shared_ops_per_uc_op grows ~log2(n) for Group-Update and ~n for
 // the single-register construction on BOTH platforms.
+// E11 rides along below: BM_HwBackoff_* compares the fixed, adaptive, and
+// adaptive+parking backoff policies (hw/backoff.h) on a raw single-register
+// rmw hammer across thread counts, including an oversubscribed point
+// (threads = 2 × cores) where the parking tier earns its keep.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <barrier>
+#include <chrono>
 #include <memory>
+#include <thread>
+#include <vector>
 
 #include "hw/hw_executor.h"
+#include "memory/rmw.h"
 #include "objects/arith.h"
 #include "universal/group_update.h"
 #include "universal/single_register.h"
@@ -109,6 +119,93 @@ void thread_sweep(benchmark::internal::Benchmark* b) {
   }
 }
 
+// --- E11: backoff-policy comparison under raw register contention --------
+//
+// The purest retry-loop workload the backend has: every thread performs
+// `ops` fetch&add rmw operations on ONE register, so each operation is one
+// trip through HwMemory's CAS retry loop and the measured rate is the
+// policy's, not an algorithm's. The final register value audits exactness.
+
+struct HammerResult {
+  double ops_per_second = 0.0;
+  HwBackoffStats stats;
+};
+
+HammerResult hammer_one_register(BackoffPolicy policy, int threads, int ops) {
+  BackoffOptions opts;
+  opts.policy = policy;
+  HwMemory mem(1, threads, opts);
+  const auto inc = make_rmw("inc", [](const Value& v) {
+    return Value::of_u64(v.is_nil() ? 1 : v.as_u64() + 1);
+  });
+  std::barrier sync(threads + 1);
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      sync.arrive_and_wait();
+      for (int i = 0; i < ops; ++i) (void)mem.rmw(t, 0, *inc);
+    });
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  sync.arrive_and_wait();
+  for (auto& w : workers) w.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(threads) * static_cast<std::uint64_t>(ops);
+  LLSC_CHECK(mem.peek_value(0).as_u64() == total,
+             "lost or duplicated rmw increments");
+  HammerResult out;
+  const double wall = std::chrono::duration<double>(t1 - t0).count();
+  out.ops_per_second = wall > 0 ? static_cast<double>(total) / wall : 0.0;
+  out.stats = mem.backoff_stats();
+  return out;
+}
+
+void run_backoff(benchmark::State& state, BackoffPolicy policy) {
+  const int threads = static_cast<int>(state.range(0));
+  const int ops = static_cast<int>(state.range(1));
+  HammerResult r;
+  for (auto _ : state) {
+    r = hammer_one_register(policy, threads, ops);
+  }
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  state.counters["n_threads"] = threads;
+  state.counters["policy_id"] = static_cast<double>(r.stats.policy);
+  state.counters["oversubscribed"] =
+      threads > static_cast<int>(cores) ? 1.0 : 0.0;
+  state.counters["hw_ops_per_sec"] = r.ops_per_second;
+  state.counters["cas_failure_rate"] = r.stats.failure_rate();
+  state.counters["spin_pauses"] = static_cast<double>(r.stats.spin_pauses);
+  state.counters["yields"] = static_cast<double>(r.stats.yields);
+  state.counters["parks"] = static_cast<double>(r.stats.parks);
+  state.counters["wakes"] = static_cast<double>(r.stats.wakes);
+}
+
+void BM_HwBackoff_Fixed(benchmark::State& state) {
+  run_backoff(state, BackoffPolicy::kFixed);
+}
+void BM_HwBackoff_Adaptive(benchmark::State& state) {
+  run_backoff(state, BackoffPolicy::kAdaptive);
+}
+void BM_HwBackoff_AdaptivePark(benchmark::State& state) {
+  run_backoff(state, BackoffPolicy::kAdaptiveParking);
+}
+
+// Low contention (1), moderate (2), saturation (cores), and an
+// oversubscribed point (2 × cores) where threads outnumber cores and
+// spinning burns timeslices the contending writers need.
+void backoff_sweep(benchmark::internal::Benchmark* b) {
+  const int cores = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  std::vector<int> counts{1, 2, cores, 2 * cores};
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  for (const int threads : counts) {
+    b->Args({threads, /*ops_per_thread=*/2000});
+  }
+}
+
 }  // namespace
 }  // namespace llsc
 
@@ -126,3 +223,15 @@ BENCHMARK(llsc::BM_SingleRegister_Hw)
 BENCHMARK(llsc::BM_SingleRegister_Simulator)
     ->Apply(llsc::thread_sweep)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(llsc::BM_HwBackoff_Fixed)
+    ->Apply(llsc::backoff_sweep)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(llsc::BM_HwBackoff_Adaptive)
+    ->Apply(llsc::backoff_sweep)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(llsc::BM_HwBackoff_AdaptivePark)
+    ->Apply(llsc::backoff_sweep)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();

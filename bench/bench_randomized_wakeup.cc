@@ -34,6 +34,7 @@ void BM_RandomizedTournament(benchmark::State& state) {
   state.counters["mean_winner_ops"] = est.mean_winner_ops;
   state.counters["min_winner_ops"] = static_cast<double>(est.min_winner_ops);
   state.counters["bound_c_log4_n"] = est.bound;
+  state.counters["spec_violations"] = est.spec_violations;
   state.counters["mc_workers"] = result.num_workers;
 }
 
@@ -51,6 +52,7 @@ void BM_BackoffCounter(benchmark::State& state) {
   state.counters["min_winner_ops"] = static_cast<double>(est.min_winner_ops);
   state.counters["mean_max_ops"] = est.mean_max_ops;
   state.counters["bound_c_log4_n"] = est.bound;
+  state.counters["spec_violations"] = est.spec_violations;
   state.counters["mc_workers"] = result.num_workers;
 }
 
@@ -71,6 +73,7 @@ void BM_FlakyWakeup(benchmark::State& state) {
   state.counters["mean_winner_ops"] = est.mean_winner_ops;
   state.counters["expected_cost"] = est.termination_rate * est.mean_winner_ops;
   state.counters["bound_c_log4_n"] = est.bound;
+  state.counters["spec_violations"] = est.spec_violations;
   state.counters["mc_workers"] = result.num_workers;
 }
 

@@ -26,12 +26,17 @@ std::string WakeupLowerBoundReport::summary() const {
 }
 
 std::string ExpectedComplexityEstimate::summary() const {
-  return "n=" + std::to_string(n) + " samples=" + std::to_string(samples) +
-         " c=" + std::to_string(termination_rate) +
-         " E[winner ops]=" + std::to_string(mean_winner_ops) +
-         " E[t(R)]=" + std::to_string(mean_max_ops) +
-         " bound c*log4(n)=" + std::to_string(bound) +
-         (bound_met ? " met" : " VIOLATED");
+  std::string s = "n=" + std::to_string(n) +
+                  " samples=" + std::to_string(samples) +
+                  " c=" + std::to_string(termination_rate) +
+                  " E[winner ops]=" + std::to_string(mean_winner_ops) +
+                  " E[t(R)]=" + std::to_string(mean_max_ops) +
+                  " bound c*log4(n)=" + std::to_string(bound) +
+                  (bound_met ? " met" : " VIOLATED");
+  if (spec_violations > 0) {
+    s += " SPEC-VIOLATIONS=" + std::to_string(spec_violations);
+  }
+  return s;
 }
 
 namespace {
@@ -144,6 +149,7 @@ ExpectedComplexityEstimate estimate_expected_complexity(
 
   Rng rng(seed);
   int terminated = 0;
+  int winner_samples = 0;
   double sum_winner = 0.0;
   double sum_max = 0.0;
   for (int i = 0; i < samples; ++i) {
@@ -156,6 +162,7 @@ ExpectedComplexityEstimate estimate_expected_complexity(
     const RunLog log = run_adversary(sys, opts);
     if (!log.all_terminated) continue;
     ++terminated;
+    sum_max += static_cast<double>(sys.max_shared_ops());
     std::uint64_t winner_ops = ~std::uint64_t{0};
     for (ProcId p = 0; p < n; ++p) {
       const Process& proc = sys.process(p);
@@ -164,26 +171,34 @@ ExpectedComplexityEstimate estimate_expected_complexity(
         winner_ops = std::min(winner_ops, proc.shared_ops());
       }
     }
-    if (winner_ops == ~std::uint64_t{0}) winner_ops = 0;  // spec violation
+    if (winner_ops == ~std::uint64_t{0}) {
+      // Terminated with no 1-returner: a wakeup-spec violation. Count it;
+      // folding it in as winner_ops = 0 would silently drag
+      // min_winner_ops to 0 and flip bound_met.
+      ++est.spec_violations;
+      continue;
+    }
+    ++winner_samples;
     sum_winner += static_cast<double>(winner_ops);
-    sum_max += static_cast<double>(sys.max_shared_ops());
     est.min_winner_ops = std::min(est.min_winner_ops, winner_ops);
   }
   est.termination_rate =
       static_cast<double>(terminated) / static_cast<double>(samples);
-  if (terminated > 0) {
-    est.mean_winner_ops = sum_winner / terminated;
-    est.mean_max_ops = sum_max / terminated;
-  }
+  if (winner_samples > 0) est.mean_winner_ops = sum_winner / winner_samples;
+  if (terminated > 0) est.mean_max_ops = sum_max / terminated;
   est.bound = est.termination_rate * log4(static_cast<double>(n));
   // Theorem 6.1's proof shows every terminating adversary run makes the
   // 1-returner perform >= log_4 n operations; the sharpest empirical check
   // is therefore on the minimum across samples (which also implies the
-  // expected-complexity bound c * log_4 n of Lemma 3.1).
+  // expected-complexity bound c * log_4 n of Lemma 3.1). With no winner
+  // sample the check is vacuous (spec_violations carries the bad news).
   est.bound_met =
-      terminated == 0 ||
+      winner_samples == 0 ||
       static_cast<double>(est.min_winner_ops) + 1e-9 >=
           log4(static_cast<double>(n));
+  // Don't leak the ~0 accumulator sentinel into printed/JSON rows when no
+  // sample produced a winner.
+  if (est.min_winner_ops == ~std::uint64_t{0}) est.min_winner_ops = 0;
   return est;
 }
 

@@ -92,14 +92,23 @@ struct ExpectedComplexityEstimate {
   // Fraction of sampled assignments whose adversary run terminated — the
   // empirical termination probability c.
   double termination_rate = 0.0;
-  // Mean over terminating samples of the winner's op count / of t(R).
+  // Terminated samples in which NO process returned 1 — the run finished
+  // but nobody claimed "everyone is up", violating the wakeup spec. Such
+  // samples are excluded from the winner-ops statistics below (they have
+  // no winner to count) and surfaced here instead of being silently
+  // folded in as winner_ops = 0, which used to drag min_winner_ops to 0
+  // and flip bound_met with no trace.
+  int spec_violations = 0;
+  // Mean over terminating samples WITH a winner of the winner's op count;
+  // mean over all terminating samples of t(R).
   double mean_winner_ops = 0.0;
   double mean_max_ops = 0.0;
-  // Worst (minimum) winner op count seen across samples.
+  // Worst (minimum) winner op count across samples with a winner; 0 when
+  // no sample produced a winner (never the ~0 accumulator sentinel).
   std::uint64_t min_winner_ops = 0;
   // The Theorem 6.1 randomized bound: c * log_4 n.
   double bound = 0.0;
-  bool bound_met = false;  // mean_winner_ops >= bound
+  bool bound_met = false;  // min over winners >= log_4 n (vacuous if none)
 
   std::string summary() const;
 };

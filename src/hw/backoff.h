@@ -1,42 +1,136 @@
-// Bounded exponential backoff for contended CAS retry loops.
+// Backoff policies for contended CAS retry loops (HwMemory::install/rmw).
 //
-// Standard shape (cf. the Synch-framework-style thread harnesses): start
-// with a handful of spin iterations, double on every failure up to a cap,
-// and past a threshold yield the CPU instead of burning it — which matters
-// both under heavy contention and when threads outnumber cores.
+// Three tiers, selectable per HwMemory/HwExecutor at construction:
+//
+//   kFixed            the classic Synch-framework shape: the spin window
+//                     starts at min_spins on every operation and doubles
+//                     (clamped to max_spins) on every failed CAS; windows
+//                     at or above yield_threshold give up the timeslice
+//                     instead of spinning.
+//   kAdaptive         the window persists across operations and tracks the
+//                     observed CAS-failure rate: multiplicative increase
+//                     (×2, clamped) on failure streaks, additive decrease
+//                     (−decrease_step, clamped) on success streaks. Under
+//                     sustained contention the window stays wide without
+//                     re-learning it every operation; when contention
+//                     drains, successive successes walk it back down.
+//   kAdaptiveParking  kAdaptive plus a third tier: once the window has
+//                     been saturated at max_spins for park_threshold
+//                     consecutive failures, the thread parks on the
+//                     register's ParkSpot futex word instead of burning a
+//                     timeslice — essential when worker threads outnumber
+//                     cores. Successful writers wake parked threads; a
+//                     bounded park timeout means progress never depends on
+//                     the wakeup arriving (see Waiter).
+//
+// The policy object is per-thread (no shared state); the park/wake
+// rendezvous goes through a per-register ParkSpot and a Waiter, which
+// tests stub out to drive the park path deterministically.
 #ifndef LLSC_HW_BACKOFF_H_
 #define LLSC_HW_BACKOFF_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <thread>
 
 namespace llsc {
 
+enum class BackoffPolicy : int {
+  kFixed = 0,
+  kAdaptive = 1,
+  kAdaptiveParking = 2,
+};
+
+const char* to_string(BackoffPolicy policy);
+
+// How a thread blocks once backoff escalates past spinning/yielding.
+// The default (system()) parks on a futex on Linux and falls back to a
+// short sleep elsewhere. Implementations must be wait-bounded: wait()
+// may return spuriously and MUST return after a bounded timeout even if
+// no wake ever arrives — callers re-check and retry, so a missed wake
+// costs latency, never progress.
+class Waiter {
+ public:
+  virtual ~Waiter() = default;
+  // Block while word == expected (or until timeout/spurious return).
+  virtual void wait(std::atomic<std::uint32_t>& word,
+                    std::uint32_t expected) = 0;
+  // Wake every thread blocked in wait() on `word`.
+  virtual void wake_all(std::atomic<std::uint32_t>& word) = 0;
+
+  // Process-wide default: FutexWaiter on Linux, TimedSleepWaiter elsewhere.
+  static Waiter& system();
+};
+
+// Per-register park rendezvous. Writers bump `seq` and wake when
+// `waiters` is non-zero; parkers register in `waiters`, snapshot `seq`,
+// and wait while it is unchanged. The (benign) race where a write lands
+// between a parker's last CAS failure and its waiters increment is
+// bounded by the Waiter's timeout.
+struct ParkSpot {
+  std::atomic<std::uint32_t> seq{0};
+  std::atomic<std::uint32_t> waiters{0};
+};
+
+struct BackoffOptions {
+  BackoffPolicy policy = BackoffPolicy::kFixed;
+  std::uint32_t min_spins = 4;
+  std::uint32_t max_spins = 1024;
+  // Windows at or above this spin count yield the CPU instead of spinning;
+  // essential on machines with fewer cores than worker threads.
+  std::uint32_t yield_threshold = 256;
+  // Adaptive: how much a successful CAS narrows the window.
+  std::uint32_t decrease_step = 32;
+  // Parking: consecutive failures at a saturated (== max_spins) window
+  // before the thread parks instead of yielding.
+  std::uint32_t park_threshold = 4;
+  // nullptr selects Waiter::system(); tests inject a stub.
+  Waiter* waiter = nullptr;
+};
+
+// Counters one Backoff instance accumulated (per thread; aggregate via
+// HwMemory::backoff_stats()).
+struct BackoffStats {
+  std::uint64_t cas_failures = 0;
+  std::uint64_t cas_successes = 0;
+  std::uint64_t spin_pauses = 0;  // backoff waits served by spinning
+  std::uint64_t yields = 0;       // ... by yielding the timeslice
+  std::uint64_t parks = 0;        // ... by parking on a ParkSpot
+
+  double failure_rate() const {
+    const std::uint64_t attempts = cas_failures + cas_successes;
+    return attempts == 0
+               ? 0.0
+               : static_cast<double>(cas_failures) /
+                     static_cast<double>(attempts);
+  }
+};
+
 class Backoff {
  public:
-  explicit Backoff(std::uint32_t min_spins = 4, std::uint32_t max_spins = 1024)
-      : min_spins_(min_spins), max_spins_(max_spins), current_(min_spins) {}
+  explicit Backoff(const BackoffOptions& options = {});
 
-  // Wait once (called after a failed CAS), then widen the next window.
-  void pause() {
-    if (current_ >= kYieldThreshold) {
-      std::this_thread::yield();
-    } else {
-      for (std::uint32_t i = 0; i < current_; ++i) {
-        cpu_relax();
-      }
-    }
-    if (current_ < max_spins_) current_ *= 2;
-  }
+  // Called once at the top of each retry loop. kFixed re-arms the window
+  // at min_spins; the adaptive policies carry it across operations and
+  // only reset the saturation streak.
+  void begin_op();
 
-  void reset() { current_ = min_spins_; }
+  // Called after a failed CAS: wait once (spin, yield, or park on `spot`
+  // depending on tier and window), then widen the window — multiplicative
+  // increase clamped to max_spins. `spot` may be null (no parking tier
+  // available at this call site).
+  void on_failure(ParkSpot* spot = nullptr);
+
+  // Called after the retry loop's CAS lands: adaptive policies narrow the
+  // window (additive decrease clamped to min_spins).
+  void on_success();
+
+  BackoffPolicy policy() const { return options_.policy; }
+  std::uint32_t window() const { return window_; }
+  const BackoffStats& stats() const { return stats_; }
 
  private:
-  // Spin windows at or above this count give up the timeslice instead;
-  // essential on machines with fewer cores than worker threads.
-  static constexpr std::uint32_t kYieldThreshold = 256;
-
   static void cpu_relax() {
 #if defined(__x86_64__) || defined(__i386__)
     __builtin_ia32_pause();
@@ -47,10 +141,76 @@ class Backoff {
 #endif
   }
 
-  std::uint32_t min_spins_;
-  std::uint32_t max_spins_;
-  std::uint32_t current_;
+  void park(ParkSpot& spot);
+
+  BackoffOptions options_;
+  Waiter* waiter_;
+  std::uint32_t window_;
+  // Consecutive on_failure calls with the window already at max_spins;
+  // crossing park_threshold engages the parking tier.
+  std::uint32_t saturated_streak_ = 0;
+  BackoffStats stats_;
 };
+
+inline Backoff::Backoff(const BackoffOptions& options)
+    : options_(options),
+      waiter_(options.waiter != nullptr ? options.waiter : &Waiter::system()),
+      window_(options.min_spins) {
+  // Degenerate configurations clamp instead of trapping: the policy is a
+  // performance knob, never a correctness gate.
+  if (options_.min_spins == 0) options_.min_spins = 1;
+  if (options_.max_spins < options_.min_spins) {
+    options_.max_spins = options_.min_spins;
+  }
+  window_ = options_.min_spins;
+}
+
+inline void Backoff::begin_op() {
+  saturated_streak_ = 0;
+  if (options_.policy == BackoffPolicy::kFixed) {
+    window_ = options_.min_spins;
+  }
+}
+
+inline void Backoff::on_failure(ParkSpot* spot) {
+  ++stats_.cas_failures;
+  const bool saturated = window_ >= options_.max_spins;
+  saturated_streak_ = saturated ? saturated_streak_ + 1 : 0;
+  if (options_.policy == BackoffPolicy::kAdaptiveParking && spot != nullptr &&
+      saturated_streak_ > options_.park_threshold) {
+    ++stats_.parks;
+    park(*spot);
+  } else if (window_ >= options_.yield_threshold) {
+    ++stats_.yields;
+    std::this_thread::yield();
+  } else {
+    ++stats_.spin_pauses;
+    for (std::uint32_t i = 0; i < window_; ++i) cpu_relax();
+  }
+  // Multiplicative increase, clamped. (The pre-clamp form `if (window <
+  // max) window *= 2` overshoots a non-power-of-two cap by up to 2×.)
+  window_ = std::min(window_ * 2, options_.max_spins);
+}
+
+inline void Backoff::on_success() {
+  ++stats_.cas_successes;
+  saturated_streak_ = 0;
+  if (options_.policy == BackoffPolicy::kFixed) return;
+  // Additive decrease, clamped at the floor.
+  window_ = window_ > options_.min_spins + options_.decrease_step
+                ? window_ - options_.decrease_step
+                : options_.min_spins;
+}
+
+inline void Backoff::park(ParkSpot& spot) {
+  // Order matters: register as a waiter BEFORE snapshotting seq, so a
+  // writer that bumps seq after our snapshot is guaranteed to observe
+  // waiters != 0 and issue the wake.
+  spot.waiters.fetch_add(1, std::memory_order_seq_cst);
+  const std::uint32_t seen = spot.seq.load(std::memory_order_seq_cst);
+  waiter_->wait(spot.seq, seen);
+  spot.waiters.fetch_sub(1, std::memory_order_relaxed);
+}
 
 }  // namespace llsc
 

@@ -91,7 +91,7 @@ HwExecutor::HwExecutor(HwRunOptions options) : options_(std::move(options)) {}
 
 HwRunResult HwExecutor::run(int n, const ProcBody& body) {
   LLSC_EXPECTS(n >= 1, "an execution needs at least one process");
-  HwMemory memory(options_.num_registers, n);
+  HwMemory memory(options_.num_registers, n, options_.backoff);
   std::shared_ptr<const TossAssignment> tosses = options_.tosses;
   if (!tosses) {
     tosses = std::make_shared<SeededTossAssignment>(options_.seed);
@@ -159,6 +159,7 @@ HwRunResult HwExecutor::run(int n, const ProcBody& body) {
   }
   LLSC_CHECK(out.ok, "a process failed to run to completion on hw");
   out.reclaim = memory.reclaim_stats();
+  out.backoff = memory.backoff_stats();
   return out;
 }
 

@@ -62,6 +62,9 @@ struct HwRunOptions {
   // (e.g. GroupUpdateUC::register_span()); the default fits every
   // workload in tests/bench at n ≤ 1024.
   std::size_t num_registers = 1 << 12;
+  // Retry-loop backoff policy for the run's HwMemory (hw/backoff.h);
+  // kAdaptiveParking is the right choice when n exceeds the core count.
+  BackoffOptions backoff;
 };
 
 struct HwRunResult {
@@ -74,6 +77,7 @@ struct HwRunResult {
   std::uint64_t total_shared_ops = 0;
   double wall_seconds = 0.0;
   HwReclaimStats reclaim;
+  HwBackoffStats backoff;
 };
 
 class HwExecutor {

@@ -16,14 +16,19 @@ constexpr std::uint64_t kScanInterval = 64;
 
 }  // namespace
 
-HwMemory::HwMemory(std::size_t num_registers, int num_threads)
-    : regs_(num_registers) {
+HwMemory::HwMemory(std::size_t num_registers, int num_threads,
+                   const BackoffOptions& backoff)
+    : regs_(num_registers),
+      backoff_options_(backoff),
+      waiter_(backoff.waiter != nullptr ? backoff.waiter
+                                        : &Waiter::system()) {
   LLSC_EXPECTS(num_registers >= 1, "need at least one register");
   LLSC_EXPECTS(num_threads >= 1, "need at least one thread slot");
   ctxs_.reserve(static_cast<std::size_t>(num_threads));
   for (int t = 0; t < num_threads; ++t) {
     auto c = std::make_unique<ThreadCtx>();
     c->link.assign(num_registers, 0);
+    c->backoff = Backoff(backoff_options_);
     ctxs_.push_back(std::move(c));
   }
   // Registers start as (nil, version 1): a plain nil node per register so
@@ -130,6 +135,9 @@ OpResult HwMemory::sc(ProcId p, RegId r, Value v) {
                                 std::memory_order_acquire)) {
     Value prev = cur->value;
     retire(c, cur);
+    // A successful SC changes the head, so installers parked on r can
+    // make progress again.
+    wake_waiters(c, r);
     return OpResult{.flag = true, .value = std::move(prev)};
   }
   // Lost the race: a concurrent write invalidated the link between our
@@ -153,18 +161,29 @@ Value HwMemory::install(ThreadCtx& c, RegId r, Value v) {
   std::atomic<Node*>& h = head(r);
   Node* fresh = make_node(c, std::move(v), 0);
   Node* cur = h.load(std::memory_order_acquire);
-  Backoff backoff;
+  ParkSpot& spot = regs_[static_cast<std::size_t>(r)].park;
+  c.backoff.begin_op();
   for (;;) {
     fresh->version = cur->version + 1;
     if (h.compare_exchange_weak(cur, fresh, std::memory_order_acq_rel,
                                 std::memory_order_acquire)) {
       break;
     }
-    backoff.pause();
+    c.backoff.on_failure(&spot);
   }
+  c.backoff.on_success();
+  wake_waiters(c, r);
   Value prev = cur->value;
   retire(c, cur);
   return prev;
+}
+
+void HwMemory::wake_waiters(ThreadCtx& c, RegId r) {
+  ParkSpot& spot = regs_[static_cast<std::size_t>(r)].park;
+  if (spot.waiters.load(std::memory_order_seq_cst) == 0) return;
+  spot.seq.fetch_add(1, std::memory_order_seq_cst);
+  waiter_->wake_all(spot.seq);
+  ++c.wakes;
 }
 
 Value HwMemory::swap(ProcId p, RegId r, Value v) {
@@ -191,12 +210,15 @@ Value HwMemory::rmw(ProcId p, RegId r, const RmwFunction& f) {
   ThreadCtx& c = ctx(p);
   EpochGuard guard(global_epoch_, c);
   std::atomic<Node*>& h = head(r);
-  Backoff backoff;
+  ParkSpot& spot = regs_[static_cast<std::size_t>(r)].park;
+  c.backoff.begin_op();
   for (;;) {
     Node* cur = h.load(std::memory_order_acquire);
     Node* fresh = make_node(c, f.apply(cur->value), cur->version + 1);
     if (h.compare_exchange_strong(cur, fresh, std::memory_order_acq_rel,
                                   std::memory_order_acquire)) {
+      c.backoff.on_success();
+      wake_waiters(c, r);
       Value prev = cur->value;
       retire(c, cur);
       c.link[static_cast<std::size_t>(r)] = 0;
@@ -204,7 +226,7 @@ Value HwMemory::rmw(ProcId p, RegId r, const RmwFunction& f) {
     }
     delete fresh;
     --c.allocated;
-    backoff.pause();
+    c.backoff.on_failure(&spot);
   }
 }
 
@@ -253,6 +275,21 @@ HwReclaimStats HwMemory::reclaim_stats() const {
     s.nodes_allocated += c->allocated;
     s.nodes_retired += c->retired_count;
     s.nodes_freed += c->freed;
+  }
+  return s;
+}
+
+HwBackoffStats HwMemory::backoff_stats() const {
+  HwBackoffStats s;
+  s.policy = backoff_options_.policy;
+  for (const auto& c : ctxs_) {
+    const BackoffStats& b = c->backoff.stats();
+    s.cas_failures += b.cas_failures;
+    s.cas_successes += b.cas_successes;
+    s.spin_pauses += b.spin_pauses;
+    s.yields += b.yields;
+    s.parks += b.parks;
+    s.wakes += c->wakes;
   }
   return s;
 }

@@ -48,6 +48,7 @@
 #include <memory>
 #include <vector>
 
+#include "hw/backoff.h"
 #include "memory/op.h"
 #include "memory/rmw.h"
 #include "memory/value.h"
@@ -65,12 +66,35 @@ struct HwReclaimStats {
   std::uint64_t global_epoch = 0;
 };
 
+// Backoff counters aggregated over threads (read when quiescent), plus
+// the wake side of the parking tier, which is charged to the writer
+// thread that issued the wake.
+struct HwBackoffStats {
+  BackoffPolicy policy = BackoffPolicy::kFixed;
+  std::uint64_t cas_failures = 0;
+  std::uint64_t cas_successes = 0;
+  std::uint64_t spin_pauses = 0;
+  std::uint64_t yields = 0;
+  std::uint64_t parks = 0;
+  std::uint64_t wakes = 0;
+
+  double failure_rate() const {
+    const std::uint64_t attempts = cas_failures + cas_successes;
+    return attempts == 0
+               ? 0.0
+               : static_cast<double>(cas_failures) /
+                     static_cast<double>(attempts);
+  }
+};
+
 class HwMemory {
  public:
   // A fixed table of `num_registers` registers (the simulator's lazy
   // "infinite" array would need a concurrent map; algorithms declare their
-  // span up front) serving threads/processes [0, num_threads).
-  HwMemory(std::size_t num_registers, int num_threads);
+  // span up front) serving threads/processes [0, num_threads). `backoff`
+  // selects the retry-loop policy for every contended CAS site.
+  HwMemory(std::size_t num_registers, int num_threads,
+           const BackoffOptions& backoff = {});
   ~HwMemory();
   HwMemory(const HwMemory&) = delete;
   HwMemory& operator=(const HwMemory&) = delete;
@@ -96,6 +120,7 @@ class HwMemory {
   std::uint64_t peek_version(RegId r) const;
   bool peek_link_live(RegId r, ProcId p) const;
   HwReclaimStats reclaim_stats() const;
+  HwBackoffStats backoff_stats() const;
 
  private:
   // Immutable once published; `version` strictly increases per register
@@ -107,6 +132,9 @@ class HwMemory {
 
   struct alignas(kCacheLineBytes) PaddedHead {
     std::atomic<Node*> head{nullptr};
+    // Park rendezvous for the adaptive+parking backoff tier; shares the
+    // head's (already-padded) line, which the waking writer just owned.
+    ParkSpot park;
   };
 
   struct alignas(kCacheLineBytes) ThreadCtx {
@@ -122,6 +150,9 @@ class HwMemory {
     std::uint64_t allocated = 0;
     std::uint64_t retired_count = 0;
     std::uint64_t freed = 0;
+    // Retry-loop backoff state and counters (owner-thread private).
+    Backoff backoff;
+    std::uint64_t wakes = 0;
   };
 
   // RAII epoch critical section: dereferencing head-loaded nodes is safe
@@ -150,9 +181,14 @@ class HwMemory {
   // Unconditional install of `v` into r with a version bump (swap/move
   // tail); returns the replaced value.
   Value install(ThreadCtx& c, RegId r, Value v);
+  // Wake threads parked on r's ParkSpot after a successful write (no-op
+  // unless someone is registered as a waiter).
+  void wake_waiters(ThreadCtx& c, RegId r);
 
   std::vector<PaddedHead> regs_;
   std::vector<std::unique_ptr<ThreadCtx>> ctxs_;
+  BackoffOptions backoff_options_;
+  Waiter* waiter_;
   alignas(kCacheLineBytes) std::atomic<std::uint64_t> global_epoch_{1};
 };
 

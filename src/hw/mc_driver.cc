@@ -21,6 +21,9 @@ using Clock = std::chrono::steady_clock;
 // before the join (which is the synchronization point for the fold).
 struct SampleOutcome {
   bool terminated = false;
+  // Some process returned 1; winner_ops is meaningful only when true.
+  // terminated && !has_winner is a wakeup-spec violation.
+  bool has_winner = false;
   std::uint64_t winner_ops = 0;
   std::uint64_t max_ops = 0;
 };
@@ -44,8 +47,11 @@ SampleOutcome run_one_sample(const ProcBody& algo, int n, std::uint64_t seed,
       winner_ops = std::min(winner_ops, proc.shared_ops());
     }
   }
-  if (winner_ops == ~std::uint64_t{0}) winner_ops = 0;  // spec violation
-  out.winner_ops = winner_ops;
+  // No 1-returner in a terminated run is a wakeup-spec violation; leave
+  // has_winner false so the fold counts it instead of folding a bogus
+  // winner_ops = 0 into the minimum.
+  out.has_winner = winner_ops != ~std::uint64_t{0};
+  out.winner_ops = out.has_winner ? winner_ops : 0;
   out.max_ops = sys.max_shared_ops();
   return out;
 }
@@ -115,26 +121,33 @@ ParallelMcResult estimate_expected_complexity_parallel(
   est.samples = samples;
   est.min_winner_ops = ~std::uint64_t{0};
   int terminated = 0;
+  int winner_samples = 0;
   double sum_winner = 0.0;
   double sum_max = 0.0;
   for (const SampleOutcome& o : outcomes) {
     if (!o.terminated) continue;
     ++terminated;
-    sum_winner += static_cast<double>(o.winner_ops);
     sum_max += static_cast<double>(o.max_ops);
+    if (!o.has_winner) {
+      ++est.spec_violations;
+      continue;
+    }
+    ++winner_samples;
+    sum_winner += static_cast<double>(o.winner_ops);
     est.min_winner_ops = std::min(est.min_winner_ops, o.winner_ops);
   }
   est.termination_rate =
       static_cast<double>(terminated) / static_cast<double>(samples);
-  if (terminated > 0) {
-    est.mean_winner_ops = sum_winner / terminated;
-    est.mean_max_ops = sum_max / terminated;
-  }
+  if (winner_samples > 0) est.mean_winner_ops = sum_winner / winner_samples;
+  if (terminated > 0) est.mean_max_ops = sum_max / terminated;
   est.bound = est.termination_rate * log4(static_cast<double>(n));
   est.bound_met =
-      terminated == 0 ||
+      winner_samples == 0 ||
       static_cast<double>(est.min_winner_ops) + 1e-9 >=
           log4(static_cast<double>(n));
+  // The ~0 sentinel must not leak into printed/JSON rows when no sample
+  // produced a winner.
+  if (est.min_winner_ops == ~std::uint64_t{0}) est.min_winner_ops = 0;
 
   ParallelMcResult result;
   result.estimate = est;

@@ -16,11 +16,26 @@ void expect_identical(const ExpectedComplexityEstimate& a,
   EXPECT_EQ(a.n, b.n);
   EXPECT_EQ(a.samples, b.samples);
   EXPECT_EQ(a.termination_rate, b.termination_rate);
+  EXPECT_EQ(a.spec_violations, b.spec_violations);
   EXPECT_EQ(a.mean_winner_ops, b.mean_winner_ops);
   EXPECT_EQ(a.mean_max_ops, b.mean_max_ops);
   EXPECT_EQ(a.min_winner_ops, b.min_winner_ops);
   EXPECT_EQ(a.bound, b.bound);
   EXPECT_EQ(a.bound_met, b.bound_met);
+}
+
+// Terminates immediately without ever returning 1: every terminated
+// sample is a wakeup-spec violation.
+SimTask return_zero_body(ProcCtx ctx, ProcId, int) {
+  (void)co_await ctx.ll(0);
+  co_return Value::of_u64(0);
+}
+
+// Never terminates; the adversary's round cap stops every sample.
+SimTask spin_forever_body(ProcCtx ctx, ProcId, int) {
+  for (;;) {
+    (void)co_await ctx.ll(0);
+  }
 }
 
 TEST(HwMcTest, ParallelMatchesSerialBitForBit) {
@@ -50,6 +65,66 @@ TEST(HwMcTest, ParallelMatchesSerialOnRandomizedTournament) {
       randomized_tournament_wakeup(), n, samples, /*seed=*/11, /*workers=*/3);
   expect_identical(serial, par.estimate);
   // The randomized tournament meets the paper's bound on every sample.
+  EXPECT_TRUE(par.estimate.bound_met);
+}
+
+// Regression (ISSUE 2): a terminated run with no 1-returner used to be
+// folded in as winner_ops = 0, dragging min_winner_ops to 0 and flipping
+// bound_met with no trace. Such samples must be counted as spec
+// violations and excluded from the winner-ops statistics — in the serial
+// estimator and the parallel driver alike.
+TEST(HwMcTest, SpecViolationsAreCountedNotFoldedIntoWinnerOps) {
+  const int n = 4;
+  const int samples = 8;
+  const ProcBody algo = &return_zero_body;
+  const ExpectedComplexityEstimate serial =
+      estimate_expected_complexity(algo, n, samples, /*seed=*/5);
+  EXPECT_EQ(serial.spec_violations, samples);
+  EXPECT_EQ(serial.termination_rate, 1.0);
+  // No winner sample: the winner statistics stay empty and the bound
+  // check is vacuous (pre-fix: min_winner_ops = 0 made it "VIOLATED").
+  EXPECT_EQ(serial.min_winner_ops, 0u);
+  EXPECT_EQ(serial.mean_winner_ops, 0.0);
+  EXPECT_TRUE(serial.bound_met);
+  // t(R) still averages over all terminated samples, violations included.
+  EXPECT_GE(serial.mean_max_ops, 1.0);
+
+  const ParallelMcResult par =
+      estimate_expected_complexity_parallel(algo, n, samples, /*seed=*/5,
+                                            /*num_workers=*/3);
+  expect_identical(serial, par.estimate);
+}
+
+// Regression (ISSUE 2): with no terminating sample, min_winner_ops used
+// to keep its ~uint64{0} accumulator sentinel and leak UINT64_MAX into
+// printed/JSON rows. It must report 0, with bound_met still vacuously
+// true.
+TEST(HwMcTest, NoTerminatingSampleReportsZeroMinWinnerOps) {
+  const int n = 3;
+  const int samples = 6;
+  const ProcBody algo = &spin_forever_body;
+  AdversaryOptions adversary;
+  adversary.max_rounds = 16;
+  const ExpectedComplexityEstimate serial =
+      estimate_expected_complexity(algo, n, samples, /*seed=*/9, adversary);
+  EXPECT_EQ(serial.termination_rate, 0.0);
+  EXPECT_EQ(serial.spec_violations, 0);
+  EXPECT_EQ(serial.min_winner_ops, 0u);  // pre-fix: UINT64_MAX
+  EXPECT_TRUE(serial.bound_met);
+
+  const ParallelMcResult par = estimate_expected_complexity_parallel(
+      algo, n, samples, /*seed=*/9, /*num_workers=*/2, adversary);
+  expect_identical(serial, par.estimate);
+}
+
+// A correct algorithm reports zero spec violations — the new counter must
+// not fire on healthy runs.
+TEST(HwMcTest, HealthyAlgorithmReportsZeroSpecViolations) {
+  const ParallelMcResult par = estimate_expected_complexity_parallel(
+      tournament_wakeup(), /*n=*/4, /*samples=*/6, /*seed=*/3,
+      /*num_workers=*/2);
+  EXPECT_EQ(par.estimate.spec_violations, 0);
+  EXPECT_GT(par.estimate.min_winner_ops, 0u);
   EXPECT_TRUE(par.estimate.bound_met);
 }
 

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 #include <vector>
@@ -169,6 +170,50 @@ TEST(HwMemoryTest, EpochReclamationFreesRetiredNodes) {
   // The unfreed tail is bounded by a few scan intervals, not the workload.
   EXPECT_GT(s.nodes_freed, 19000u);
   EXPECT_GT(s.global_epoch, 1u);
+}
+
+// Oversubscription stress: twice as many worker threads as the machine
+// has cores, all hammering one register through the rmw retry loop under
+// the adaptive+parking policy (the configuration it exists for). Exactness
+// of the final count proves no increment was lost or duplicated across
+// spin, yield, AND park wait paths; the stats cross-check pins the
+// accounting (every loop iteration is either a counted failure or a
+// counted success). Runs under the tsan CI job like every hw_* suite.
+TEST(HwMemoryTest, OversubscribedAdaptiveParkingRmwIsExact) {
+  const int kThreads = std::max(
+      4, 2 * static_cast<int>(std::thread::hardware_concurrency()));
+  constexpr std::uint64_t kPerThread = 1500;
+  BackoffOptions opts;
+  opts.policy = BackoffPolicy::kAdaptiveParking;
+  // A small window cap plus an immediate park threshold pushes the test
+  // through the parking tier quickly instead of spending its budget
+  // spinning.
+  opts.max_spins = 64;
+  opts.yield_threshold = 32;
+  opts.park_threshold = 1;
+  HwMemory mem(1, kThreads, opts);
+  const auto inc = make_rmw("inc", [](const Value& v) {
+    return Value::of_u64(v.is_nil() ? 1 : v.as_u64() + 1);
+  });
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        (void)mem.rmw(t, 0, *inc);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mem.peek_value(0).as_u64(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const HwBackoffStats s = mem.backoff_stats();
+  EXPECT_EQ(s.policy, BackoffPolicy::kAdaptiveParking);
+  // Every rmw lands exactly once, so successes count the operations and
+  // every backoff wait was triggered by a counted failure.
+  EXPECT_EQ(s.cas_successes, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(s.cas_failures, s.spin_pauses + s.yields + s.parks);
+  EXPECT_GE(s.failure_rate(), 0.0);
+  EXPECT_LE(s.failure_rate(), 1.0);
 }
 
 TEST(HwMemoryTest, ReclamationUnderContention) {

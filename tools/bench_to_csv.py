@@ -24,8 +24,11 @@ counter.
 --check: validate instead of convert. Exits 1 with a diagnostic on
 malformed input (unparseable JSON, missing/empty "benchmarks", rows
 missing required fields, or non-finite measurements) and 0 with a one-line
-summary when the input is sound. Use it in CI to fail fast on truncated
-benchmark artifacts.
+summary when the input is sound. BM_HwBackoff_* rows (the E11 backoff
+policy comparison) must additionally carry n_threads, policy_id,
+oversubscribed, hw_ops_per_sec, cas_failure_rate, and parks counters with
+a known policy_id and a failure rate in [0, 1]. Use it in CI to fail fast
+on truncated benchmark artifacts.
 """
 import argparse
 import csv
@@ -43,6 +46,16 @@ SUFFIX = {"k": 1e3, "M": 1e6, "G": 1e9}
 
 BASE_FIELDS = ["name", "arg", "threads", "time_ns", "cpu_ns", "iterations"]
 REQUIRED_JSON_FIELDS = ["name", "real_time", "cpu_time", "iterations"]
+
+# The E11 backoff-policy comparison rows (BM_HwBackoff_* in
+# bench/bench_hw_throughput.cc) must carry the full policy fingerprint,
+# or the fixed-vs-adaptive sweep cannot be reconstructed from the CSV.
+BACKOFF_ROW_PREFIX = "BM_HwBackoff"
+BACKOFF_REQUIRED = [
+    "n_threads", "policy_id", "oversubscribed", "hw_ops_per_sec",
+    "cas_failure_rate", "parks",
+]
+BACKOFF_POLICY_IDS = {0.0, 1.0, 2.0}  # fixed, adaptive, adaptive_park
 
 
 class MalformedInput(Exception):
@@ -141,6 +154,20 @@ def validate(rows):
         if row["time_ns"] < 0 or row["cpu_ns"] < 0:
             raise MalformedInput(
                 f"benchmark {row['name']}/{row['arg']}: negative time")
+        if row["name"].startswith(BACKOFF_ROW_PREFIX):
+            missing = [f for f in BACKOFF_REQUIRED if f not in row]
+            if missing:
+                raise MalformedInput(
+                    f"benchmark {row['name']}/{row['arg']}: backoff "
+                    f"comparison row missing field(s): {', '.join(missing)}")
+            if row["policy_id"] not in BACKOFF_POLICY_IDS:
+                raise MalformedInput(
+                    f"benchmark {row['name']}/{row['arg']}: unknown "
+                    f"policy_id {row['policy_id']}")
+            if row["cas_failure_rate"] < 0 or row["cas_failure_rate"] > 1:
+                raise MalformedInput(
+                    f"benchmark {row['name']}/{row['arg']}: "
+                    f"cas_failure_rate outside [0, 1]")
 
 
 def write_csv(rows, out):
