@@ -1,0 +1,174 @@
+// E12 — graceful degradation under injected faults (hw/fault.h).
+//
+// Two questions, one sweep each:
+//
+//   BM_E12_RetryLoop_ScFail: how does raw LL/SC throughput on the hw
+//   backend degrade as the spurious-SC-failure rate rises? The workload
+//   is a lock-free fetch&increment retry loop, which tolerates spurious
+//   failures by design: every forced failure costs one retry, so
+//   hw_ops_per_sec falls smoothly and retry_amplification (shared ops per
+//   successful increment, /2 for the LL+SC pair) rises with the rate,
+//   while exactness holds — each process still completes exactly its
+//   quota of successful increments.
+//
+//   The wait-free universal constructions (E10) are deliberately NOT run
+//   under injection: their two-attempt helping lemma ("my second SC
+//   failing implies someone merged my announce") is a theorem about
+//   failure-free LL/SC, and a spurious failure voids it — they detect the
+//   broken contract and abort rather than return wrong responses. The
+//   retry loop is the honest graceful-degradation workload.
+//
+//   BM_E12_Wakeup_ScFail / BM_E12_Wakeup_CrashStorm: what fraction of
+//   Lemma 3.1 Monte-Carlo samples stay clean vs degrade to
+//   spec-violation / crashed / hung as faults ramp? This exercises the
+//   full taxonomy the mc_driver now aggregates instead of deadlocking.
+//
+// Rates are passed as permille (range args are integers); the
+// `sc_fail_rate` counter reports the real rate. Failing wakeup samples
+// dump replay artifacts only when LLSC_E12_ARTIFACT_DIR is set (CI keeps
+// it unset; the bench is about rates, not dumps).
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+
+#include "hw/fault.h"
+#include "hw/hw_executor.h"
+#include "hw/mc_driver.h"
+#include "memory/value.h"
+#include "util/check.h"
+#include "wakeup/algorithms.h"
+
+namespace llsc {
+namespace {
+
+void report_taxonomy(benchmark::State& state, int clean, int spec,
+                     int crashed, int hung) {
+  state.counters["clean"] = clean;
+  state.counters["spec_violations"] = spec;
+  state.counters["crashed"] = crashed;
+  state.counters["hung"] = hung;
+}
+
+// Lock-free fetch&increment: retry LL/SC on one shared register until
+// `ops` increments stick. Spurious SC failures cost retries, not
+// correctness.
+ProcBody retry_increment_body(int ops) {
+  return [ops](ProcCtx ctx, ProcId, int) -> SimTask {
+    std::uint64_t done = 0;
+    while (done < static_cast<std::uint64_t>(ops)) {
+      const Value cur = co_await ctx.ll(0);
+      const std::uint64_t base = cur.is_nil() ? 0 : cur.as_u64();
+      const ScResult r = co_await ctx.sc(0, Value::of_u64(base + 1));
+      if (r.ok) ++done;
+    }
+    co_return Value::of_u64(done);
+  };
+}
+
+void BM_E12_RetryLoop_ScFail(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int ops = static_cast<int>(state.range(1));
+  const double rate = static_cast<double>(state.range(2)) / 1000.0;
+  FaultPlan plan;
+  plan.seed = 0xE12;
+  plan.sc_fail_rate = rate;
+  HwRunOptions options;
+  options.fault = rate > 0.0 ? &plan : nullptr;
+  HwExecutor exec(options);
+  const ProcBody body = retry_increment_body(ops);
+  const std::uint64_t quota =
+      static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(ops);
+  HwRunResult r;
+  for (auto _ : state) {
+    r = exec.run(n, body);
+    LLSC_CHECK(r.status == RunStatus::kClean,
+               "retry loop must complete under spurious failures");
+    for (const Value& v : r.results) {
+      // Injected failures never eat a successful increment.
+      LLSC_CHECK(v.as_u64() == static_cast<std::uint64_t>(ops),
+                 "a process lost increments under injection");
+    }
+  }
+  state.counters["n_threads"] = n;
+  state.counters["sc_fail_rate"] = rate;
+  state.counters["hw_ops_per_sec"] =
+      r.wall_seconds > 0 ? static_cast<double>(quota) / r.wall_seconds : 0.0;
+  // Shared ops per successful increment, normalized by the LL+SC pair:
+  // 1.0 = no retries; grows with both contention and the injected rate.
+  state.counters["retry_amplification"] =
+      static_cast<double>(r.total_shared_ops) /
+      (2.0 * static_cast<double>(quota));
+  state.counters["injected_sc_failures"] =
+      static_cast<double>(r.fault.injected_sc_failures);
+  report_taxonomy(state, 1, 0, 0, 0);
+}
+BENCHMARK(BM_E12_RetryLoop_ScFail)
+    ->Args({4, 256, 0})
+    ->Args({4, 256, 50})
+    ->Args({4, 256, 200})
+    ->Args({4, 256, 500})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void run_wakeup_sweep(benchmark::State& state, int n, int samples,
+                      const FaultPlan& plan, double reported_rate) {
+  McRunOptions options;
+  options.adversary.max_rounds = 1 << 10;
+  options.fault = plan.enabled() ? &plan : nullptr;
+  options.scenario = "randomized_tournament";
+  if (const char* dir = std::getenv("LLSC_E12_ARTIFACT_DIR")) {
+    options.artifact_dir = dir;
+  }
+  ParallelMcResult result;
+  for (auto _ : state) {
+    result = estimate_expected_complexity_parallel(
+        randomized_tournament_wakeup(), n, samples, /*seed=*/0xE12, options);
+  }
+  const ExpectedComplexityEstimate& est = result.estimate;
+  state.counters["n"] = n;
+  state.counters["sc_fail_rate"] = reported_rate;
+  state.counters["termination_rate"] = est.termination_rate;
+  state.counters["mean_winner_ops"] = est.mean_winner_ops;
+  const int clean = est.samples - est.spec_violations - est.crashed_samples -
+                    est.hung_samples;
+  report_taxonomy(state, clean, est.spec_violations, est.crashed_samples,
+                  est.hung_samples);
+  state.counters["artifacts_written"] =
+      static_cast<double>(result.artifacts.size());
+}
+
+void BM_E12_Wakeup_ScFail(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int samples = static_cast<int>(state.range(1));
+  const double rate = static_cast<double>(state.range(2)) / 1000.0;
+  FaultPlan plan;
+  plan.seed = 0xE12;
+  plan.sc_fail_rate = rate;
+  run_wakeup_sweep(state, n, samples, plan, rate);
+}
+BENCHMARK(BM_E12_Wakeup_ScFail)
+    ->Args({16, 64, 0})
+    ->Args({16, 64, 50})
+    ->Args({16, 64, 200})
+    ->Args({16, 64, 500})
+    ->Unit(benchmark::kMillisecond);
+
+// Crash-storm point: the first quarter of the processes crash early, so
+// the root count can never reach n — every sample must land in `crashed`,
+// none may wedge the driver.
+void BM_E12_Wakeup_CrashStorm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int samples = static_cast<int>(state.range(1));
+  FaultPlan plan;
+  plan.seed = 0xE12;
+  for (ProcId p = 0; p < n / 4; ++p) {
+    plan.crashes.push_back(CrashSpec{.proc = p, .after_ops = 2});
+  }
+  run_wakeup_sweep(state, n, samples, plan, 0.0);
+}
+BENCHMARK(BM_E12_Wakeup_CrashStorm)
+    ->Args({16, 32})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace llsc

@@ -1,0 +1,31 @@
+// Custom benchmark main for the hw benches: google-benchmark's stock
+// BENCHMARK_MAIN() rejects unrecognized flags, so --timeout_ms (the
+// HwExecutor watchdog default — lets CI fail a hung bench fast instead of
+// stalling the job) is parsed and stripped here before Initialize sees
+// argv. The LLSC_TIMEOUT_MS environment variable is an equivalent channel
+// (see default_hw_timeout_ms()).
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <cstring>
+
+#include "hw/hw_executor.h"
+
+int main(int argc, char** argv) {
+  static const char kFlag[] = "--timeout_ms=";
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
+      llsc::set_default_hw_timeout_ms(
+          std::strtoull(argv[i] + sizeof(kFlag) - 1, nullptr, 10));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

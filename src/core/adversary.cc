@@ -50,24 +50,29 @@ RunLog run_adversary(System& sys, const AdversaryOptions& options) {
   if (options.record_snapshots) log.initial = take_snapshot(sys, hist);
 
   for (int round = 1; round <= options.max_rounds; ++round) {
-    if (sys.all_done()) break;
+    // all_halted, not all_done: with injected crash-stops (hw/fault.h)
+    // the remaining rounds would otherwise be empty spins to max_rounds.
+    if (sys.all_halted()) break;
 
     RoundRecord rec;
     rec.round = round;
 
-    // Phase 1: local coin tosses until termination or a pending op.
+    // Phase 1: local coin tosses until termination or a pending op. A
+    // process whose crash point is reached halts here, before its op is
+    // partitioned (crashes happen only at op boundaries).
     for (ProcId p = 0; p < n; ++p) {
       Process& proc = sys.process(p);
-      if (proc.done()) continue;
+      if (proc.halted()) continue;
       const bool was_live = true;
       sys.advance_through_tosses(p);
       if (was_live && proc.done()) rec.terminated_in_phase1.push_back(p);
+      if (!proc.done()) sys.maybe_crash(p);
     }
 
     // Partition live processes by the group of their next operation.
     for (ProcId p = 0; p < n; ++p) {
       const Process& proc = sys.process(p);
-      if (proc.done()) continue;
+      if (proc.halted()) continue;
       LLSC_CHECK(proc.step_kind() == StepKind::kOp,
                  "phase 1 must leave a pending shared-memory op");
       switch (op_group(proc.pending_op().kind)) {

@@ -1,6 +1,7 @@
 #include "core/lower_bound.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "core/s_run.h"
 #include "core/up_tracker.h"
@@ -35,6 +36,12 @@ std::string ExpectedComplexityEstimate::summary() const {
                   (bound_met ? " met" : " VIOLATED");
   if (spec_violations > 0) {
     s += " SPEC-VIOLATIONS=" + std::to_string(spec_violations);
+  }
+  if (crashed_samples > 0) {
+    s += " crashed=" + std::to_string(crashed_samples);
+  }
+  if (hung_samples > 0) {
+    s += " hung=" + std::to_string(hung_samples);
   }
   return s;
 }
@@ -138,49 +145,95 @@ WakeupLowerBoundReport analyze_wakeup_run(
   return report;
 }
 
+McSampleOutcome run_mc_sample(const ProcBody& algo, int n,
+                              std::uint64_t toss_seed,
+                              const AdversaryOptions& adversary,
+                              const FaultPlan* fault) {
+  McSampleOutcome out;
+  const auto tosses = std::make_shared<SeededTossAssignment>(toss_seed);
+  System sys(n, algo, tosses);
+  sys.set_recording(false);
+  // The injector lives on this stack frame; the System only borrows it.
+  std::optional<FaultInjector> injector;
+  if (fault != nullptr && fault->enabled()) {
+    injector.emplace(*fault, n);
+    sys.set_fault_injector(&*injector);
+  }
+  AdversaryOptions opts = adversary;
+  opts.record_snapshots = false;
+  const RunLog log = run_adversary(sys, opts);
+  out.proc_ops.reserve(static_cast<std::size_t>(n));
+  for (ProcId p = 0; p < n; ++p) {
+    out.proc_ops.push_back(sys.process(p).shared_ops());
+  }
+  out.max_ops = sys.max_shared_ops();
+  if (!log.all_terminated) {
+    out.status = sys.num_crashed() > 0 ? RunStatus::kCrashed
+                                       : RunStatus::kHung;
+    return out;
+  }
+  out.terminated = true;
+  std::uint64_t winner_ops = ~std::uint64_t{0};
+  for (ProcId p = 0; p < n; ++p) {
+    const Process& proc = sys.process(p);
+    if (proc.done() && proc.result().holds_u64() &&
+        proc.result().as_u64() == 1) {
+      winner_ops = std::min(winner_ops, proc.shared_ops());
+    }
+  }
+  if (winner_ops != ~std::uint64_t{0}) {
+    out.has_winner = true;
+    out.winner_ops = winner_ops;
+    out.status = RunStatus::kClean;
+  } else {
+    // Terminated with no 1-returner: a wakeup-spec violation.
+    out.status = RunStatus::kSpecViolation;
+  }
+  return out;
+}
+
 ExpectedComplexityEstimate estimate_expected_complexity(
     const ProcBody& algo, int n, int samples, std::uint64_t seed,
-    const AdversaryOptions& adversary) {
+    const AdversaryOptions& adversary, const FaultPlan* fault) {
   LLSC_EXPECTS(samples >= 1, "need at least one sample");
   ExpectedComplexityEstimate est;
   est.n = n;
   est.samples = samples;
   est.min_winner_ops = ~std::uint64_t{0};
 
+  const bool inject = fault != nullptr && fault->enabled();
   Rng rng(seed);
   int terminated = 0;
   int winner_samples = 0;
   double sum_winner = 0.0;
   double sum_max = 0.0;
   for (int i = 0; i < samples; ++i) {
-    const auto tosses =
-        std::make_shared<SeededTossAssignment>(rng.next_u64());
-    System sys(n, algo, tosses);
-    sys.set_recording(false);
-    AdversaryOptions opts = adversary;
-    opts.record_snapshots = false;
-    const RunLog log = run_adversary(sys, opts);
-    if (!log.all_terminated) continue;
-    ++terminated;
-    sum_max += static_cast<double>(sys.max_shared_ops());
-    std::uint64_t winner_ops = ~std::uint64_t{0};
-    for (ProcId p = 0; p < n; ++p) {
-      const Process& proc = sys.process(p);
-      if (proc.done() && proc.result().holds_u64() &&
-          proc.result().as_u64() == 1) {
-        winner_ops = std::min(winner_ops, proc.shared_ops());
+    const std::uint64_t toss_seed = rng.next_u64();
+    // Each sample draws an independent fault schedule, re-seeded from its
+    // toss seed so the parallel driver (any shard order) derives the same.
+    FaultPlan sample_plan;
+    if (inject) sample_plan = derive_sample_plan(*fault, toss_seed);
+    const McSampleOutcome sample = run_mc_sample(
+        algo, n, toss_seed, adversary, inject ? &sample_plan : nullptr);
+    if (!sample.terminated) {
+      if (sample.status == RunStatus::kCrashed) {
+        ++est.crashed_samples;
+      } else {
+        ++est.hung_samples;
       }
+      continue;
     }
-    if (winner_ops == ~std::uint64_t{0}) {
-      // Terminated with no 1-returner: a wakeup-spec violation. Count it;
-      // folding it in as winner_ops = 0 would silently drag
+    ++terminated;
+    sum_max += static_cast<double>(sample.max_ops);
+    if (!sample.has_winner) {
+      // Count it; folding it in as winner_ops = 0 would silently drag
       // min_winner_ops to 0 and flip bound_met.
       ++est.spec_violations;
       continue;
     }
     ++winner_samples;
-    sum_winner += static_cast<double>(winner_ops);
-    est.min_winner_ops = std::min(est.min_winner_ops, winner_ops);
+    sum_winner += static_cast<double>(sample.winner_ops);
+    est.min_winner_ops = std::min(est.min_winner_ops, sample.winner_ops);
   }
   est.termination_rate =
       static_cast<double>(terminated) / static_cast<double>(samples);

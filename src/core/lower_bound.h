@@ -20,9 +20,12 @@
 #include <memory>
 #include <string>
 
+#include <vector>
+
 #include "core/adversary.h"
 #include "core/indistinguishability.h"
 #include "core/proc_set.h"
+#include "hw/fault.h"
 #include "runtime/system.h"
 
 namespace llsc {
@@ -99,6 +102,12 @@ struct ExpectedComplexityEstimate {
   // folded in as winner_ops = 0, which used to drag min_winner_ops to 0
   // and flip bound_met with no trace.
   int spec_violations = 0;
+  // Non-terminated samples, by cause (hw/fault.h taxonomy): at least one
+  // injected crash-stop vs hitting the adversary round cap with no crash.
+  // Both kinds count against termination_rate; without a fault plan
+  // crashed_samples is always 0.
+  int crashed_samples = 0;
+  int hung_samples = 0;
   // Mean over terminating samples WITH a winner of the winner's op count;
   // mean over all terminating samples of t(R).
   double mean_winner_ops = 0.0;
@@ -120,7 +129,29 @@ struct ExpectedComplexityEstimate {
 // sample and cannot be passed here directly.
 ExpectedComplexityEstimate estimate_expected_complexity(
     const ProcBody& algo, int n, int samples, std::uint64_t seed,
-    const AdversaryOptions& adversary = {});
+    const AdversaryOptions& adversary = {},
+    const FaultPlan* fault = nullptr);
+
+// One Lemma 3.1 sample: build a System over SeededTossAssignment(toss_seed),
+// optionally install a fault injector (`fault` is used as-is — sweeping
+// callers derive per-sample plans with derive_sample_plan), run the Fig. 2
+// adversary, and classify the outcome. Shared by the serial estimator, the
+// parallel hw/mc_driver (their folds must stay bit-for-bit identical) and
+// the fault_replay tool (which needs the same classification the original
+// failing sample got).
+struct McSampleOutcome {
+  RunStatus status = RunStatus::kClean;
+  bool terminated = false;
+  bool has_winner = false;
+  std::uint64_t winner_ops = 0;
+  std::uint64_t max_ops = 0;
+  std::vector<std::uint64_t> proc_ops;  // per-process t(p) at halt
+};
+
+McSampleOutcome run_mc_sample(const ProcBody& algo, int n,
+                              std::uint64_t toss_seed,
+                              const AdversaryOptions& adversary,
+                              const FaultPlan* fault = nullptr);
 
 }  // namespace llsc
 

@@ -1,0 +1,347 @@
+// Deterministic fault injection for both execution substrates.
+//
+// The paper's Theorem 6.1 holds under an adversarial scheduler; real LL/SC
+// hardware (and every LL/SC-from-CAS construction, Blelloch & Wei) is
+// adversarial in one more way: SC and VL may fail *spuriously*, processes
+// may be delayed arbitrarily, and processes may crash-stop. A FaultPlan
+// turns those adversaries into a reproducible test input:
+//
+//   * spurious SC/VL failures — modelled as spurious *reservation loss*:
+//     for process p's k-th shared-memory op, a pure hash of
+//     (plan.seed, p, k) decides whether p's link on the target register is
+//     spuriously lost. A lost link forces the SC/VL outcome to failure and
+//     stays dead until p's next LL on that register, exactly like a lost
+//     hardware reservation. The underlying memory is NOT written by a
+//     forced-failed SC (the value reported is the register's current
+//     value, as the paper's failed SC reports it).
+//   * stalls — a per-op hash decides whether p is delayed before or after
+//     the op and for how many bounded units. On the hw backend a unit is
+//     `stall_unit_ns` of wall clock; on the simulator the scheduler
+//     already owns time, so the decision is counted but costs nothing
+//     (the Fig. 2 adversary *is* the delay adversary there).
+//   * crash-stop — the plan names (process, after_ops) pairs; process p
+//     halts forever when it is about to execute shared-memory op number
+//     `after_ops` (0-based), i.e. after executing exactly `after_ops`
+//     ops. Crashes happen only at op boundaries, so no register is ever
+//     left torn.
+//
+// Every decision is a pure function of (plan.seed, p, k) where k counts
+// p's *executed* shared-memory ops — never of wall-clock time or the
+// cross-process interleaving. Two runs with the same plan, toss seed and
+// algorithm therefore draw identical fault schedules on the hw backend
+// and the simulator, which is what makes a failing schedule found on one
+// substrate replayable on the other (tools/replay_fault.py).
+//
+// Threading: the injector keeps one cache-line-padded lane per process;
+// a lane is touched only by the thread running that process (the same
+// contract HwMemory's ThreadCtx relies on). Aggregate stats() is for
+// quiescent use.
+//
+// This header is intentionally free of heavy dependencies and fully
+// inline, so llsc_core (the serial Lemma 3.1 estimator) and llsc_runtime
+// (System) can consume it without linking llsc_hw; the JSON round-trip
+// lives in fault.cc (llsc_hw).
+#ifndef LLSC_HW_FAULT_H_
+#define LLSC_HW_FAULT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "memory/op.h"
+#include "util/rng.h"
+
+namespace llsc {
+
+// Failure taxonomy for one run / Monte-Carlo sample. The hw backend and
+// the simulator classify with the same precedence: a crash-stop explains
+// the failure even when it also left peers hung.
+enum class RunStatus : std::uint8_t {
+  kClean = 0,          // terminated, spec satisfied (where one applies)
+  kSpecViolation = 1,  // terminated but the object/wakeup spec was broken
+  kCrashed = 2,        // >= 1 process crash-stopped; run did not terminate
+  kHung = 3,           // did not terminate and nobody crashed (wedged)
+};
+
+inline const char* to_string(RunStatus status) {
+  switch (status) {
+    case RunStatus::kClean:
+      return "clean";
+    case RunStatus::kSpecViolation:
+      return "spec-violation";
+    case RunStatus::kCrashed:
+      return "crashed";
+    case RunStatus::kHung:
+      return "hung";
+  }
+  return "unknown";
+}
+
+// Crash-stop directive: `proc` halts when about to execute its
+// `after_ops`-th shared-memory operation (0-based), i.e. it executes
+// exactly `after_ops` ops and then freezes forever.
+struct CrashSpec {
+  ProcId proc = 0;
+  std::uint64_t after_ops = 0;
+
+  friend bool operator==(const CrashSpec& a, const CrashSpec& b) {
+    return a.proc == b.proc && a.after_ops == b.after_ops;
+  }
+};
+
+// A complete, seeded fault schedule. JSON round-trip in fault.cc.
+struct FaultPlan {
+  // Seed of the per-op decision hash (independent of the toss seed).
+  std::uint64_t seed = 0;
+  // Probability that an SC (resp. VL) spuriously loses its reservation.
+  double sc_fail_rate = 0.0;
+  double vl_fail_rate = 0.0;
+  // Probability that an op is stalled, and the stall length: uniform in
+  // [1, max_stall_units] units of `stall_unit_ns` wall-clock nanoseconds
+  // on the hw backend (simulator: decision counted, no wall cost).
+  double stall_rate = 0.0;
+  std::uint32_t max_stall_units = 0;
+  std::uint32_t stall_unit_ns = 1000;
+  std::vector<CrashSpec> crashes;
+
+  bool enabled() const {
+    return sc_fail_rate > 0.0 || vl_fail_rate > 0.0 ||
+           (stall_rate > 0.0 && max_stall_units > 0) || !crashes.empty();
+  }
+
+  friend bool operator==(const FaultPlan& a, const FaultPlan& b) {
+    return a.seed == b.seed && a.sc_fail_rate == b.sc_fail_rate &&
+           a.vl_fail_rate == b.vl_fail_rate && a.stall_rate == b.stall_rate &&
+           a.max_stall_units == b.max_stall_units &&
+           a.stall_unit_ns == b.stall_unit_ns && a.crashes == b.crashes;
+  }
+
+  // fault.cc (llsc_hw): schema documented in docs/fault_injection.md.
+  std::string to_json() const;
+  static bool from_json(const std::string& text, FaultPlan* out,
+                        std::string* error);
+};
+
+// Per-sample plan derivation for Monte-Carlo sweeps: same fault *rates*,
+// decision stream re-seeded from the sample's toss seed so samples draw
+// independent schedules. Artifacts record the derived plan, so a replay
+// needs no knowledge of the sweep that produced it.
+inline FaultPlan derive_sample_plan(const FaultPlan& base,
+                                    std::uint64_t toss_seed) {
+  FaultPlan plan = base;
+  plan.seed = mix64(base.seed ^ mix64(toss_seed ^ 0x5F4A7C15F39CC060ull));
+  return plan;
+}
+
+// Decision counters, substrate-independent: they count *decisions*, never
+// wall-clock, so a replay on the other substrate reproduces them exactly.
+struct FaultStats {
+  std::uint64_t ops = 0;  // ops routed through the injector
+  std::uint64_t injected_sc_failures = 0;
+  std::uint64_t injected_vl_failures = 0;
+  std::uint64_t stalls = 0;
+  std::uint64_t stall_units = 0;
+  std::uint64_t crashes = 0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(const FaultPlan& plan, int num_processes) : plan_(plan) {
+    lanes_.reserve(static_cast<std::size_t>(num_processes));
+    for (int p = 0; p < num_processes; ++p) {
+      lanes_.push_back(std::make_unique<Lane>());
+    }
+    for (const CrashSpec& c : plan_.crashes) {
+      const auto it = crash_at_.find(c.proc);
+      if (it == crash_at_.end() || c.after_ops < it->second) {
+        crash_at_[c.proc] = c.after_ops;
+      }
+    }
+  }
+
+  const FaultPlan& plan() const { return plan_; }
+  int num_processes() const { return static_cast<int>(lanes_.size()); }
+
+  // True when p, having executed `ops_done` shared-memory ops, must
+  // crash-stop instead of executing the next one.
+  bool crash_pending(ProcId p, std::uint64_t ops_done) const {
+    const auto it = crash_at_.find(p);
+    return it != crash_at_.end() && ops_done >= it->second;
+  }
+  // Overload using the injector's own executed-op count for p (the hw
+  // platform wrapper has no Process to ask).
+  bool crash_pending(ProcId p) const { return crash_pending(p, lane(p).ops); }
+
+  // Record the crash (idempotent). The caller halts the process.
+  void note_crash(ProcId p) {
+    Lane& l = lane(p);
+    if (!l.crashed) {
+      l.crashed = true;
+      ++l.stats.crashes;
+    }
+  }
+
+  // Execute p's next shared-memory op with faults applied. `exec` performs
+  // a (possibly substituted) op against the real memory; `stall(units)` is
+  // the substrate's delay primitive (wall-clock on hw, no-op on the
+  // simulator). Must not be called when crash_pending(p) — the caller
+  // handles crashes first. Called only from p's thread.
+  template <typename Exec, typename Stall>
+  OpResult apply(ProcId p, const PendingOp& op, Exec&& exec, Stall&& stall) {
+    Lane& l = lane(p);
+    const std::uint64_t k = l.ops++;
+    ++l.stats.ops;
+    const std::uint64_t h = op_hash(p, k);
+
+    std::uint32_t before_units = 0;
+    std::uint32_t after_units = 0;
+    if (plan_.stall_rate > 0.0 && plan_.max_stall_units > 0 &&
+        unit_roll(h ^ kStallSalt) < plan_.stall_rate) {
+      const std::uint32_t units =
+          1 + static_cast<std::uint32_t>(mix64(h ^ kStallLenSalt) %
+                                         plan_.max_stall_units);
+      ++l.stats.stalls;
+      l.stats.stall_units += units;
+      // Position derived from the hash too: half the stalls land before
+      // the op, half after.
+      if (mix64(h ^ kStallPosSalt) & 1) {
+        before_units = units;
+      } else {
+        after_units = units;
+      }
+    }
+    if (before_units != 0) stall(before_units);
+
+    OpResult result;
+    switch (op.kind) {
+      case OpKind::kLL:
+        // A fresh link supersedes any spuriously-lost one.
+        l.dead_links.erase(op.reg);
+        result = exec(op);
+        break;
+      case OpKind::kSC: {
+        const bool already_dead = l.dead_links.count(op.reg) != 0;
+        const bool spurious = !already_dead && plan_.sc_fail_rate > 0.0 &&
+                              unit_roll(h ^ kFailSalt) < plan_.sc_fail_rate;
+        if (spurious) {
+          l.dead_links.insert(op.reg);
+          ++l.stats.injected_sc_failures;
+        }
+        if (already_dead || spurious) {
+          // The reservation is gone: the SC fails without touching memory
+          // and reports the register's current value (the paper's failed-SC
+          // response), fetched via a read-only probe.
+          PendingOp probe;
+          probe.kind = OpKind::kValidate;
+          probe.reg = op.reg;
+          result = exec(probe);
+          result.flag = false;
+        } else {
+          result = exec(op);
+        }
+        break;
+      }
+      case OpKind::kValidate: {
+        const bool already_dead = l.dead_links.count(op.reg) != 0;
+        const bool spurious = !already_dead && plan_.vl_fail_rate > 0.0 &&
+                              unit_roll(h ^ kFailSalt) < plan_.vl_fail_rate;
+        if (spurious) {
+          l.dead_links.insert(op.reg);
+          ++l.stats.injected_vl_failures;
+        }
+        result = exec(op);
+        if (already_dead || spurious) result.flag = false;
+        break;
+      }
+      default:
+        result = exec(op);
+        break;
+    }
+
+    if (after_units != 0) stall(after_units);
+    return result;
+  }
+
+  // Executed-op count of p's lane (equals Process::shared_ops() when every
+  // op is routed through apply()).
+  std::uint64_t ops_executed(ProcId p) const { return lane(p).ops; }
+
+  // Aggregate decision counters; quiescent use only.
+  FaultStats stats() const {
+    FaultStats s;
+    for (const auto& l : lanes_) {
+      s.ops += l->stats.ops;
+      s.injected_sc_failures += l->stats.injected_sc_failures;
+      s.injected_vl_failures += l->stats.injected_vl_failures;
+      s.stalls += l->stats.stalls;
+      s.stall_units += l->stats.stall_units;
+      s.crashes += l->stats.crashes;
+    }
+    return s;
+  }
+
+ private:
+  static constexpr std::uint64_t kFailSalt = 0xC2B2AE3D27D4EB4Full;
+  static constexpr std::uint64_t kStallSalt = 0x9E3779B97F4A7C15ull;
+  static constexpr std::uint64_t kStallLenSalt = 0x165667B19E3779F9ull;
+  static constexpr std::uint64_t kStallPosSalt = 0x27D4EB2F165667C5ull;
+
+  struct alignas(64) Lane {
+    std::uint64_t ops = 0;
+    bool crashed = false;
+    // Registers whose reservation was spuriously lost and not yet
+    // refreshed by an LL ("link dead" in the injected model).
+    std::unordered_set<RegId> dead_links;
+    FaultStats stats;
+  };
+
+  Lane& lane(ProcId p) { return *lanes_[static_cast<std::size_t>(p)]; }
+  const Lane& lane(ProcId p) const {
+    return *lanes_[static_cast<std::size_t>(p)];
+  }
+
+  // Pure decision hash for p's k-th executed op.
+  std::uint64_t op_hash(ProcId p, std::uint64_t k) const {
+    return mix64(plan_.seed ^
+                 mix64((static_cast<std::uint64_t>(p) + 1) *
+                           0x9E3779B97F4A7C15ull ^
+                       k));
+  }
+
+  // Uniform double in [0, 1) from a hash value.
+  static double unit_roll(std::uint64_t h) {
+    return static_cast<double>(mix64(h) >> 11) * 0x1.0p-53;
+  }
+
+  FaultPlan plan_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::unordered_map<ProcId, std::uint64_t> crash_at_;
+};
+
+// One failing Monte-Carlo sample, frozen to disk so `fault_replay` /
+// tools/replay_fault.py can reproduce it bit-for-bit (same taxonomy, same
+// per-process op counts) on either substrate. JSON round-trip in fault.cc.
+struct FaultArtifact {
+  // Name of a registered scenario (hw/fault_scenarios.h); "custom" means
+  // the producing driver ran an unregistered body and the artifact only
+  // documents the failure.
+  std::string scenario = "custom";
+  int n = 0;
+  int sample_index = -1;
+  std::uint64_t toss_seed = 0;
+  int max_rounds = 0;
+  RunStatus status = RunStatus::kClean;
+  std::vector<std::uint64_t> proc_ops;  // per-process t(p) at halt
+  FaultPlan plan;                       // effective (already derived) plan
+
+  std::string to_json() const;
+  static bool from_json(const std::string& text, FaultArtifact* out,
+                        std::string* error);
+};
+
+}  // namespace llsc
+
+#endif  // LLSC_HW_FAULT_H_

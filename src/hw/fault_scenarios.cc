@@ -1,0 +1,53 @@
+#include "hw/fault_scenarios.h"
+
+#include "memory/value.h"
+#include "wakeup/algorithms.h"
+
+namespace llsc {
+
+namespace {
+
+constexpr int kFixedRounds = 8;
+
+// Each process hammers its own register: exactly kFixedRounds swaps per
+// process, no cross-process data flow, so the per-process op count is 8
+// on any substrate under any schedule or fault plan (short of a crash).
+// Returns 1 so the wakeup-style winner scan sees a clean sample.
+SimTask fixed_swap_body(ProcCtx ctx, ProcId i, int) {
+  const RegId mine = static_cast<RegId>(i);
+  for (int k = 0; k < kFixedRounds; ++k) {
+    (void)co_await ctx.swap(mine, Value::of_u64(static_cast<std::uint64_t>(k)));
+  }
+  co_return Value::of_u64(1);
+}
+
+// kFixedRounds x (LL; SC) on ONE shared register: contended, so SC
+// outcomes differ between substrates and injected spurious failures bite,
+// but the op count is fixed at 2 * kFixedRounds per process regardless.
+SimTask fixed_ll_sc_body(ProcCtx ctx, ProcId i, int) {
+  for (int k = 0; k < kFixedRounds; ++k) {
+    const Value cur = co_await ctx.ll(0);
+    const std::uint64_t base = cur.is_nil() ? 0 : cur.as_u64();
+    (void)co_await ctx.sc(
+        0, Value::of_u64(base + static_cast<std::uint64_t>(i) + 1));
+  }
+  co_return Value::of_u64(1);
+}
+
+}  // namespace
+
+ProcBody fault_scenario(const std::string& name) {
+  if (name == "tournament") return tournament_wakeup();
+  if (name == "randomized_tournament") return randomized_tournament_wakeup();
+  if (name == "counter") return counter_wakeup();
+  if (name == "fixed_swap") return &fixed_swap_body;
+  if (name == "fixed_ll_sc") return &fixed_ll_sc_body;
+  return {};
+}
+
+std::vector<std::string> fault_scenario_names() {
+  return {"tournament", "randomized_tournament", "counter", "fixed_swap",
+          "fixed_ll_sc"};
+}
+
+}  // namespace llsc

@@ -1,9 +1,12 @@
 #include "hw/hw_executor.h"
 
 #include <algorithm>
-#include <barrier>
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <cstdlib>
 #include <exception>
+#include <mutex>
 #include <thread>
 #include <utility>
 
@@ -16,6 +19,108 @@ namespace llsc {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+// Process-wide timeout default; ~0 marks "not resolved yet" so the
+// LLSC_TIMEOUT_MS environment variable is read lazily, after a test/bench
+// main() had its chance to call set_default_hw_timeout_ms().
+std::atomic<std::uint64_t> g_default_timeout_ms{~0ull};
+
+// Thrown (file-local) out of the monitored platform to unwind a worker's
+// coroutine stack; caught in the worker lambda and turned into a per-
+// process outcome. These never escape run().
+struct CrashStopSignal {};
+struct CancelledSignal {};
+
+// Per-worker progress state, padded so the watchdog's reads don't share
+// lines with the workers' increments.
+struct alignas(64) WorkerProgress {
+  std::atomic<std::uint64_t> steps{0};
+  std::atomic<bool> finished{false};
+};
+
+// Shared run monitor: the cancel flag every worker polls at each shared
+// step, plus the per-worker progress counters the watchdog watches.
+struct RunMonitor {
+  explicit RunMonitor(int n) : progress(static_cast<std::size_t>(n)) {}
+
+  void check_cancel(ProcId p) const {
+    if (cancel.load(std::memory_order_relaxed)) {
+      (void)p;
+      throw CancelledSignal{};
+    }
+  }
+  void note_step(ProcId p) {
+    progress[static_cast<std::size_t>(p)].steps.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  std::atomic<bool> cancel{false};
+  std::vector<WorkerProgress> progress;
+};
+
+// HwPlatform plus the robustness hooks: a cancellation checkpoint and a
+// progress tick on every shared-memory op and toss, and (when a plan is
+// installed) the fault injector in front of the memory. Worker bodies
+// therefore observe watchdog cancellation and crash-stops as exceptions
+// at step boundaries — a body that loops without ever taking a step
+// cannot be cancelled (nothing can preempt a native thread), which is
+// why tests keep a ctest-level timeout as backstop.
+class MonitoredHwPlatform final : public Platform {
+ public:
+  MonitoredHwPlatform(HwMemory* memory,
+                      std::shared_ptr<const TossAssignment> tosses,
+                      FaultInjector* injector, RunMonitor* monitor,
+                      std::uint32_t stall_unit_ns)
+      : memory_(memory),
+        tosses_(std::move(tosses)),
+        injector_(injector),
+        monitor_(monitor),
+        stall_unit_ns_(stall_unit_ns) {}
+
+  bool synchronous() const override { return true; }
+
+  OpResult apply(ProcId p, const PendingOp& op) override {
+    monitor_->check_cancel(p);
+    OpResult result;
+    if (injector_ != nullptr) {
+      if (injector_->crash_pending(p)) {
+        injector_->note_crash(p);
+        throw CrashStopSignal{};
+      }
+      result = injector_->apply(
+          p, op, [&](const PendingOp& o) { return memory_->apply(p, o); },
+          [&](std::uint32_t units) { stall(p, units); });
+    } else {
+      result = memory_->apply(p, op);
+    }
+    monitor_->note_step(p);
+    return result;
+  }
+
+  std::uint64_t toss(ProcId p, std::uint64_t j) override {
+    monitor_->check_cancel(p);
+    monitor_->note_step(p);
+    return tosses_->outcome(p, j);
+  }
+
+  std::string name() const override { return "hw"; }
+
+ private:
+  // Injected delay: sleep unit by unit with a cancellation checkpoint per
+  // unit, so a stalled worker still honours the watchdog promptly.
+  void stall(ProcId p, std::uint32_t units) {
+    for (std::uint32_t u = 0; u < units; ++u) {
+      monitor_->check_cancel(p);
+      std::this_thread::sleep_for(std::chrono::nanoseconds(stall_unit_ns_));
+    }
+  }
+
+  HwMemory* memory_;
+  std::shared_ptr<const TossAssignment> tosses_;
+  FaultInjector* injector_;
+  RunMonitor* monitor_;
+  std::uint32_t stall_unit_ns_;
+};
 
 double seconds_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
@@ -87,6 +192,23 @@ UcThroughput summarize(int n, int ops_per_process, double wall_seconds,
 
 }  // namespace
 
+std::uint64_t default_hw_timeout_ms() {
+  std::uint64_t v = g_default_timeout_ms.load(std::memory_order_relaxed);
+  if (v != ~0ull) return v;
+  v = 0;
+  if (const char* env = std::getenv("LLSC_TIMEOUT_MS")) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end != env) v = static_cast<std::uint64_t>(parsed);
+  }
+  g_default_timeout_ms.store(v, std::memory_order_relaxed);
+  return v;
+}
+
+void set_default_hw_timeout_ms(std::uint64_t ms) {
+  g_default_timeout_ms.store(ms, std::memory_order_relaxed);
+}
+
 HwExecutor::HwExecutor(HwRunOptions options) : options_(std::move(options)) {}
 
 HwRunResult HwExecutor::run(int n, const ProcBody& body) {
@@ -96,7 +218,14 @@ HwRunResult HwExecutor::run(int n, const ProcBody& body) {
   if (!tosses) {
     tosses = std::make_shared<SeededTossAssignment>(options_.seed);
   }
-  HwPlatform platform(&memory, tosses);
+  const bool inject =
+      options_.fault != nullptr && options_.fault->enabled();
+  std::optional<FaultInjector> injector;
+  if (inject) injector.emplace(*options_.fault, n);
+  RunMonitor monitor(n);
+  MonitoredHwPlatform platform(
+      &memory, tosses, injector ? &*injector : nullptr, &monitor,
+      inject ? options_.fault->stall_unit_ns : 0);
 
   // Build control blocks and coroutine frames on the calling thread; a
   // frame first executes inside start() on its worker thread (SimTask's
@@ -111,30 +240,128 @@ HwRunResult HwExecutor::run(int n, const ProcBody& body) {
   }
 
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
-  // n workers + this thread, so the wall clock starts when every worker
-  // is poised at its first instruction rather than at spawn time.
-  std::barrier sync(n + 1);
+  std::vector<HwProcOutcome> outcome(static_cast<std::size_t>(n),
+                                     HwProcOutcome::kDone);
+  // Start gate: workers check in on `ready` and block on `gate` until the
+  // main thread flips it, so the wall clock starts when every worker is
+  // poised at its first instruction rather than at spawn time. Unlike the
+  // std::barrier this replaces, the gate has an abort value (-1): if
+  // spawning thread j fails, threads 0..j-1 can be released and joined
+  // instead of deadlocking the barrier forever.
+  std::atomic<int> ready{0};
+  std::atomic<int> gate{0};  // 0 = hold, 1 = run, -1 = abort
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(n));
-  for (ProcId i = 0; i < n; ++i) {
-    threads.emplace_back([&, i] {
-      sync.arrive_and_wait();
-      try {
-        // Synchronous platform: this runs the whole body to completion.
-        procs[static_cast<std::size_t>(i)]->start();
-      } catch (...) {
-        errors[static_cast<std::size_t>(i)] = std::current_exception();
+  const auto join_all = [&] {
+    for (auto& t : threads) {
+      if (t.joinable()) t.join();
+    }
+  };
+  try {
+    for (ProcId i = 0; i < n; ++i) {
+      threads.emplace_back([&, i] {
+        ready.fetch_add(1, std::memory_order_release);
+        ready.notify_one();
+        gate.wait(0, std::memory_order_acquire);
+        if (gate.load(std::memory_order_acquire) < 0) return;
+        const std::size_t s = static_cast<std::size_t>(i);
+        try {
+          // Synchronous platform: this runs the whole body to completion.
+          procs[s]->start();
+        } catch (const CrashStopSignal&) {
+          // The signal unwound the coroutine (an await_suspend exception
+          // is re-thrown inside the frame), so the Process block reads as
+          // done-with-no-result; outcome[] is the source of truth here.
+          outcome[s] = HwProcOutcome::kCrashed;
+        } catch (const CancelledSignal&) {
+          outcome[s] = HwProcOutcome::kHung;
+        } catch (...) {
+          errors[s] = std::current_exception();
+          outcome[s] = HwProcOutcome::kHung;
+          // A failed body must not leave its peers running to a result
+          // that will be discarded by the rethrow below — and with a
+          // plan that crashes those peers' SC partners they might never
+          // finish at all.
+          monitor.cancel.store(true, std::memory_order_relaxed);
+        }
+        monitor.progress[s].finished.store(true, std::memory_order_release);
+      });
+    }
+  } catch (...) {
+    gate.store(-1, std::memory_order_release);
+    gate.notify_all();
+    join_all();
+    throw;
+  }
+  for (int seen = ready.load(std::memory_order_acquire); seen < n;
+       seen = ready.load(std::memory_order_acquire)) {
+    ready.wait(seen, std::memory_order_acquire);
+  }
+  // The clock starts just before the release (not after the join: on a
+  // single-core host the OS may run a worker to completion before this
+  // thread is rescheduled, which would shrink the measured window).
+  const Clock::time_point t0 = Clock::now();
+  gate.store(1, std::memory_order_release);
+  gate.notify_all();
+
+  // Watchdog: polls the deadline and the per-worker progress counters,
+  // and flips the cancel flag when the run is out of budget or wedged.
+  const std::uint64_t deadline_ms =
+      options_.timeout_ms ? *options_.timeout_ms : default_hw_timeout_ms();
+  std::mutex watchdog_mutex;
+  std::condition_variable watchdog_cv;
+  bool run_finished = false;
+  std::thread watchdog;
+  if (deadline_ms > 0 || options_.progress_timeout_ms > 0) {
+    watchdog = std::thread([&] {
+      const auto poll =
+          std::chrono::milliseconds(std::max<std::uint64_t>(
+              1, options_.watchdog_poll_ms));
+      std::uint64_t last_sum = ~0ull;
+      int last_finished = -1;
+      Clock::time_point last_change = Clock::now();
+      std::unique_lock<std::mutex> lock(watchdog_mutex);
+      for (;;) {
+        if (watchdog_cv.wait_for(lock, poll, [&] { return run_finished; })) {
+          return;
+        }
+        const Clock::time_point now = Clock::now();
+        if (deadline_ms > 0 &&
+            now - t0 >= std::chrono::milliseconds(deadline_ms)) {
+          monitor.cancel.store(true, std::memory_order_relaxed);
+          continue;  // keep waiting for run_finished
+        }
+        if (options_.progress_timeout_ms > 0) {
+          std::uint64_t sum = 0;
+          int finished = 0;
+          for (const WorkerProgress& w : monitor.progress) {
+            sum += w.steps.load(std::memory_order_relaxed);
+            finished += w.finished.load(std::memory_order_relaxed) ? 1 : 0;
+          }
+          if (sum != last_sum || finished != last_finished) {
+            last_sum = sum;
+            last_finished = finished;
+            last_change = now;
+          } else if (finished < n &&
+                     now - last_change >= std::chrono::milliseconds(
+                                              options_.progress_timeout_ms)) {
+            monitor.cancel.store(true, std::memory_order_relaxed);
+          }
+        }
       }
     });
   }
-  // The clock starts just before this thread's arrival releases the
-  // barrier (not after: on a single-core host the OS may run a worker to
-  // completion before this thread is rescheduled, which would shrink the
-  // measured window to ~zero).
-  const Clock::time_point t0 = Clock::now();
-  sync.arrive_and_wait();
-  for (auto& t : threads) t.join();
+
+  join_all();
   const Clock::time_point t1 = Clock::now();
+  if (watchdog.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(watchdog_mutex);
+      run_finished = true;
+    }
+    watchdog_cv.notify_all();
+    watchdog.join();
+  }
   for (auto& e : errors) {
     if (e) std::rethrow_exception(e);
   }
@@ -142,24 +369,39 @@ HwRunResult HwExecutor::run(int n, const ProcBody& body) {
   HwRunResult out;
   out.n = n;
   out.wall_seconds = seconds_between(t0, t1);
-  out.results.reserve(static_cast<std::size_t>(n));
+  out.cancelled = monitor.cancel.load(std::memory_order_relaxed);
+  out.proc_status = outcome;
+  out.results.resize(static_cast<std::size_t>(n));
   out.shared_ops.reserve(static_cast<std::size_t>(n));
   out.num_tosses.reserve(static_cast<std::size_t>(n));
-  out.ok = true;
-  for (const auto& proc : procs) {
-    if (!proc->done()) {
-      out.ok = false;
-      continue;
+  for (ProcId i = 0; i < n; ++i) {
+    const auto& proc = procs[static_cast<std::size_t>(i)];
+    const std::size_t s = static_cast<std::size_t>(i);
+    if (outcome[s] == HwProcOutcome::kCrashed) {
+      ++out.crashed_procs;
+    } else if (outcome[s] == HwProcOutcome::kDone && proc->done()) {
+      out.results[s] = proc->result();
+    } else {
+      out.proc_status[s] = HwProcOutcome::kHung;
+      ++out.hung_procs;
     }
-    out.results.push_back(proc->result());
     out.shared_ops.push_back(proc->shared_ops());
     out.num_tosses.push_back(proc->num_tosses());
     out.max_shared_ops = std::max(out.max_shared_ops, proc->shared_ops());
     out.total_shared_ops += proc->shared_ops();
   }
-  LLSC_CHECK(out.ok, "a process failed to run to completion on hw");
+  out.status = out.crashed_procs > 0
+                   ? RunStatus::kCrashed
+                   : (out.hung_procs > 0 ? RunStatus::kHung
+                                         : RunStatus::kClean);
+  out.ok = out.status == RunStatus::kClean;
+  // Without a fault plan or a watchdog firing, anything short of full
+  // completion is an executor bug — keep the seed's loud failure.
+  LLSC_CHECK(out.ok || inject || out.cancelled,
+             "a process failed to run to completion on hw");
   out.reclaim = memory.reclaim_stats();
   out.backoff = memory.backoff_stats();
+  if (injector) out.fault = injector->stats();
   return out;
 }
 
@@ -176,9 +418,15 @@ UcThroughput run_uc_on_hw(HwExecutor& exec, UniversalConstruction& uc, int n,
   };
   const HwRunResult run = exec.run(n, body);
   std::uint64_t response_sum = 0;
-  for (const Value& v : run.results) response_sum += v.as_u64();
-  return summarize(n, ops_per_process, run.wall_seconds, std::move(latencies),
-                   run.shared_ops, response_sum);
+  for (const Value& v : run.results) {
+    if (v.holds_u64()) response_sum += v.as_u64();  // nil: crashed/hung proc
+  }
+  UcThroughput out =
+      summarize(n, ops_per_process, run.wall_seconds, std::move(latencies),
+                run.shared_ops, response_sum);
+  out.status = run.status;
+  out.fault = run.fault;
+  return out;
 }
 
 UcThroughput run_uc_on_simulator(UniversalConstruction& uc, int n,

@@ -14,17 +14,26 @@
 // seed), so repeated runs with the same seed replay the same toss
 // outcomes and differ only in step interleaving. Per-process shared-op
 // and toss counters live in the per-thread Process blocks (no shared
-// counters to contend on); a std::barrier lines all threads up before the
-// first step so throughput numbers measure concurrent execution, not
-// thread spawn skew.
+// counters to contend on); an atomic start gate lines all threads up
+// before the first step so throughput numbers measure concurrent
+// execution, not thread spawn skew (a gate rather than std::barrier so a
+// partial spawn failure can abort and join the already-spawned workers).
+//
+// Robustness (hw/fault.h): run() optionally routes every shared-memory
+// op through a FaultInjector (same decision stream as the simulator) and
+// arms a watchdog that cancels workers that blow the run deadline or
+// stop making progress; the result carries a clean/crashed/hung taxonomy
+// instead of wedging the caller.
 #ifndef LLSC_HW_HW_EXECUTOR_H_
 #define LLSC_HW_HW_EXECUTOR_H_
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "hw/fault.h"
 #include "hw/hw_memory.h"
 #include "hw/platform.h"
 #include "runtime/process.h"
@@ -65,12 +74,48 @@ struct HwRunOptions {
   // Retry-loop backoff policy for the run's HwMemory (hw/backoff.h);
   // kAdaptiveParking is the right choice when n exceeds the core count.
   BackoffOptions backoff;
+  // Fault plan for this run (hw/fault.h); nullptr or a disabled plan means
+  // no injection. The plan is used as-is — sweeping drivers derive
+  // per-sample seeds themselves (derive_sample_plan). Caller keeps the
+  // plan alive for the duration of run().
+  const FaultPlan* fault = nullptr;
+  // Watchdog deadline for one run(): when the run exceeds this wall-clock
+  // budget the watchdog cancels every worker at its next shared-memory op
+  // or toss, and the run reports RunStatus::kHung. nullopt inherits the
+  // process-wide default (set_default_hw_timeout_ms / LLSC_TIMEOUT_MS);
+  // 0 disables the deadline.
+  std::optional<std::uint64_t> timeout_ms;
+  // Hang detection: cancel when the per-thread progress counters of the
+  // still-running workers stop advancing for this long. 0 disables.
+  std::uint64_t progress_timeout_ms = 0;
+  // Watchdog poll period (only meaningful when a deadline or progress
+  // window is armed).
+  std::uint64_t watchdog_poll_ms = 5;
+};
+
+// Per-process outcome of one hw run.
+enum class HwProcOutcome : std::uint8_t {
+  kDone = 0,     // body ran to completion
+  kCrashed = 1,  // crash-stopped by the fault plan
+  kHung = 2,     // cancelled by the watchdog before completing
 };
 
 struct HwRunResult {
   int n = 0;
-  bool ok = false;  // all processes ran to completion
-  std::vector<Value> results;                // per process
+  bool ok = false;  // all processes ran to completion (status == kClean)
+  // Failure taxonomy (hw/fault.h): kClean when every process terminated,
+  // kCrashed when the fault plan crash-stopped at least one process,
+  // kHung when the watchdog cancelled a worker and nobody crashed.
+  // (kSpecViolation is assigned by workload-level checkers such as the
+  // Monte-Carlo drivers — the executor itself has no spec to check.)
+  RunStatus status = RunStatus::kClean;
+  std::vector<HwProcOutcome> proc_status;    // per process
+  int crashed_procs = 0;
+  int hung_procs = 0;
+  bool cancelled = false;  // the watchdog fired
+  // All vectors below hold one entry per process (index = ProcId);
+  // results[p] is nil unless proc_status[p] == kDone.
+  std::vector<Value> results;
   std::vector<std::uint64_t> shared_ops;     // t(p) per process
   std::vector<std::uint64_t> num_tosses;     // per process
   std::uint64_t max_shared_ops = 0;          // the paper's t(R)
@@ -78,7 +123,15 @@ struct HwRunResult {
   double wall_seconds = 0.0;
   HwReclaimStats reclaim;
   HwBackoffStats backoff;
+  FaultStats fault;  // injected-fault decision counters (zero w/o a plan)
 };
+
+// Process-wide default for HwRunOptions::timeout_ms. Resolution order:
+// the last set_default_hw_timeout_ms() call, else the LLSC_TIMEOUT_MS
+// environment variable, else 0 (no deadline). This is how --timeout_ms
+// reaches the HwExecutors that tests and benches construct internally.
+std::uint64_t default_hw_timeout_ms();
+void set_default_hw_timeout_ms(std::uint64_t ms);
 
 class HwExecutor {
  public:
@@ -114,8 +167,13 @@ struct UcThroughput {
   // shared-access cost to compare against worst_case_shared_ops().
   double shared_ops_per_uc_op = 0.0;
   std::uint64_t max_shared_ops = 0;
-  // Sum over processes of returned response sums (for sanity checks).
+  // Sum over processes of returned response sums (for sanity checks;
+  // only kDone processes contribute on a degraded run).
   std::uint64_t response_sum = 0;
+  // Run taxonomy + fault counters, copied from the underlying HwRunResult
+  // (always kClean / zero on the simulator path).
+  RunStatus status = RunStatus::kClean;
+  FaultStats fault;
   // One entry per completed operation, merged across processes, unsorted.
   std::vector<std::uint64_t> latencies_ns;
   std::uint64_t latency_p50_ns = 0;

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <thread>
 
@@ -17,51 +19,25 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-// Outcome of one sample, written by exactly one worker into its own slot
-// before the join (which is the synchronization point for the fold).
-struct SampleOutcome {
-  bool terminated = false;
-  // Some process returned 1; winner_ops is meaningful only when true.
-  // terminated && !has_winner is a wakeup-spec violation.
-  bool has_winner = false;
-  std::uint64_t winner_ops = 0;
-  std::uint64_t max_ops = 0;
-};
-
-SampleOutcome run_one_sample(const ProcBody& algo, int n, std::uint64_t seed,
-                             const AdversaryOptions& adversary) {
-  SampleOutcome out;
-  const auto tosses = std::make_shared<SeededTossAssignment>(seed);
-  System sys(n, algo, tosses);
-  sys.set_recording(false);
-  AdversaryOptions opts = adversary;
-  opts.record_snapshots = false;
-  const RunLog log = run_adversary(sys, opts);
-  if (!log.all_terminated) return out;
-  out.terminated = true;
-  std::uint64_t winner_ops = ~std::uint64_t{0};
-  for (ProcId p = 0; p < n; ++p) {
-    const Process& proc = sys.process(p);
-    if (proc.done() && proc.result().holds_u64() &&
-        proc.result().as_u64() == 1) {
-      winner_ops = std::min(winner_ops, proc.shared_ops());
-    }
-  }
-  // No 1-returner in a terminated run is a wakeup-spec violation; leave
-  // has_winner false so the fold counts it instead of folding a bogus
-  // winner_ops = 0 into the minimum.
-  out.has_winner = winner_ops != ~std::uint64_t{0};
-  out.winner_ops = out.has_winner ? winner_ops : 0;
-  out.max_ops = sys.max_shared_ops();
-  return out;
-}
-
 }  // namespace
 
 ParallelMcResult estimate_expected_complexity_parallel(
     const ProcBody& algo, int n, int samples, std::uint64_t seed,
     int num_workers, const AdversaryOptions& adversary) {
+  McRunOptions options;
+  options.num_workers = num_workers;
+  options.adversary = adversary;
+  return estimate_expected_complexity_parallel(algo, n, samples, seed,
+                                               options);
+}
+
+ParallelMcResult estimate_expected_complexity_parallel(
+    const ProcBody& algo, int n, int samples, std::uint64_t seed,
+    const McRunOptions& options) {
   LLSC_EXPECTS(samples >= 1, "need at least one sample");
+  const AdversaryOptions& adversary = options.adversary;
+  const bool inject = options.fault != nullptr && options.fault->enabled();
+  int num_workers = options.num_workers;
   if (num_workers <= 0) {
     num_workers = static_cast<int>(
         std::max(1u, std::thread::hardware_concurrency()));
@@ -73,7 +49,7 @@ ParallelMcResult estimate_expected_complexity_parallel(
   Rng rng(seed);
   for (auto& s : seeds) s = rng.next_u64();
 
-  std::vector<SampleOutcome> outcomes(static_cast<std::size_t>(samples));
+  std::vector<McSampleOutcome> outcomes(static_cast<std::size_t>(samples));
   std::atomic<int> cursor{0};
   std::vector<McShardStats> shards(static_cast<std::size_t>(num_workers));
   std::vector<std::exception_ptr> errors(
@@ -86,8 +62,15 @@ ParallelMcResult estimate_expected_complexity_parallel(
     for (;;) {
       const int i = cursor.fetch_add(1);
       if (i >= samples) break;
-      outcomes[static_cast<std::size_t>(i)] = run_one_sample(
-          algo, n, seeds[static_cast<std::size_t>(i)], adversary);
+      const std::uint64_t toss_seed = seeds[static_cast<std::size_t>(i)];
+      // Per-sample plan derivation mirrors the serial estimator exactly —
+      // a pure function of (base plan, toss seed), independent of which
+      // worker claims the sample.
+      FaultPlan sample_plan;
+      if (inject) sample_plan = derive_sample_plan(*options.fault, toss_seed);
+      outcomes[static_cast<std::size_t>(i)] =
+          run_mc_sample(algo, n, toss_seed, adversary,
+                        inject ? &sample_plan : nullptr);
       ++stats.samples_run;
     }
     stats.wall_seconds =
@@ -124,8 +107,15 @@ ParallelMcResult estimate_expected_complexity_parallel(
   int winner_samples = 0;
   double sum_winner = 0.0;
   double sum_max = 0.0;
-  for (const SampleOutcome& o : outcomes) {
-    if (!o.terminated) continue;
+  for (const McSampleOutcome& o : outcomes) {
+    if (!o.terminated) {
+      if (o.status == RunStatus::kCrashed) {
+        ++est.crashed_samples;
+      } else {
+        ++est.hung_samples;
+      }
+      continue;
+    }
     ++terminated;
     sum_max += static_cast<double>(o.max_ops);
     if (!o.has_winner) {
@@ -155,6 +145,39 @@ ParallelMcResult estimate_expected_complexity_parallel(
   result.wall_seconds =
       std::chrono::duration<double>(Clock::now() - t0).count();
   result.shards = std::move(shards);
+
+  // Freeze every failing sample (up to the cap) to a replayable artifact:
+  // seed + effective plan + observed taxonomy and per-process op counts.
+  if (!options.artifact_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.artifact_dir, ec);
+    for (int i = 0;
+         i < samples &&
+         static_cast<int>(result.artifacts.size()) < McRunOptions::kMaxArtifacts;
+         ++i) {
+      const McSampleOutcome& o = outcomes[static_cast<std::size_t>(i)];
+      if (o.status == RunStatus::kClean) continue;
+      FaultArtifact artifact;
+      artifact.scenario = options.scenario;
+      artifact.n = n;
+      artifact.sample_index = i;
+      artifact.toss_seed = seeds[static_cast<std::size_t>(i)];
+      artifact.max_rounds = adversary.max_rounds;
+      artifact.status = o.status;
+      artifact.proc_ops = o.proc_ops;
+      if (inject) {
+        artifact.plan = derive_sample_plan(*options.fault,
+                                           artifact.toss_seed);
+      }
+      const std::string path =
+          options.artifact_dir + "/fault_sample_" + std::to_string(i) +
+          ".json";
+      std::ofstream file(path);
+      if (!file) continue;
+      file << artifact.to_json();
+      if (file.good()) result.artifacts.push_back(path);
+    }
+  }
   return result;
 }
 

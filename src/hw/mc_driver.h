@@ -24,9 +24,11 @@
 #define LLSC_HW_MC_DRIVER_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/lower_bound.h"
+#include "hw/fault.h"
 
 namespace llsc {
 
@@ -36,17 +38,45 @@ struct McShardStats {
   double wall_seconds = 0.0;
 };
 
+struct McRunOptions {
+  // <= 0 picks std::thread::hardware_concurrency() (capped by the sample
+  // count); 1 degenerates to the serial driver on this thread.
+  int num_workers = 0;
+  AdversaryOptions adversary;
+  // Fault plan for the sweep (hw/fault.h); per-sample schedules are
+  // derived from it with derive_sample_plan(plan, toss_seed) — exactly as
+  // the serial estimator does, so parity is preserved under injection.
+  // Caller keeps it alive for the call. nullptr disables injection.
+  const FaultPlan* fault = nullptr;
+  // When non-empty, every failing sample (crashed / hung / spec-violation)
+  // dumps a FaultArtifact JSON here (fault_sample_<i>.json, capped at
+  // kMaxArtifacts per call) for tools/replay_fault.py.
+  std::string artifact_dir;
+  // Scenario name recorded in artifacts; must name a registered scenario
+  // (hw/fault_scenarios.h) for `fault_replay` to rebuild the body.
+  std::string scenario = "custom";
+
+  static constexpr int kMaxArtifacts = 32;
+};
+
 struct ParallelMcResult {
   // Identical (bitwise, field by field) to what the serial
-  // estimate_expected_complexity returns for the same inputs.
+  // estimate_expected_complexity returns for the same inputs — fault plan
+  // included.
   ExpectedComplexityEstimate estimate;
   int num_workers = 0;
   double wall_seconds = 0.0;
   std::vector<McShardStats> shards;
+  // Paths of the artifacts written for failing samples (empty unless
+  // options.artifact_dir was set and some sample failed).
+  std::vector<std::string> artifacts;
 };
 
-// `num_workers` <= 0 picks std::thread::hardware_concurrency() (capped by
-// the sample count); 1 degenerates to the serial driver on this thread.
+ParallelMcResult estimate_expected_complexity_parallel(
+    const ProcBody& algo, int n, int samples, std::uint64_t seed,
+    const McRunOptions& options);
+
+// Back-compat signature (pre-fault-injection callers).
 ParallelMcResult estimate_expected_complexity_parallel(
     const ProcBody& algo, int n, int samples, std::uint64_t seed,
     int num_workers = 0, const AdversaryOptions& adversary = {});

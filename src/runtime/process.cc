@@ -83,6 +83,12 @@ void Process::start() {
   resume();
 }
 
+void Process::mark_crashed() {
+  LLSC_EXPECTS(kind_ != StepKind::kDone,
+               "cannot crash a terminated process");
+  crashed_ = true;
+}
+
 const Value& Process::result() const {
   LLSC_EXPECTS(kind_ == StepKind::kDone,
                "result() requires a terminated process");
@@ -116,6 +122,7 @@ void Process::resume() {
 
 std::string Process::to_string() const {
   std::string s = "p" + std::to_string(id_) + "[" + step_kind_name(kind_);
+  if (crashed_) s += " CRASHED";
   if (kind_ == StepKind::kOp) s += " " + pending_op_.to_string();
   s += ", ops=" + std::to_string(shared_ops_) +
        ", tosses=" + std::to_string(num_tosses_) + "]";

@@ -135,6 +135,16 @@ class Process {
 
   StepKind step_kind() const { return kind_; }
   bool done() const { return kind_ == StepKind::kDone; }
+  // Crash-stopped by fault injection (hw/fault.h): the process froze at an
+  // op boundary and will take no further steps; result() stays unavailable
+  // and its pending step must never be executed.
+  bool crashed() const { return crashed_; }
+  // done-or-crashed: this process will take no further steps. Schedulers
+  // and the adversary loop on this, not done(), so a crashed process
+  // cannot spin a schedule forever.
+  bool halted() const { return done() || crashed_; }
+  // Freeze the process permanently. Precondition: !done(). Idempotent.
+  void mark_crashed();
   // Pending shared-memory operation. Precondition: step_kind() == kOp.
   const PendingOp& pending_op() const;
   // Range of the pending toss (0 = raw u64). Precondition: kind == kToss.
@@ -203,6 +213,7 @@ class Process {
   std::uint64_t toss_result_ = 0;  // result slot read by the toss awaitable
   std::uint64_t shared_ops_ = 0;
   std::uint64_t num_tosses_ = 0;
+  bool crashed_ = false;
 };
 
 namespace internal {

@@ -6,6 +6,17 @@
 
 namespace llsc {
 
+OpResult SimPlatform::apply(ProcId p, const PendingOp& op) {
+  if (fault_ == nullptr) return memory_->apply(p, op);
+  return fault_->apply(
+      p, op, [&](const PendingOp& o) { return memory_->apply(p, o); },
+      [](std::uint32_t) {
+        // Deferred platform: a stall is schedule time, not wall time — the
+        // decision is counted (FaultStats) and the adversary/scheduler
+        // already owns when this process moves next.
+      });
+}
+
 System::System(int n, const ProcBody& body,
                std::shared_ptr<const TossAssignment> tosses)
     : tosses_(tosses ? std::move(tosses)
@@ -35,7 +46,7 @@ const Process& System::process(ProcId p) const {
 
 void System::step(ProcId p) {
   Process& proc = process(p);
-  LLSC_EXPECTS(!proc.done(), "cannot step a terminated process");
+  LLSC_EXPECTS(!proc.halted(), "cannot step a halted process");
   if (proc.step_kind() == StepKind::kNotStarted) {
     proc.start();
     if (proc.done()) note_step(p);  // terminated without any step
@@ -47,6 +58,7 @@ void System::step(ProcId p) {
     note_step(p);
     return;
   }
+  if (maybe_crash(p)) return;  // crash-stop instead of the pending op
   execute_pending_op(p);
 }
 
@@ -65,6 +77,7 @@ std::uint64_t System::advance_through_tosses(ProcId p) {
 
 OpRecord System::execute_pending_op(ProcId p) {
   Process& proc = process(p);
+  LLSC_EXPECTS(!proc.crashed(), "cannot execute an op of a crashed process");
   LLSC_EXPECTS(proc.step_kind() == StepKind::kOp,
                "execute_pending_op() requires a pending operation");
   OpRecord rec;
@@ -79,15 +92,44 @@ OpRecord System::execute_pending_op(ProcId p) {
   return rec;
 }
 
+void System::set_fault_injector(FaultInjector* injector) {
+  LLSC_EXPECTS(injector == nullptr ||
+                   injector->num_processes() >= num_processes(),
+               "fault injector sized for fewer processes than the system");
+  fault_ = injector;
+  platform_.set_fault_injector(injector);
+}
+
+bool System::maybe_crash(ProcId p) {
+  Process& proc = process(p);
+  if (proc.crashed()) return true;
+  if (fault_ == nullptr || proc.done()) return false;
+  if (!fault_->crash_pending(p, proc.shared_ops())) return false;
+  proc.mark_crashed();
+  fault_->note_crash(p);
+  return true;
+}
+
 bool System::all_done() const {
   return std::all_of(procs_.begin(), procs_.end(),
                      [](const auto& p) { return p->done(); });
+}
+
+bool System::all_halted() const {
+  return std::all_of(procs_.begin(), procs_.end(),
+                     [](const auto& p) { return p->halted(); });
 }
 
 int System::num_done() const {
   return static_cast<int>(
       std::count_if(procs_.begin(), procs_.end(),
                     [](const auto& p) { return p->done(); }));
+}
+
+int System::num_crashed() const {
+  return static_cast<int>(
+      std::count_if(procs_.begin(), procs_.end(),
+                    [](const auto& p) { return p->crashed(); }));
 }
 
 void System::note_step(ProcId p) {

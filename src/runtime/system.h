@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "hw/fault.h"
 #include "hw/platform.h"
 #include "memory/shared_memory.h"
 #include "runtime/process.h"
@@ -34,17 +35,21 @@ class SimPlatform final : public Platform {
       : memory_(memory), tosses_(tosses) {}
 
   bool synchronous() const override { return false; }
-  OpResult apply(ProcId p, const PendingOp& op) override {
-    return memory_->apply(p, op);
-  }
+  // Out of line (system.cc): routes through the fault injector when one is
+  // installed, so an injected fault schedule replays identically here and
+  // on the hw backend.
+  OpResult apply(ProcId p, const PendingOp& op) override;
   std::uint64_t toss(ProcId p, std::uint64_t j) override {
     return tosses_->outcome(p, j);
   }
   std::string name() const override { return "sim"; }
 
+  void set_fault_injector(FaultInjector* injector) { fault_ = injector; }
+
  private:
   SharedMemory* memory_;
   const TossAssignment* tosses_;
+  FaultInjector* fault_ = nullptr;
 };
 
 class System {
@@ -73,14 +78,29 @@ class System {
   std::uint64_t advance_through_tosses(ProcId p);
 
   // Execute p's pending shared-memory operation and return the record.
-  // Precondition: p's pending step is an operation.
+  // Precondition: p's pending step is an operation and p has not crashed.
   OpRecord execute_pending_op(ProcId p);
+
+  // --- fault injection (hw/fault.h) ---
+
+  // Install a fault injector for this run (nullptr to remove). The caller
+  // owns it and keeps it alive for the run; schedulers must consult
+  // maybe_crash(p) before executing p's pending op.
+  void set_fault_injector(FaultInjector* injector);
+  FaultInjector* fault_injector() const { return fault_; }
+  // If the installed plan crash-stops p at its current op count, freeze p
+  // now. Returns true when p is (now or already) crashed.
+  bool maybe_crash(ProcId p);
 
   // --- run state ---
 
   bool all_done() const;
+  // True when every process is done or crashed — no further steps exist.
+  bool all_halted() const;
   // Number of processes that have terminated.
   int num_done() const;
+  // Number of crash-stopped processes.
+  int num_crashed() const;
   // max over p of t(p, run-so-far) — the paper's t(R).
   std::uint64_t max_shared_ops() const;
   // Total shared-memory steps executed so far.
@@ -109,6 +129,7 @@ class System {
   std::shared_ptr<const TossAssignment> tosses_;
   // Declared after memory_ and tosses_ (it points into both).
   SimPlatform platform_;
+  FaultInjector* fault_ = nullptr;
   // Marks completion/first-step clocks for p after it executed a step.
   void note_step(ProcId p);
 

@@ -14,11 +14,14 @@ RunOutcome finish(const System& sys, std::uint64_t steps) {
 
 }  // namespace
 
+// Schedulers skip halted() (done-or-crashed) processes: a crash-stopped
+// process takes no further steps, and looping on done() alone would spin
+// forever on a run with an injected crash.
 RunOutcome RoundRobinScheduler::run(System& sys, std::uint64_t max_steps) {
   std::uint64_t steps = 0;
-  while (!sys.all_done() && steps < max_steps) {
+  while (!sys.all_halted() && steps < max_steps) {
     for (ProcId p = 0; p < sys.num_processes() && steps < max_steps; ++p) {
-      if (!sys.process(p).done()) {
+      if (!sys.process(p).halted()) {
         sys.step(p);
         ++steps;
       }
@@ -33,7 +36,7 @@ RunOutcome RandomScheduler::run(System& sys, std::uint64_t max_steps) {
   while (steps < max_steps) {
     live.clear();
     for (ProcId p = 0; p < sys.num_processes(); ++p) {
-      if (!sys.process(p).done()) live.push_back(p);
+      if (!sys.process(p).halted()) live.push_back(p);
     }
     if (live.empty()) break;
     const ProcId p = live[rng_.next_below(live.size())];
@@ -46,7 +49,7 @@ RunOutcome RandomScheduler::run(System& sys, std::uint64_t max_steps) {
 RunOutcome SequentialScheduler::run(System& sys, std::uint64_t max_steps) {
   std::uint64_t steps = 0;
   for (ProcId p = 0; p < sys.num_processes(); ++p) {
-    while (!sys.process(p).done() && steps < max_steps) {
+    while (!sys.process(p).halted() && steps < max_steps) {
       sys.step(p);
       ++steps;
     }
@@ -57,15 +60,15 @@ RunOutcome SequentialScheduler::run(System& sys, std::uint64_t max_steps) {
 RunOutcome ScriptedScheduler::run(System& sys, std::uint64_t max_steps) {
   std::uint64_t steps = 0;
   for (const ProcId p : script_) {
-    if (steps >= max_steps || sys.all_done()) break;
+    if (steps >= max_steps || sys.all_halted()) break;
     LLSC_EXPECTS(p >= 0 && p < sys.num_processes(),
                  "scripted process id out of range");
-    if (!sys.process(p).done()) {
+    if (!sys.process(p).halted()) {
       sys.step(p);
       ++steps;
     }
   }
-  if (!sys.all_done() && steps < max_steps) {
+  if (!sys.all_halted() && steps < max_steps) {
     RoundRobinScheduler fallback;
     RunOutcome tail = fallback.run(sys, max_steps - steps);
     tail.steps_executed += steps;

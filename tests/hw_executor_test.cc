@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "hw/fault_scenarios.h"
 #include "objects/arith.h"
 #include "runtime/system.h"
 #include "sched/scheduler.h"
@@ -149,6 +150,29 @@ TEST(HwExecutorTest, SimulatorColumnMatchesHwResponses) {
   EXPECT_EQ(hw.response_sum, sim.response_sum);
   EXPECT_EQ(sim.total_uc_ops, hw.total_uc_ops);
   EXPECT_GT(sim.max_shared_ops, 0u);
+}
+
+// A present-but-disabled fault plan (all rates zero, no crashes) must be
+// indistinguishable from no plan at all: same clean taxonomy, same
+// schedule-independent per-process op counts, zero decision counters.
+TEST(HwExecutorTest, DisabledFaultPlanLeavesRunsUnchanged) {
+  const int n = 4;
+  const ProcBody algo = fault_scenario("fixed_swap");  // 8 ops/process
+  HwExecutor plain;
+  const HwRunResult baseline = plain.run(n, algo);
+
+  FaultPlan disabled;  // enabled() == false
+  HwRunOptions options;
+  options.fault = &disabled;
+  HwExecutor gated(options);
+  const HwRunResult r = gated.run(n, algo);
+
+  EXPECT_EQ(r.status, RunStatus::kClean);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.shared_ops, baseline.shared_ops);
+  EXPECT_EQ(r.fault.ops, 0u);
+  EXPECT_EQ(r.fault.injected_sc_failures, 0u);
+  EXPECT_EQ(r.fault.crashes, 0u);
 }
 
 }  // namespace

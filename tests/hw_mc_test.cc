@@ -17,6 +17,8 @@ void expect_identical(const ExpectedComplexityEstimate& a,
   EXPECT_EQ(a.samples, b.samples);
   EXPECT_EQ(a.termination_rate, b.termination_rate);
   EXPECT_EQ(a.spec_violations, b.spec_violations);
+  EXPECT_EQ(a.crashed_samples, b.crashed_samples);
+  EXPECT_EQ(a.hung_samples, b.hung_samples);
   EXPECT_EQ(a.mean_winner_ops, b.mean_winner_ops);
   EXPECT_EQ(a.mean_max_ops, b.mean_max_ops);
   EXPECT_EQ(a.min_winner_ops, b.min_winner_ops);
@@ -109,6 +111,9 @@ TEST(HwMcTest, NoTerminatingSampleReportsZeroMinWinnerOps) {
       estimate_expected_complexity(algo, n, samples, /*seed=*/9, adversary);
   EXPECT_EQ(serial.termination_rate, 0.0);
   EXPECT_EQ(serial.spec_violations, 0);
+  // Round-cap non-termination without a fault plan is classified "hung".
+  EXPECT_EQ(serial.hung_samples, samples);
+  EXPECT_EQ(serial.crashed_samples, 0);
   EXPECT_EQ(serial.min_winner_ops, 0u);  // pre-fix: UINT64_MAX
   EXPECT_TRUE(serial.bound_met);
 
@@ -126,6 +131,52 @@ TEST(HwMcTest, HealthyAlgorithmReportsZeroSpecViolations) {
   EXPECT_EQ(par.estimate.spec_violations, 0);
   EXPECT_GT(par.estimate.min_winner_ops, 0u);
   EXPECT_TRUE(par.estimate.bound_met);
+}
+
+// Fault-plan sweeps preserve the serial/parallel bit-for-bit contract:
+// both drivers derive the identical per-sample plan from (base plan,
+// toss seed), so crashed/hung taxonomy counts — not just the means —
+// must agree exactly across worker counts.
+TEST(HwMcTest, CrashedSamplesFoldIdenticallySerialAndParallel) {
+  const int n = 8;
+  const int samples = 16;
+  const std::uint64_t seed = 13;
+  FaultPlan plan;
+  plan.seed = 77;
+  plan.crashes.push_back(CrashSpec{.proc = 0, .after_ops = 2});
+  const ExpectedComplexityEstimate serial = estimate_expected_complexity(
+      randomized_tournament_wakeup(), n, samples, seed, {}, &plan);
+  EXPECT_EQ(serial.crashed_samples, samples);  // proc 0 crashes every sample
+  EXPECT_EQ(serial.termination_rate, 0.0);
+  for (const int workers : {1, 3}) {
+    McRunOptions options;
+    options.num_workers = workers;
+    options.fault = &plan;
+    const ParallelMcResult par = estimate_expected_complexity_parallel(
+        randomized_tournament_wakeup(), n, samples, seed, options);
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    expect_identical(serial, par.estimate);
+  }
+}
+
+TEST(HwMcTest, SpuriousFailureSweepFoldsIdenticallySerialAndParallel) {
+  const int n = 8;
+  const int samples = 24;
+  const std::uint64_t seed = 29;
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.sc_fail_rate = 0.4;
+  AdversaryOptions adversary;
+  adversary.max_rounds = 1 << 10;
+  const ExpectedComplexityEstimate serial = estimate_expected_complexity(
+      randomized_tournament_wakeup(), n, samples, seed, adversary, &plan);
+  McRunOptions options;
+  options.num_workers = 4;
+  options.adversary = adversary;
+  options.fault = &plan;
+  const ParallelMcResult par = estimate_expected_complexity_parallel(
+      randomized_tournament_wakeup(), n, samples, seed, options);
+  expect_identical(serial, par.estimate);
 }
 
 TEST(HwMcTest, WorkerCountIsCappedBySamples) {

@@ -1,0 +1,23 @@
+// Custom gtest main for the hw test binaries: after InitGoogleTest
+// consumes its own flags, parse --timeout_ms=N and arm the process-wide
+// HwExecutor watchdog default (see default_hw_timeout_ms()). CTest passes
+// a generous value so a hung real-thread test fails with a taxonomy
+// instead of stalling the job until the ctest-level TIMEOUT kills it.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+
+#include "hw/hw_executor.h"
+
+int main(int argc, char** argv) {
+  testing::InitGoogleTest(&argc, argv);
+  static const char kFlag[] = "--timeout_ms=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
+      llsc::set_default_hw_timeout_ms(
+          std::strtoull(argv[i] + sizeof(kFlag) - 1, nullptr, 10));
+    }
+  }
+  return RUN_ALL_TESTS();
+}

@@ -27,8 +27,11 @@ missing required fields, or non-finite measurements) and 0 with a one-line
 summary when the input is sound. BM_HwBackoff_* rows (the E11 backoff
 policy comparison) must additionally carry n_threads, policy_id,
 oversubscribed, hw_ops_per_sec, cas_failure_rate, and parks counters with
-a known policy_id and a failure rate in [0, 1]. Use it in CI to fail fast
-on truncated benchmark artifacts.
+a known policy_id and a failure rate in [0, 1]. BM_E12_* rows (the
+fault-injection graceful-degradation sweep) must carry sc_fail_rate in
+[0, 1] plus the non-negative clean / spec_violations / crashed / hung
+taxonomy counts. Use it in CI to fail fast on truncated benchmark
+artifacts.
 """
 import argparse
 import csv
@@ -56,6 +59,16 @@ BACKOFF_REQUIRED = [
     "cas_failure_rate", "parks",
 ]
 BACKOFF_POLICY_IDS = {0.0, 1.0, 2.0}  # fixed, adaptive, adaptive_park
+
+# The E12 graceful-degradation rows (BM_E12_* in
+# bench/bench_fault_injection.cc) must carry the injected-failure rate and
+# the full run taxonomy, or the degradation curve cannot be reconstructed
+# and silent sample loss (clean+crashed+hung+violations != samples) would
+# go unnoticed.
+E12_ROW_PREFIX = "BM_E12"
+E12_REQUIRED = [
+    "sc_fail_rate", "clean", "spec_violations", "crashed", "hung",
+]
 
 
 class MalformedInput(Exception):
@@ -168,6 +181,21 @@ def validate(rows):
                 raise MalformedInput(
                     f"benchmark {row['name']}/{row['arg']}: "
                     f"cas_failure_rate outside [0, 1]")
+        if row["name"].startswith(E12_ROW_PREFIX):
+            missing = [f for f in E12_REQUIRED if f not in row]
+            if missing:
+                raise MalformedInput(
+                    f"benchmark {row['name']}/{row['arg']}: fault-injection "
+                    f"row missing field(s): {', '.join(missing)}")
+            if row["sc_fail_rate"] < 0 or row["sc_fail_rate"] > 1:
+                raise MalformedInput(
+                    f"benchmark {row['name']}/{row['arg']}: "
+                    f"sc_fail_rate outside [0, 1]")
+            for field in ("clean", "spec_violations", "crashed", "hung"):
+                if row[field] < 0:
+                    raise MalformedInput(
+                        f"benchmark {row['name']}/{row['arg']}: "
+                        f"negative taxonomy count {field}")
 
 
 def write_csv(rows, out):
