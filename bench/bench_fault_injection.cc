@@ -170,5 +170,148 @@ BENCHMARK(BM_E12_Wakeup_CrashStorm)
     ->Args({16, 32})
     ->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// E13 — adversarial vs oblivious fault placement at equal budget.
+//
+// All strategies get the same retry-loop workload, seed and fault budget;
+// they differ only in *where* the budget lands. The oblivious strategy
+// sprays hash-decided failures uniformly across processes; the adaptive
+// (Fig. 2-style) adversary concentrates its entire budget on the most
+// knowledgeable process. The damage metric is worst-case, like the
+// paper's t(R): retry_amplification = max over processes of shared ops
+// per successful increment (1.0 = no retries). Concentrating B failures
+// on one victim costs that victim ~B extra LL+SC pairs, while spraying B
+// failures costs the worst process only ~B/n — so at equal budget the
+// adaptive row must sit strictly above the oblivious one, which
+// BM_E13_AdaptiveVsOblivious_Gain asserts (single-core hosts included:
+// the effect needs no parallelism, only placement).
+
+struct E13Run {
+  double amp = 0.0;             // max_p shared_ops(p) / (2 * ops)
+  std::uint64_t injected = 0;   // spurious SC failures actually placed
+  double wall_seconds = 0.0;
+};
+
+E13Run run_e13(int n, int ops, const FaultPlan& plan) {
+  HwRunOptions options;
+  options.fault = &plan;
+  HwExecutor exec(options);
+  const HwRunResult r = exec.run(n, retry_increment_body(ops));
+  LLSC_CHECK(r.status == RunStatus::kClean,
+             "the E13 retry loop must complete under any placement");
+  for (const Value& v : r.results) {
+    LLSC_CHECK(v.as_u64() == static_cast<std::uint64_t>(ops),
+               "a process lost increments under adversarial placement");
+  }
+  E13Run out;
+  out.amp = static_cast<double>(r.max_shared_ops) /
+            (2.0 * static_cast<double>(ops));
+  out.injected = r.fault.injected_sc_failures;
+  out.wall_seconds = r.wall_seconds;
+  return out;
+}
+
+FaultPlan e13_plan(FaultStrategyKind strategy, std::uint64_t budget) {
+  FaultPlan plan;
+  plan.seed = 0xE13;
+  plan.strategy = strategy;
+  plan.fault_budget = budget;
+  switch (strategy) {
+    case FaultStrategyKind::kOblivious:
+      // Budget-capped hash roll. The rate is deliberately moderate: high
+      // enough that the expected hit count (~0.2/0.8 * 256 per process)
+      // comfortably exhausts the cap, low enough that the cap is spent
+      // across the whole run. A near-1.0 rate would front-load the whole
+      // budget onto whichever thread the OS schedules first (on a
+      // single-core host the startup is fully serialized), accidentally
+      // reproducing the adaptive adversary's concentration.
+      plan.sc_fail_rate = 0.2;
+      break;
+    case FaultStrategyKind::kBurst:
+      plan.burst_len = 8;
+      plan.burst_period = 16;
+      break;
+    case FaultStrategyKind::kAdaptive:
+      break;
+  }
+  return plan;
+}
+
+void report_e13(benchmark::State& state, int n, const FaultPlan& plan,
+                const E13Run& run) {
+  state.counters["n_threads"] = n;
+  state.counters["strategy_id"] = static_cast<double>(plan.strategy);
+  state.counters["fault_budget"] = static_cast<double>(plan.fault_budget);
+  state.counters["injected_sc_failures"] = static_cast<double>(run.injected);
+  state.counters["retry_amplification"] = run.amp;
+  report_taxonomy(state, 1, 0, 0, 0);
+}
+
+void run_e13_bench(benchmark::State& state, FaultStrategyKind strategy) {
+  const int n = static_cast<int>(state.range(0));
+  const int ops = static_cast<int>(state.range(1));
+  const std::uint64_t budget = static_cast<std::uint64_t>(state.range(2));
+  const FaultPlan plan = e13_plan(strategy, budget);
+  E13Run run;
+  for (auto _ : state) {
+    run = run_e13(n, ops, plan);
+  }
+  report_e13(state, n, plan, run);
+}
+
+void BM_E13_AdaptiveVsOblivious_Oblivious(benchmark::State& state) {
+  run_e13_bench(state, FaultStrategyKind::kOblivious);
+}
+void BM_E13_AdaptiveVsOblivious_Adaptive(benchmark::State& state) {
+  run_e13_bench(state, FaultStrategyKind::kAdaptive);
+}
+void BM_E13_AdaptiveVsOblivious_Burst(benchmark::State& state) {
+  run_e13_bench(state, FaultStrategyKind::kBurst);
+}
+BENCHMARK(BM_E13_AdaptiveVsOblivious_Oblivious)
+    ->Args({4, 256, 128})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_E13_AdaptiveVsOblivious_Adaptive)
+    ->Args({4, 256, 128})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_E13_AdaptiveVsOblivious_Burst)
+    ->Args({4, 256, 128})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// The acceptance row: both strategies, equal seed and budget, in one
+// iteration — asserting the adaptive adversary buys strictly more
+// worst-case retry amplification per unit of fault budget.
+void BM_E13_AdaptiveVsOblivious_Gain(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int ops = static_cast<int>(state.range(1));
+  const std::uint64_t budget = static_cast<std::uint64_t>(state.range(2));
+  const FaultPlan adaptive = e13_plan(FaultStrategyKind::kAdaptive, budget);
+  const FaultPlan oblivious = e13_plan(FaultStrategyKind::kOblivious, budget);
+  E13Run a;
+  E13Run o;
+  for (auto _ : state) {
+    a = run_e13(n, ops, adaptive);
+    o = run_e13(n, ops, oblivious);
+    // Equal budgets actually spent: the adaptive adversary always finds a
+    // live-link SC while its victim still has work, and the 0.9 oblivious
+    // rate exhausts the cap long before the run ends.
+    LLSC_CHECK(a.injected == budget, "adaptive budget not fully spent");
+    LLSC_CHECK(o.injected == budget, "oblivious budget not fully spent");
+    LLSC_CHECK(a.amp > o.amp,
+               "adaptive placement must out-damage oblivious at equal "
+               "budget");
+  }
+  report_e13(state, n, adaptive, a);
+  state.counters["oblivious_retry_amplification"] = o.amp;
+  state.counters["amplification_gain"] = o.amp > 0.0 ? a.amp / o.amp : 0.0;
+}
+BENCHMARK(BM_E13_AdaptiveVsOblivious_Gain)
+    ->Args({4, 256, 128})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 }  // namespace
 }  // namespace llsc

@@ -54,6 +54,9 @@ void usage() {
                " [--vl-fail-rate R]\n"
                "         [--stall-rate R --max-stall-units U]"
                " [--crash P@OPS ...]\n"
+               "         [--strategy oblivious|adaptive|burst]"
+               " [--fault-budget B]\n"
+               "         [--burst-len L --burst-period P]\n"
                "         [--max-rounds R] [--timeout_ms MS]\n"
                "scenarios:");
   for (const std::string& s : fault_scenario_names()) {
@@ -119,6 +122,23 @@ bool parse_args(int argc, char** argv, Args* args) {
       if (v == nullptr) return false;
       args->plan.max_stall_units =
           static_cast<std::uint32_t>(std::atoi(v));
+    } else if (arg == "--strategy") {
+      const char* v = next();
+      if (v == nullptr || !fault_strategy_from_string(v, &args->plan.strategy)) {
+        return false;
+      }
+    } else if (arg == "--fault-budget") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->plan.fault_budget = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--burst-len") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->plan.burst_len = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (arg == "--burst-period") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->plan.burst_period = static_cast<std::uint32_t>(std::atoi(v));
     } else if (arg == "--crash") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -149,6 +169,7 @@ bool parse_args(int argc, char** argv, Args* args) {
 struct Observed {
   RunStatus status = RunStatus::kClean;
   std::vector<std::uint64_t> proc_ops;
+  DecisionTrace trace;  // decisions an adversarial strategy recorded
 };
 
 Observed run_on_simulator(const ProcBody& body, int n, std::uint64_t seed,
@@ -157,7 +178,7 @@ Observed run_on_simulator(const ProcBody& body, int n, std::uint64_t seed,
   adversary.max_rounds = max_rounds;
   const McSampleOutcome sample =
       run_mc_sample(body, n, seed, adversary, plan.enabled() ? &plan : nullptr);
-  return Observed{sample.status, sample.proc_ops};
+  return Observed{sample.status, sample.proc_ops, sample.decision_trace};
 }
 
 Observed run_on_hw(const ProcBody& body, int n, std::uint64_t seed,
@@ -170,6 +191,7 @@ Observed run_on_hw(const ProcBody& body, int n, std::uint64_t seed,
   Observed obs;
   obs.proc_ops = run.shared_ops;
   obs.status = run.status;
+  obs.trace = run.decision_trace;
   // The executor has no wakeup spec; apply the same winner check the
   // Monte-Carlo classification uses so taxonomies line up.
   if (run.status == RunStatus::kClean) {
@@ -271,6 +293,10 @@ int run_once(const Args& args) {
     artifact.status = ref.status;
     artifact.proc_ops = ref.proc_ops;
     artifact.plan = args.plan;
+    // Freeze the adversary's recorded decisions into the plan: the
+    // artifact then replays the adaptive/burst schedule through the pure
+    // trace-lookup path on either substrate.
+    if (artifact.plan.trace.empty()) artifact.plan.trace = ref.trace;
     std::ofstream out(args.out_path);
     out << artifact.to_json();
     if (!out.good()) {
@@ -288,28 +314,65 @@ int run_once(const Args& args) {
   return 0;
 }
 
-// CI self-check: inject a crash + SC-failure storm into a fixed-op-count
-// scenario, record the simulator outcome, then verify the artifact
-// replays bit-for-bit on BOTH substrates via the normal replay path.
-int selftest() {
-  Args args;
-  args.scenario = "fixed_ll_sc";
-  args.n = 4;
-  args.seed = 42;
-  args.plan.seed = 7;
-  args.plan.sc_fail_rate = 0.5;
-  args.plan.crashes.push_back(CrashSpec{.proc = 1, .after_ops = 3});
-  args.platform = "sim";
-  args.out_path = "fault_replay_selftest.json";
-  if (run_once(args) != 0) return 1;
-
+// One record-on-sim / replay-on-both leg of the self-check.
+int selftest_leg(const char* label, const Args& record_args) {
+  Args args = record_args;
+  if (run_once(args) != 0) {
+    std::fprintf(stderr, "selftest (%s): recording run failed\n", label);
+    return 1;
+  }
   Args replay_args;
   replay_args.replay_path = args.out_path;
   replay_args.platform = "both";
   const int rc = replay(replay_args);
   std::remove(args.out_path.c_str());
-  if (rc == 0) std::printf("selftest OK\n");
+  if (rc != 0) {
+    std::fprintf(stderr, "selftest (%s): replay mismatched\n", label);
+  }
   return rc;
+}
+
+// CI self-check: record on the simulator, then verify the artifact
+// replays bit-for-bit on BOTH substrates via the normal replay path —
+// once for the oblivious crash + SC-failure storm (PR 3's contract) and
+// once per adversarial strategy (the record/replay contract for traces).
+int selftest() {
+  Args oblivious;
+  oblivious.scenario = "fixed_ll_sc";
+  oblivious.n = 4;
+  oblivious.seed = 42;
+  oblivious.plan.seed = 7;
+  oblivious.plan.sc_fail_rate = 0.5;
+  oblivious.plan.crashes.push_back(CrashSpec{.proc = 1, .after_ops = 3});
+  oblivious.platform = "sim";
+  oblivious.out_path = "fault_replay_selftest.json";
+  if (selftest_leg("oblivious", oblivious) != 0) return 1;
+
+  Args adaptive;
+  adaptive.scenario = "fixed_ll_sc";
+  adaptive.n = 4;
+  adaptive.seed = 42;
+  adaptive.plan.seed = 7;
+  adaptive.plan.strategy = FaultStrategyKind::kAdaptive;
+  adaptive.plan.fault_budget = 6;
+  adaptive.platform = "sim";
+  adaptive.out_path = "fault_replay_selftest_adaptive.json";
+  if (selftest_leg("adaptive", adaptive) != 0) return 1;
+
+  Args burst;
+  burst.scenario = "fixed_ll_sc";
+  burst.n = 4;
+  burst.seed = 42;
+  burst.plan.seed = 7;
+  burst.plan.strategy = FaultStrategyKind::kBurst;
+  burst.plan.burst_len = 2;
+  burst.plan.burst_period = 4;
+  burst.platform = "sim";
+  burst.out_path = "fault_replay_selftest_burst.json";
+  if (selftest_leg("burst", burst) != 0) return 1;
+
+  std::printf("selftest OK\n");
+  return 0;
 }
 
 }  // namespace

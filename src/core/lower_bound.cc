@@ -167,6 +167,7 @@ McSampleOutcome run_mc_sample(const ProcBody& algo, int n,
     out.proc_ops.push_back(sys.process(p).shared_ops());
   }
   out.max_ops = sys.max_shared_ops();
+  if (injector) out.decision_trace = injector->trace();
   if (!log.all_terminated) {
     out.status = sys.num_crashed() > 0 ? RunStatus::kCrashed
                                        : RunStatus::kHung;

@@ -146,6 +146,10 @@ struct McSampleOutcome {
   std::uint64_t winner_ops = 0;
   std::uint64_t max_ops = 0;
   std::vector<std::uint64_t> proc_ops;  // per-process t(p) at halt
+  // Decisions an adversarial FaultStrategy recorded during this sample
+  // (empty on the inline oblivious path). Embedding this trace into the
+  // sample's plan makes the adaptive schedule replayable anywhere.
+  DecisionTrace decision_trace;
 };
 
 McSampleOutcome run_mc_sample(const ProcBody& algo, int n,

@@ -298,6 +298,53 @@ bool plan_from_value(const JsonValue& obj, FaultPlan* out, std::string* error) {
   plan.max_stall_units = static_cast<std::uint32_t>(u);
   if (!get_u64(obj, "stall_unit_ns", &u, error)) return false;
   plan.stall_unit_ns = static_cast<std::uint32_t>(u);
+  // Adversarial-placement fields are optional: oblivious plans (PR 3 and
+  // earlier producers) omit them entirely and parse to the defaults.
+  const JsonValue* strategy = obj.find("strategy");
+  if (strategy != nullptr) {
+    if (strategy->kind != JsonValue::Kind::kString ||
+        !fault_strategy_from_string(strategy->string_value, &plan.strategy)) {
+      if (error != nullptr) *error = "unknown 'strategy'";
+      return false;
+    }
+  }
+  if (obj.find("fault_budget") != nullptr) {
+    if (!get_u64(obj, "fault_budget", &plan.fault_budget, error)) return false;
+  }
+  if (obj.find("burst_len") != nullptr) {
+    if (!get_u64(obj, "burst_len", &u, error)) return false;
+    plan.burst_len = static_cast<std::uint32_t>(u);
+  }
+  if (obj.find("burst_period") != nullptr) {
+    if (!get_u64(obj, "burst_period", &u, error)) return false;
+    plan.burst_period = static_cast<std::uint32_t>(u);
+  }
+  const JsonValue* trace = obj.find("trace");
+  if (trace != nullptr) {
+    if (trace->kind != JsonValue::Kind::kArray) {
+      if (error != nullptr) *error = "'trace' is not an array";
+      return false;
+    }
+    for (const JsonValue& d : trace->items) {
+      if (d.kind != JsonValue::Kind::kObject) {
+        if (error != nullptr) *error = "trace entry is not an object";
+        return false;
+      }
+      FaultDecision decision;
+      std::uint64_t proc = 0;
+      if (!get_u64(d, "proc", &proc, error)) return false;
+      decision.proc = static_cast<ProcId>(proc);
+      if (!get_u64(d, "op", &decision.op_index, error)) return false;
+      const JsonValue* vl = d.find("vl");
+      if (vl != nullptr && vl->kind == JsonValue::Kind::kBool) {
+        decision.is_vl = vl->bool_value;
+      }
+      if (d.find("score") != nullptr) {
+        if (!get_u64(d, "score", &decision.score, error)) return false;
+      }
+      plan.trace.decisions.push_back(decision);
+    }
+  }
   const JsonValue* crashes = obj.find("crashes");
   if (crashes == nullptr || crashes->kind != JsonValue::Kind::kArray) {
     if (error != nullptr) *error = "missing 'crashes' array";
@@ -331,6 +378,32 @@ void plan_to_stream(const FaultPlan& plan, std::ostringstream& out,
       << ",\n";
   out << indent << "  \"max_stall_units\": " << plan.max_stall_units << ",\n";
   out << indent << "  \"stall_unit_ns\": " << plan.stall_unit_ns << ",\n";
+  // Keep the PR 3 schema byte-stable for oblivious plans: the adversarial
+  // fields appear only when they carry non-default values.
+  if (plan.strategy != FaultStrategyKind::kOblivious) {
+    out << indent << "  \"strategy\": \"" << to_string(plan.strategy)
+        << "\",\n";
+  }
+  if (plan.fault_budget != 0) {
+    out << indent << "  \"fault_budget\": " << plan.fault_budget << ",\n";
+  }
+  if (plan.burst_len != 0 || plan.burst_period != 0) {
+    out << indent << "  \"burst_len\": " << plan.burst_len << ",\n";
+    out << indent << "  \"burst_period\": " << plan.burst_period << ",\n";
+  }
+  if (!plan.trace.empty()) {
+    out << indent << "  \"trace\": [";
+    for (std::size_t i = 0; i < plan.trace.decisions.size(); ++i) {
+      const FaultDecision& d = plan.trace.decisions[i];
+      if (i != 0) out << ",";
+      out << "\n"
+          << indent << "    {\"proc\": " << d.proc
+          << ", \"op\": " << d.op_index
+          << ", \"vl\": " << (d.is_vl ? "true" : "false")
+          << ", \"score\": " << d.score << "}";
+    }
+    out << "\n" << indent << "  ],\n";
+  }
   out << indent << "  \"crashes\": [";
   for (std::size_t i = 0; i < plan.crashes.size(); ++i) {
     if (i != 0) out << ",";

@@ -25,12 +25,21 @@
 //     ops. Crashes happen only at op boundaries, so no register is ever
 //     left torn.
 //
-// Every decision is a pure function of (plan.seed, p, k) where k counts
-// p's *executed* shared-memory ops — never of wall-clock time or the
-// cross-process interleaving. Two runs with the same plan, toss seed and
-// algorithm therefore draw identical fault schedules on the hw backend
-// and the simulator, which is what makes a failing schedule found on one
-// substrate replayable on the other (tools/replay_fault.py).
+// Every *oblivious* decision is a pure function of (plan.seed, p, k)
+// where k counts p's *executed* shared-memory ops — never of wall-clock
+// time or the cross-process interleaving. Two runs with the same plan,
+// toss seed and algorithm therefore draw identical fault schedules on the
+// hw backend and the simulator, which is what makes a failing schedule
+// found on one substrate replayable on the other (tools/replay_fault.py).
+//
+// Adversarial placement (this file + hw/fault_adversary.h) relaxes purity
+// on the *recording* side only: a FaultStrategy may observe the op stream
+// (the paper's Fig. 2 adversary watches every process's knowledge) and
+// spend a bounded fault budget online. Every decision it takes is
+// appended to a DecisionTrace; the trace serializes into the FaultPlan
+// JSON and a traced plan replays through a pure (p, k)-lookup — i.e. the
+// oblivious path — bit-for-bit on either substrate. Record once, replay
+// anywhere.
 //
 // Threading: the injector keeps one cache-line-padded lane per process;
 // a lane is touched only by the thread running that process (the same
@@ -40,7 +49,10 @@
 // This header is intentionally free of heavy dependencies and fully
 // inline, so llsc_core (the serial Lemma 3.1 estimator) and llsc_runtime
 // (System) can consume it without linking llsc_hw; the JSON round-trip
-// lives in fault.cc (llsc_hw).
+// lives in fault.cc (llsc_hw), and the strategy implementations behind
+// make_fault_strategy live in hw/fault_adversary.cc — compiled into
+// llsc_core (see src/core/CMakeLists.txt) because every injector
+// constructor (serial estimator included) must be able to build them.
 #ifndef LLSC_HW_FAULT_H_
 #define LLSC_HW_FAULT_H_
 
@@ -80,6 +92,74 @@ inline const char* to_string(RunStatus status) {
   return "unknown";
 }
 
+// How spurious SC/VL failures are *placed*. Oblivious is PR 3's behavior
+// (pure per-op hash roll); Adaptive and Burst are adversarial strategies
+// implemented in hw/fault_adversary.h.
+enum class FaultStrategyKind : std::uint8_t {
+  kOblivious = 0,  // pure hash roll, optionally budget-capped
+  kAdaptive = 1,   // Fig. 2-style: fail the most knowledgeable process
+  kBurst = 2,      // correlated windows of the per-process op index
+};
+
+inline const char* to_string(FaultStrategyKind kind) {
+  switch (kind) {
+    case FaultStrategyKind::kOblivious:
+      return "oblivious";
+    case FaultStrategyKind::kAdaptive:
+      return "adaptive";
+    case FaultStrategyKind::kBurst:
+      return "burst";
+  }
+  return "unknown";
+}
+
+inline bool fault_strategy_from_string(const std::string& name,
+                                       FaultStrategyKind* out) {
+  if (name == "oblivious") {
+    *out = FaultStrategyKind::kOblivious;
+  } else if (name == "adaptive") {
+    *out = FaultStrategyKind::kAdaptive;
+  } else if (name == "burst") {
+    *out = FaultStrategyKind::kBurst;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// One adversarial injection decision: "p's op_index-th executed op — an SC
+// (or VL) whose link was still live — spuriously loses its reservation".
+// `score` is a strategy diagnostic (the victim's knowledge-set size for
+// Adaptive, the window ordinal for Burst, 0 for budgeted Oblivious); it is
+// serialized so a replayed trace still explains *why* each SC was failed.
+struct FaultDecision {
+  ProcId proc = 0;
+  std::uint64_t op_index = 0;
+  bool is_vl = false;
+  std::uint64_t score = 0;
+
+  friend bool operator==(const FaultDecision& a, const FaultDecision& b) {
+    return a.proc == b.proc && a.op_index == b.op_index &&
+           a.is_vl == b.is_vl && a.score == b.score;
+  }
+};
+
+// The full decision record of one run, sorted by (proc, op_index). A plan
+// whose trace is non-empty is in *replay mode*: strategies and rates are
+// ignored and exactly the traced (proc, op_index) pairs are failed — a
+// pure per-process lookup, so replay keeps the oblivious determinism
+// contract on both substrates.
+struct DecisionTrace {
+  std::vector<FaultDecision> decisions;
+
+  bool empty() const { return decisions.empty(); }
+  std::size_t size() const { return decisions.size(); }
+
+  friend bool operator==(const DecisionTrace& a, const DecisionTrace& b) {
+    return a.decisions == b.decisions;
+  }
+};
+
 // Crash-stop directive: `proc` halts when about to execute its
 // `after_ops`-th shared-memory operation (0-based), i.e. it executes
 // exactly `after_ops` ops and then freezes forever.
@@ -106,17 +186,48 @@ struct FaultPlan {
   std::uint32_t max_stall_units = 0;
   std::uint32_t stall_unit_ns = 1000;
   std::vector<CrashSpec> crashes;
+  // Adversarial placement (hw/fault_adversary.h). All defaults reproduce
+  // PR 3's oblivious behavior and are omitted from the JSON when default,
+  // so oblivious plans keep their schema byte-for-byte.
+  FaultStrategyKind strategy = FaultStrategyKind::kOblivious;
+  // Total spurious failures the strategy may inject. For kAdaptive this is
+  // the adversary's budget (0 injects nothing); for kOblivious/kBurst it
+  // caps the stream (0 = uncapped, the PR 3 semantics).
+  std::uint64_t fault_budget = 0;
+  // kBurst: fail every SC/VL whose per-process op index k satisfies
+  // k % burst_period < burst_len (budget permitting).
+  std::uint32_t burst_len = 0;
+  std::uint32_t burst_period = 0;
+  // Non-empty => replay mode: exactly these decisions are injected and
+  // strategy/rates are ignored for SC/VL placement (stalls/crashes still
+  // apply). Populated by recording runs; see DecisionTrace.
+  DecisionTrace trace;
+
+  bool has_trace() const { return !trace.empty(); }
+  // True when the injector must consult a FaultStrategy object instead of
+  // the inline oblivious hash roll.
+  bool uses_strategy() const {
+    return has_trace() || strategy != FaultStrategyKind::kOblivious ||
+           fault_budget > 0;
+  }
 
   bool enabled() const {
     return sc_fail_rate > 0.0 || vl_fail_rate > 0.0 ||
-           (stall_rate > 0.0 && max_stall_units > 0) || !crashes.empty();
+           (stall_rate > 0.0 && max_stall_units > 0) || !crashes.empty() ||
+           has_trace() ||
+           (strategy == FaultStrategyKind::kAdaptive && fault_budget > 0) ||
+           (strategy == FaultStrategyKind::kBurst && burst_len > 0 &&
+            burst_period > 0);
   }
 
   friend bool operator==(const FaultPlan& a, const FaultPlan& b) {
     return a.seed == b.seed && a.sc_fail_rate == b.sc_fail_rate &&
            a.vl_fail_rate == b.vl_fail_rate && a.stall_rate == b.stall_rate &&
            a.max_stall_units == b.max_stall_units &&
-           a.stall_unit_ns == b.stall_unit_ns && a.crashes == b.crashes;
+           a.stall_unit_ns == b.stall_unit_ns && a.crashes == b.crashes &&
+           a.strategy == b.strategy && a.fault_budget == b.fault_budget &&
+           a.burst_len == b.burst_len && a.burst_period == b.burst_period &&
+           a.trace == b.trace;
   }
 
   // fault.cc (llsc_hw): schema documented in docs/fault_injection.md.
@@ -147,6 +258,69 @@ struct FaultStats {
   std::uint64_t crashes = 0;
 };
 
+// Decision-hash machinery, at namespace scope so the strategy
+// implementations (hw/fault_adversary.cc) roll *exactly* the stream the
+// inline oblivious path rolls — a budgeted-oblivious run with the budget
+// un-hit is bit-for-bit the PR 3 behavior.
+inline constexpr std::uint64_t kFaultFailSalt = 0xC2B2AE3D27D4EB4Full;
+inline constexpr std::uint64_t kFaultStallSalt = 0x9E3779B97F4A7C15ull;
+inline constexpr std::uint64_t kFaultStallLenSalt = 0x165667B19E3779F9ull;
+inline constexpr std::uint64_t kFaultStallPosSalt = 0x27D4EB2F165667C5ull;
+
+// Pure decision hash for p's k-th executed op under `seed`.
+inline std::uint64_t fault_op_hash(std::uint64_t seed, ProcId p,
+                                   std::uint64_t k) {
+  return mix64(seed ^ mix64((static_cast<std::uint64_t>(p) + 1) *
+                                0x9E3779B97F4A7C15ull ^
+                            k));
+}
+
+// Uniform double in [0, 1) from a hash value.
+inline double fault_unit_roll(std::uint64_t h) {
+  return static_cast<double>(mix64(h) >> 11) * 0x1.0p-53;
+}
+
+// Placement policy seam behind FaultInjector. Implementations live in
+// hw/fault_adversary.h|cc (compiled into llsc_core so the serial
+// estimator can construct them; see src/core/CMakeLists.txt).
+//
+// Threading: decide()/observe() are called from the victim's own thread
+// (one thread per process on the hw backend); adversarial implementations
+// serialize internally — the serialized order under their lock *is* the
+// observed history their decisions are deterministic in. snapshot_trace()
+// is for quiescent use (after the run joined).
+class FaultStrategy {
+ public:
+  virtual ~FaultStrategy() = default;
+
+  // Decide whether p's k-th executed op — an SC or VL whose link is still
+  // live — spuriously loses its reservation. `h` is the oblivious decision
+  // hash fault_op_hash(plan.seed, p, k), so pure strategies can reproduce
+  // the inline roll.
+  virtual bool decide(ProcId p, std::uint64_t k, const PendingOp& op,
+                      std::uint64_t h) = 0;
+
+  // Observe the result of EVERY op routed through the injector, after it
+  // executed (knowledge tracking for adaptive placement). Default: ignore.
+  virtual void observe(ProcId p, std::uint64_t k, const PendingOp& op,
+                       const OpResult& result) {
+    (void)p;
+    (void)k;
+    (void)op;
+    (void)result;
+  }
+
+  // Snapshot the decisions recorded so far, sorted by (proc, op_index).
+  virtual void snapshot_trace(DecisionTrace* out) const = 0;
+};
+
+// Builds the strategy a plan calls for (trace replay > adaptive > burst >
+// budgeted oblivious). Returns nullptr when plan.uses_strategy() is false
+// — the injector then keeps PR 3's inline path. Defined in
+// hw/fault_adversary.cc (linked into llsc_core).
+std::unique_ptr<FaultStrategy> make_fault_strategy(const FaultPlan& plan,
+                                                   int num_processes);
+
 class FaultInjector {
  public:
   FaultInjector(const FaultPlan& plan, int num_processes) : plan_(plan) {
@@ -159,6 +333,9 @@ class FaultInjector {
       if (it == crash_at_.end() || c.after_ops < it->second) {
         crash_at_[c.proc] = c.after_ops;
       }
+    }
+    if (plan_.uses_strategy()) {
+      strategy_ = make_fault_strategy(plan_, num_processes);
     }
   }
 
@@ -199,15 +376,15 @@ class FaultInjector {
     std::uint32_t before_units = 0;
     std::uint32_t after_units = 0;
     if (plan_.stall_rate > 0.0 && plan_.max_stall_units > 0 &&
-        unit_roll(h ^ kStallSalt) < plan_.stall_rate) {
+        fault_unit_roll(h ^ kFaultStallSalt) < plan_.stall_rate) {
       const std::uint32_t units =
-          1 + static_cast<std::uint32_t>(mix64(h ^ kStallLenSalt) %
+          1 + static_cast<std::uint32_t>(mix64(h ^ kFaultStallLenSalt) %
                                          plan_.max_stall_units);
       ++l.stats.stalls;
       l.stats.stall_units += units;
       // Position derived from the hash too: half the stalls land before
       // the op, half after.
-      if (mix64(h ^ kStallPosSalt) & 1) {
+      if (mix64(h ^ kFaultStallPosSalt) & 1) {
         before_units = units;
       } else {
         after_units = units;
@@ -224,8 +401,13 @@ class FaultInjector {
         break;
       case OpKind::kSC: {
         const bool already_dead = l.dead_links.count(op.reg) != 0;
-        const bool spurious = !already_dead && plan_.sc_fail_rate > 0.0 &&
-                              unit_roll(h ^ kFailSalt) < plan_.sc_fail_rate;
+        const bool spurious =
+            !already_dead &&
+            (strategy_ != nullptr
+                 ? strategy_->decide(p, k, op, h)
+                 : plan_.sc_fail_rate > 0.0 &&
+                       fault_unit_roll(h ^ kFaultFailSalt) <
+                           plan_.sc_fail_rate);
         if (spurious) {
           l.dead_links.insert(op.reg);
           ++l.stats.injected_sc_failures;
@@ -246,8 +428,13 @@ class FaultInjector {
       }
       case OpKind::kValidate: {
         const bool already_dead = l.dead_links.count(op.reg) != 0;
-        const bool spurious = !already_dead && plan_.vl_fail_rate > 0.0 &&
-                              unit_roll(h ^ kFailSalt) < plan_.vl_fail_rate;
+        const bool spurious =
+            !already_dead &&
+            (strategy_ != nullptr
+                 ? strategy_->decide(p, k, op, h)
+                 : plan_.vl_fail_rate > 0.0 &&
+                       fault_unit_roll(h ^ kFaultFailSalt) <
+                           plan_.vl_fail_rate);
         if (spurious) {
           l.dead_links.insert(op.reg);
           ++l.stats.injected_vl_failures;
@@ -260,6 +447,7 @@ class FaultInjector {
         result = exec(op);
         break;
     }
+    if (strategy_ != nullptr) strategy_->observe(p, k, op, result);
 
     if (after_units != 0) stall(after_units);
     return result;
@@ -268,6 +456,15 @@ class FaultInjector {
   // Executed-op count of p's lane (equals Process::shared_ops() when every
   // op is routed through apply()).
   std::uint64_t ops_executed(ProcId p) const { return lane(p).ops; }
+
+  // The placement strategy in effect (nullptr on the inline oblivious
+  // path) and the decisions it recorded. Quiescent use only.
+  const FaultStrategy* strategy() const { return strategy_.get(); }
+  DecisionTrace trace() const {
+    DecisionTrace t;
+    if (strategy_ != nullptr) strategy_->snapshot_trace(&t);
+    return t;
+  }
 
   // Aggregate decision counters; quiescent use only.
   FaultStats stats() const {
@@ -284,11 +481,6 @@ class FaultInjector {
   }
 
  private:
-  static constexpr std::uint64_t kFailSalt = 0xC2B2AE3D27D4EB4Full;
-  static constexpr std::uint64_t kStallSalt = 0x9E3779B97F4A7C15ull;
-  static constexpr std::uint64_t kStallLenSalt = 0x165667B19E3779F9ull;
-  static constexpr std::uint64_t kStallPosSalt = 0x27D4EB2F165667C5ull;
-
   struct alignas(64) Lane {
     std::uint64_t ops = 0;
     bool crashed = false;
@@ -305,20 +497,13 @@ class FaultInjector {
 
   // Pure decision hash for p's k-th executed op.
   std::uint64_t op_hash(ProcId p, std::uint64_t k) const {
-    return mix64(plan_.seed ^
-                 mix64((static_cast<std::uint64_t>(p) + 1) *
-                           0x9E3779B97F4A7C15ull ^
-                       k));
-  }
-
-  // Uniform double in [0, 1) from a hash value.
-  static double unit_roll(std::uint64_t h) {
-    return static_cast<double>(mix64(h) >> 11) * 0x1.0p-53;
+    return fault_op_hash(plan_.seed, p, k);
   }
 
   FaultPlan plan_;
   std::vector<std::unique_ptr<Lane>> lanes_;
   std::unordered_map<ProcId, std::uint64_t> crash_at_;
+  std::unique_ptr<FaultStrategy> strategy_;
 };
 
 // One failing Monte-Carlo sample, frozen to disk so `fault_replay` /

@@ -1,0 +1,259 @@
+#include "hw/fault_adversary.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace llsc {
+
+// ---------------------------------------------------------------------------
+// RecordingFaultStrategy
+
+RecordingFaultStrategy::RecordingFaultStrategy(const FaultPlan& plan,
+                                               bool budget_required)
+    : unlimited_(!budget_required && plan.fault_budget == 0),
+      budget_remaining_(plan.fault_budget) {}
+
+void RecordingFaultStrategy::record(ProcId p, std::uint64_t k, bool is_vl,
+                                    std::uint64_t score) {
+  if (!unlimited_) {
+    LLSC_CHECK(budget_remaining_ > 0, "recording past the fault budget");
+    --budget_remaining_;
+  }
+  FaultDecision d;
+  d.proc = p;
+  d.op_index = k;
+  d.is_vl = is_vl;
+  d.score = score;
+  trace_.decisions.push_back(d);
+}
+
+void RecordingFaultStrategy::snapshot_trace(DecisionTrace* out) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  *out = trace_;
+  std::sort(out->decisions.begin(), out->decisions.end(),
+            [](const FaultDecision& a, const FaultDecision& b) {
+              return a.proc != b.proc ? a.proc < b.proc
+                                      : a.op_index < b.op_index;
+            });
+}
+
+std::size_t RecordingFaultStrategy::decisions_recorded() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return trace_.decisions.size();
+}
+
+// ---------------------------------------------------------------------------
+// ObliviousStrategy
+
+ObliviousStrategy::ObliviousStrategy(const FaultPlan& plan)
+    : RecordingFaultStrategy(plan, /*budget_required=*/false),
+      sc_rate_(plan.sc_fail_rate),
+      vl_rate_(plan.vl_fail_rate) {}
+
+bool ObliviousStrategy::decide(ProcId p, std::uint64_t k, const PendingOp& op,
+                               std::uint64_t h) {
+  const bool is_vl = op.kind == OpKind::kValidate;
+  const double rate = is_vl ? vl_rate_ : sc_rate_;
+  // The exact inline-path roll: same hash, same salt, same threshold.
+  if (!(rate > 0.0) || fault_unit_roll(h ^ kFaultFailSalt) >= rate) {
+    return false;
+  }
+  std::lock_guard<std::mutex> guard(mu_);
+  if (!budget_left()) return false;
+  record(p, k, is_vl, /*score=*/0);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// BurstStrategy
+
+BurstStrategy::BurstStrategy(const FaultPlan& plan)
+    : RecordingFaultStrategy(plan, /*budget_required=*/false),
+      len_(plan.burst_len),
+      period_(plan.burst_period) {}
+
+bool BurstStrategy::decide(ProcId p, std::uint64_t k, const PendingOp& op,
+                           std::uint64_t h) {
+  (void)h;
+  if (period_ == 0 || len_ == 0 || k % period_ >= len_) return false;
+  std::lock_guard<std::mutex> guard(mu_);
+  if (!budget_left()) return false;
+  record(p, k, op.kind == OpKind::kValidate, /*score=*/k / period_);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// AdaptiveStrategy
+
+AdaptiveStrategy::AdaptiveStrategy(const FaultPlan& plan, int num_processes)
+    : RecordingFaultStrategy(plan, /*budget_required=*/true),
+      n_(num_processes),
+      live_links_(static_cast<std::size_t>(num_processes)) {
+  know_.reserve(static_cast<std::size_t>(n_));
+  for (ProcId p = 0; p < n_; ++p) know_.push_back(ProcSet::singleton(n_, p));
+}
+
+const ProcSet& AdaptiveStrategy::reg_knowledge(RegId reg) {
+  auto it = reg_know_.find(reg);
+  if (it == reg_know_.end()) {
+    it = reg_know_.emplace(reg, ProcSet(n_)).first;
+  }
+  return it->second;
+}
+
+void AdaptiveStrategy::learn_from(ProcId p, RegId reg) {
+  know_[static_cast<std::size_t>(p)].unite(reg_knowledge(reg));
+}
+
+void AdaptiveStrategy::publish(ProcId p, RegId reg) {
+  reg_know_[reg] = know_[static_cast<std::size_t>(p)];
+}
+
+void AdaptiveStrategy::invalidate_links(RegId reg) {
+  for (auto& links : live_links_) links.erase(reg);
+}
+
+void AdaptiveStrategy::retarget() {
+  std::size_t best = 0;
+  for (const ProcSet& s : know_) best = std::max(best, s.count());
+  // Sticky: keep the current target while it remains an argmax, so the
+  // budget starves one victim instead of spraying across ties.
+  if (target_ >= 0 &&
+      know_[static_cast<std::size_t>(target_)].count() == best) {
+    return;
+  }
+  for (ProcId p = 0; p < n_; ++p) {
+    if (know_[static_cast<std::size_t>(p)].count() == best) {
+      target_ = p;
+      return;
+    }
+  }
+}
+
+bool AdaptiveStrategy::decide(ProcId p, std::uint64_t k, const PendingOp& op,
+                              std::uint64_t h) {
+  (void)h;
+  std::lock_guard<std::mutex> guard(mu_);
+  if (!budget_left()) return false;
+  // Don't waste budget on an SC that fails naturally: only live links.
+  if (live_links_[static_cast<std::size_t>(p)].count(op.reg) == 0) {
+    return false;
+  }
+  retarget();
+  if (p != target_) return false;
+  record(p, k, op.kind == OpKind::kValidate,
+         /*score=*/know_[static_cast<std::size_t>(p)].count());
+  return true;
+}
+
+void AdaptiveStrategy::observe(ProcId p, std::uint64_t k, const PendingOp& op,
+                               const OpResult& result) {
+  (void)k;
+  if (p < 0 || p >= n_) return;
+  std::lock_guard<std::mutex> guard(mu_);
+  auto& links = live_links_[static_cast<std::size_t>(p)];
+  switch (op.kind) {
+    case OpKind::kLL:
+      // Section 5.3 process rule 1: a load observes the register's
+      // knowledge; a fresh link supersedes a lost one.
+      learn_from(p, op.reg);
+      links.insert(op.reg);
+      break;
+    case OpKind::kValidate:
+      learn_from(p, op.reg);
+      if (!result.flag) links.erase(op.reg);
+      break;
+    case OpKind::kSC:
+      // A failed SC still reports the current value (learn); a
+      // successful one additionally determines it (register rule 1) and
+      // consumes every outstanding reservation on the register.
+      learn_from(p, op.reg);
+      if (result.flag) {
+        publish(p, op.reg);
+        invalidate_links(op.reg);
+      } else {
+        links.erase(op.reg);
+      }
+      break;
+    case OpKind::kSwap:
+      // Swapper reads the old value, then determines the new one
+      // (register rule 2); the write kills outstanding links.
+      learn_from(p, op.reg);
+      publish(p, op.reg);
+      invalidate_links(op.reg);
+      break;
+    case OpKind::kMove: {
+      // Register rule 3: destination gets source knowledge plus the
+      // mover's; process rule 2: the mover itself learns nothing.
+      ProcSet influx = reg_knowledge(op.src);
+      influx.unite(know_[static_cast<std::size_t>(p)]);
+      reg_know_[op.reg] = std::move(influx);
+      invalidate_links(op.reg);
+      break;
+    }
+    case OpKind::kRmw:
+      learn_from(p, op.reg);
+      publish(p, op.reg);
+      invalidate_links(op.reg);
+      break;
+  }
+}
+
+std::size_t AdaptiveStrategy::knowledge(ProcId p) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  LLSC_EXPECTS(p >= 0 && p < n_, "process id out of range");
+  return know_[static_cast<std::size_t>(p)].count();
+}
+
+ProcId AdaptiveStrategy::current_target() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return target_;
+}
+
+// ---------------------------------------------------------------------------
+// TraceReplayStrategy
+
+TraceReplayStrategy::TraceReplayStrategy(const FaultPlan& plan,
+                                         int num_processes)
+    : fail_at_(static_cast<std::size_t>(num_processes)),
+      trace_(plan.trace) {
+  for (const FaultDecision& d : trace_.decisions) {
+    LLSC_EXPECTS(d.proc >= 0 && d.proc < num_processes,
+                 "trace decision names a process outside [0, n)");
+    fail_at_[static_cast<std::size_t>(d.proc)].insert(d.op_index);
+  }
+}
+
+bool TraceReplayStrategy::decide(ProcId p, std::uint64_t k,
+                                 const PendingOp& op, std::uint64_t h) {
+  (void)op;
+  (void)h;
+  return fail_at_[static_cast<std::size_t>(p)].count(k) != 0;
+}
+
+void TraceReplayStrategy::snapshot_trace(DecisionTrace* out) const {
+  *out = trace_;
+}
+
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<FaultStrategy> make_fault_strategy(const FaultPlan& plan,
+                                                   int num_processes) {
+  if (!plan.uses_strategy()) return nullptr;
+  // A recorded trace wins over everything: replay is pure and exact.
+  if (plan.has_trace()) {
+    return std::make_unique<TraceReplayStrategy>(plan, num_processes);
+  }
+  switch (plan.strategy) {
+    case FaultStrategyKind::kAdaptive:
+      return std::make_unique<AdaptiveStrategy>(plan, num_processes);
+    case FaultStrategyKind::kBurst:
+      return std::make_unique<BurstStrategy>(plan);
+    case FaultStrategyKind::kOblivious:
+      return std::make_unique<ObliviousStrategy>(plan);
+  }
+  return nullptr;
+}
+
+}  // namespace llsc

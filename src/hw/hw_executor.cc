@@ -209,6 +209,23 @@ void set_default_hw_timeout_ms(std::uint64_t ms) {
   g_default_timeout_ms.store(ms, std::memory_order_relaxed);
 }
 
+std::uint64_t hw_timeout_scale() {
+  static const std::uint64_t scale = [] {
+    std::uint64_t v = 1;
+    if (const char* env = std::getenv("LLSC_TIMEOUT_SCALE")) {
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(env, &end, 10);
+      if (end != env && parsed >= 1) v = static_cast<std::uint64_t>(parsed);
+    }
+    return v;
+  }();
+  return scale;
+}
+
+std::uint64_t scale_timeout_ms(std::uint64_t ms) {
+  return ms * hw_timeout_scale();
+}
+
 HwExecutor::HwExecutor(HwRunOptions options) : options_(std::move(options)) {}
 
 HwRunResult HwExecutor::run(int n, const ProcBody& body) {
@@ -401,7 +418,10 @@ HwRunResult HwExecutor::run(int n, const ProcBody& body) {
              "a process failed to run to completion on hw");
   out.reclaim = memory.reclaim_stats();
   out.backoff = memory.backoff_stats();
-  if (injector) out.fault = injector->stats();
+  if (injector) {
+    out.fault = injector->stats();
+    out.decision_trace = injector->trace();
+  }
   return out;
 }
 

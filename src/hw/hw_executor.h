@@ -124,6 +124,10 @@ struct HwRunResult {
   HwReclaimStats reclaim;
   HwBackoffStats backoff;
   FaultStats fault;  // injected-fault decision counters (zero w/o a plan)
+  // Decisions recorded by an adversarial FaultStrategy (hw/fault_adversary.h);
+  // empty on the inline oblivious path. Embed into FaultPlan::trace to
+  // replay this run's placement bit-for-bit on either substrate.
+  DecisionTrace decision_trace;
 };
 
 // Process-wide default for HwRunOptions::timeout_ms. Resolution order:
@@ -132,6 +136,14 @@ struct HwRunResult {
 // reaches the HwExecutors that tests and benches construct internally.
 std::uint64_t default_hw_timeout_ms();
 void set_default_hw_timeout_ms(std::uint64_t ms);
+
+// Deadline multiplier for tests that arm *tight* watchdog deadlines (a
+// few tens of ms, to see the watchdog fire fast): the LLSC_TIMEOUT_SCALE
+// environment variable, default 1, read once. Sanitized CI jobs (TSan
+// sets 4) run several times slower than native and hard-coded small
+// deadlines flake there; scale_timeout_ms(50) instead of a literal 50.
+std::uint64_t hw_timeout_scale();
+std::uint64_t scale_timeout_ms(std::uint64_t ms);
 
 class HwExecutor {
  public:

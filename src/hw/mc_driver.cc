@@ -168,6 +168,9 @@ ParallelMcResult estimate_expected_complexity_parallel(
       if (inject) {
         artifact.plan = derive_sample_plan(*options.fault,
                                            artifact.toss_seed);
+        // Adversarial samples embed their recorded decisions, turning the
+        // online schedule into a pure, substrate-independent replay.
+        artifact.plan.trace = o.decision_trace;
       }
       const std::string path =
           options.artifact_dir + "/fault_sample_" + std::to_string(i) +

@@ -175,5 +175,31 @@ TEST(HwExecutorTest, DisabledFaultPlanLeavesRunsUnchanged) {
   EXPECT_EQ(r.fault.crashes, 0u);
 }
 
+TEST(HwExecutorTest, ProgressWatchdogCancelsStagnantRun) {
+  // Workers that keep taking steps but stop advancing: a certain stall on
+  // every op, long enough (minutes of wall clock) that the run can only
+  // end through the progress watchdog. Stalls checkpoint cancellation
+  // every unit, so the cancel lands promptly once stagnation is detected.
+  // Deadlines are tight (tens of ms) to keep the test fast, hence scaled
+  // for sanitized CI jobs (LLSC_TIMEOUT_SCALE=4 under TSan).
+  const int n = 2;
+  FaultPlan plan;
+  plan.seed = 1;
+  plan.stall_rate = 1.0;
+  plan.max_stall_units = 1u << 20;
+  plan.stall_unit_ns = 1000 * 1000;  // 1 ms per unit, ~17 min max stall
+  HwRunOptions options;
+  options.fault = &plan;
+  options.progress_timeout_ms = scale_timeout_ms(50);
+  options.timeout_ms = scale_timeout_ms(5000);  // backstop only
+  options.watchdog_poll_ms = 2;
+  HwExecutor exec(options);
+  const HwRunResult r = exec.run(n, fault_scenario("fixed_swap"));
+  EXPECT_EQ(r.status, RunStatus::kHung);
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(r.cancelled);
+  EXPECT_EQ(r.hung_procs, n);
+}
+
 }  // namespace
 }  // namespace llsc

@@ -1,0 +1,265 @@
+// Adversarial fault placement (hw/fault_adversary.h): strategy-level
+// determinism, DecisionTrace JSON round-trip, record/replay across both
+// substrates, and clean degradation at budget exhaustion.
+//
+// The record/replay contract under test: an adaptive run's decisions are
+// a function of the observed history (schedule-dependent on real
+// threads), but the recorded DecisionTrace replays through a pure
+// (proc, op-index) lookup — so a trace recorded anywhere reproduces the
+// same injected-failure schedule everywhere.
+#include "hw/fault_adversary.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/lower_bound.h"
+#include "hw/fault.h"
+#include "hw/fault_scenarios.h"
+#include "hw/hw_executor.h"
+#include "memory/value.h"
+
+namespace llsc {
+namespace {
+
+constexpr int kN = 4;
+constexpr int kMaxRounds = 1 << 12;
+
+McSampleOutcome run_sim(const std::string& scenario, int n,
+                        std::uint64_t toss_seed, const FaultPlan& plan) {
+  AdversaryOptions adversary;
+  adversary.max_rounds = kMaxRounds;
+  return run_mc_sample(fault_scenario(scenario), n, toss_seed, adversary,
+                       plan.enabled() ? &plan : nullptr);
+}
+
+HwRunResult run_hw(const std::string& scenario, int n, std::uint64_t seed,
+                   const FaultPlan& plan) {
+  HwRunOptions options;
+  options.seed = seed;
+  options.fault = plan.enabled() ? &plan : nullptr;
+  HwExecutor exec(options);
+  return exec.run(n, fault_scenario(scenario));
+}
+
+PendingOp make_op(OpKind kind, RegId reg) {
+  PendingOp op;
+  op.kind = kind;
+  op.reg = reg;
+  return op;
+}
+
+OpResult make_result(bool flag) {
+  OpResult r;
+  r.flag = flag;
+  return r;
+}
+
+// Feed one scripted history (the kind the injector would deliver) into an
+// AdaptiveStrategy and return the decide() outcomes.
+std::vector<bool> drive_script(AdaptiveStrategy& s) {
+  const PendingOp ll = make_op(OpKind::kLL, 0);
+  const PendingOp sc = make_op(OpKind::kSC, 0);
+  std::vector<bool> outcomes;
+  // Everyone links register 0.
+  for (ProcId p = 0; p < kN; ++p) s.observe(p, 0, ll, make_result(true));
+  // p0 is the lowest-id argmax of the all-singleton knowledge state, so
+  // only its SCs draw budget.
+  outcomes.push_back(s.decide(0, 1, sc, 0));   // true: target, live link
+  outcomes.push_back(s.decide(1, 1, sc, 0));   // false: not the target
+  s.observe(0, 1, sc, make_result(false));     // p0's forced failure
+  s.observe(1, 1, sc, make_result(true));      // p1 succeeds, publishes {1}
+  // p0 relinks and learns {1} from the register: strictly most
+  // knowledgeable now, still the target.
+  s.observe(0, 2, ll, make_result(true));
+  outcomes.push_back(s.decide(0, 3, sc, 0));   // true: still target
+  s.observe(0, 3, sc, make_result(false));
+  // p0's link is dead (no LL since the failure): no budget wasted.
+  outcomes.push_back(s.decide(0, 4, sc, 0));   // false: link not live
+  return outcomes;
+}
+
+TEST(AdaptiveStrategyTest, DecisionsDeterministicGivenObservedHistory) {
+  FaultPlan plan;
+  plan.strategy = FaultStrategyKind::kAdaptive;
+  plan.fault_budget = 3;
+  AdaptiveStrategy a(plan, kN);
+  AdaptiveStrategy b(plan, kN);
+  const std::vector<bool> got_a = drive_script(a);
+  const std::vector<bool> got_b = drive_script(b);
+  EXPECT_EQ(got_a, got_b);
+  const std::vector<bool> expected = {true, false, true, false};
+  EXPECT_EQ(got_a, expected);
+
+  DecisionTrace ta;
+  DecisionTrace tb;
+  a.snapshot_trace(&ta);
+  b.snapshot_trace(&tb);
+  EXPECT_EQ(ta, tb);
+  ASSERT_EQ(ta.size(), 2u);
+  EXPECT_EQ(ta.decisions[0].proc, 0);
+  EXPECT_EQ(ta.decisions[0].op_index, 1u);
+  EXPECT_EQ(ta.decisions[0].score, 1u);  // singleton knowledge at first hit
+  EXPECT_EQ(ta.decisions[1].proc, 0);
+  EXPECT_EQ(ta.decisions[1].op_index, 3u);
+  EXPECT_EQ(ta.decisions[1].score, 2u);  // learned {1} from the register
+  EXPECT_EQ(a.current_target(), 0);
+  EXPECT_EQ(a.knowledge(0), 2u);
+}
+
+TEST(AdaptiveStrategyTest, RunsAreDeterministicOnTheSimulator) {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.strategy = FaultStrategyKind::kAdaptive;
+  plan.fault_budget = 6;
+  const McSampleOutcome a = run_sim("fixed_ll_sc", kN, 42, plan);
+  const McSampleOutcome b = run_sim("fixed_ll_sc", kN, 42, plan);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.proc_ops, b.proc_ops);
+  EXPECT_EQ(a.decision_trace, b.decision_trace);
+  // The budget was actually spent: adaptive placement is not a no-op.
+  EXPECT_EQ(a.decision_trace.size(), 6u);
+}
+
+TEST(DecisionTraceTest, JsonRoundTripsU64Exact) {
+  FaultPlan plan;
+  plan.seed = 0x9E3779B97F4A7C15ull;  // > 2^53: dies in a double round-trip
+  plan.strategy = FaultStrategyKind::kAdaptive;
+  plan.fault_budget = (1ull << 60) + 3;
+  plan.burst_len = 7;
+  plan.burst_period = 32;
+  FaultDecision d0;
+  d0.proc = 2;
+  d0.op_index = (1ull << 53) + 1;  // only exact integer parsing keeps this
+  d0.is_vl = false;
+  d0.score = (1ull << 40) + 9;
+  FaultDecision d1;
+  d1.proc = 3;
+  d1.op_index = 17;
+  d1.is_vl = true;
+  d1.score = 4;
+  plan.trace.decisions = {d0, d1};
+
+  FaultPlan parsed;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::from_json(plan.to_json(), &parsed, &error)) << error;
+  EXPECT_EQ(parsed, plan);
+  EXPECT_EQ(parsed.trace.decisions[0].op_index, (1ull << 53) + 1);
+}
+
+TEST(DecisionTraceTest, ObliviousPlansKeepTheirSchema) {
+  // Plans that don't use adversarial placement must serialize without any
+  // of the new optional keys — byte-stable with the PR 3 schema.
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.sc_fail_rate = 0.5;
+  plan.crashes.push_back(CrashSpec{.proc = 1, .after_ops = 3});
+  const std::string json = plan.to_json();
+  EXPECT_EQ(json.find("strategy"), std::string::npos);
+  EXPECT_EQ(json.find("fault_budget"), std::string::npos);
+  EXPECT_EQ(json.find("burst"), std::string::npos);
+  EXPECT_EQ(json.find("trace"), std::string::npos);
+  FaultPlan parsed;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::from_json(json, &parsed, &error)) << error;
+  EXPECT_EQ(parsed, plan);
+}
+
+TEST(AdaptiveReplayTest, RecordedPlanReplaysBitForBitOnBothSubstrates) {
+  FaultPlan record_plan;
+  record_plan.seed = 13;
+  record_plan.strategy = FaultStrategyKind::kAdaptive;
+  record_plan.fault_budget = 6;
+  const McSampleOutcome recorded = run_sim("fixed_ll_sc", kN, 42, record_plan);
+  ASSERT_FALSE(recorded.decision_trace.empty());
+
+  // Replay mode: same plan with the trace embedded. The strategy field
+  // stays kAdaptive — a non-empty trace takes precedence, which is what
+  // makes a serialized adaptive artifact replayable as-is.
+  FaultPlan replay_plan = record_plan;
+  replay_plan.trace = recorded.decision_trace;
+
+  // Simulator: the whole outcome must reproduce exactly.
+  const McSampleOutcome sim = run_sim("fixed_ll_sc", kN, 42, replay_plan);
+  EXPECT_EQ(sim.status, recorded.status);
+  EXPECT_EQ(sim.proc_ops, recorded.proc_ops);
+  EXPECT_EQ(sim.decision_trace, recorded.decision_trace);
+
+  // Hw backend: fixed_ll_sc's per-process op streams are schedule-
+  // independent, so the traced decisions land on the same (proc, k)
+  // ops and the injected counters match the trace exactly.
+  const HwRunResult hw = run_hw("fixed_ll_sc", kN, 42, replay_plan);
+  EXPECT_EQ(hw.status, recorded.status);
+  EXPECT_EQ(hw.shared_ops, recorded.proc_ops);
+  EXPECT_EQ(hw.fault.injected_sc_failures, recorded.decision_trace.size());
+  EXPECT_EQ(hw.decision_trace, recorded.decision_trace);
+}
+
+TEST(AdaptiveBudgetTest, ExhaustionDegradesToNoFaultCleanly) {
+  // A retry-loop workload absorbs the whole budget and then runs fault-
+  // free to completion: exact results, exactly budget injections.
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.strategy = FaultStrategyKind::kAdaptive;
+  plan.fault_budget = 8;
+  const HwRunResult r = run_hw("counter", kN, 1, plan);
+  EXPECT_EQ(r.status, RunStatus::kClean);
+  EXPECT_EQ(r.fault.injected_sc_failures, 8u);
+  EXPECT_EQ(r.decision_trace.size(), 8u);
+}
+
+TEST(AdaptiveBudgetTest, ZeroBudgetAdaptivePlanInjectsNothing) {
+  FaultPlan plan;
+  plan.strategy = FaultStrategyKind::kAdaptive;
+  plan.fault_budget = 0;
+  // No budget, no rates, no crashes: the plan is not even "enabled", so
+  // drivers skip the injector entirely.
+  EXPECT_FALSE(plan.enabled());
+  const HwRunResult r = run_hw("fixed_ll_sc", kN, 1, plan);
+  EXPECT_EQ(r.status, RunStatus::kClean);
+  EXPECT_EQ(r.fault.injected_sc_failures, 0u);
+  EXPECT_TRUE(r.decision_trace.empty());
+}
+
+TEST(ObliviousStrategyTest, UncappedBudgetedPathMatchesInlinePath) {
+  // The strategy-seam oblivious roll must be bit-for-bit the inline
+  // oblivious roll (same hash, same salt): a plan that differs only by a
+  // never-hit budget cap draws the identical schedule.
+  FaultPlan inline_plan;
+  inline_plan.seed = 99;
+  inline_plan.sc_fail_rate = 0.5;
+  FaultPlan budgeted = inline_plan;
+  budgeted.fault_budget = 1u << 20;  // forces the strategy path, never hit
+
+  const McSampleOutcome a = run_sim("fixed_ll_sc", kN, 7, inline_plan);
+  const McSampleOutcome b = run_sim("fixed_ll_sc", kN, 7, budgeted);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.proc_ops, b.proc_ops);
+  EXPECT_TRUE(a.decision_trace.empty());   // inline path records nothing
+  EXPECT_FALSE(b.decision_trace.empty());  // strategy path records all
+}
+
+TEST(BurstStrategyTest, WindowsAreCorrelatedAndReplayAcrossSubstrates) {
+  // fixed_ll_sc: LL at even k, SC at odd k. Window k % 4 < 2 catches the
+  // SCs at k = 1, 5, 9, 13 — four per process, every one recorded.
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.strategy = FaultStrategyKind::kBurst;
+  plan.burst_len = 2;
+  plan.burst_period = 4;
+  const McSampleOutcome sim = run_sim("fixed_ll_sc", kN, 21, plan);
+  EXPECT_EQ(sim.decision_trace.size(), static_cast<std::size_t>(4 * kN));
+  for (const FaultDecision& d : sim.decision_trace.decisions) {
+    EXPECT_EQ(d.op_index % 2, 1u) << "burst hit a non-SC op";
+    EXPECT_LT(d.op_index % 4, 2u) << "decision outside the burst window";
+  }
+  // Burst decisions are pure in (p, k), so the hw backend draws the very
+  // same schedule without needing the trace.
+  const HwRunResult hw = run_hw("fixed_ll_sc", kN, 21, plan);
+  EXPECT_EQ(hw.status, sim.status);
+  EXPECT_EQ(hw.shared_ops, sim.proc_ops);
+  EXPECT_EQ(hw.decision_trace, sim.decision_trace);
+}
+
+}  // namespace
+}  // namespace llsc

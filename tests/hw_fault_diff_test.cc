@@ -1,0 +1,167 @@
+// Cross-substrate differential fuzzing of the fault layer.
+//
+// The fixed_* scenarios execute a schedule-independent per-process op
+// stream (fault_scenarios.h), so for any fault plan whose decisions are
+// pure in (proc, op-index) — oblivious hash, burst window, crash spec,
+// trace replay — the simulator and the hw backend must agree on the
+// whole observable contract: run taxonomy, per-process op counts, and
+// the minimum winner op count. This test sweeps ~200 random
+// (seed, n, strategy) triples across both substrates and asserts exactly
+// that. The adaptive strategy is schedule-DEPENDENT, so its legs go
+// through record-on-sim / trace-replay-on-hw — the same loop CI runs via
+// examples/fault_replay.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/lower_bound.h"
+#include "hw/fault.h"
+#include "hw/fault_scenarios.h"
+#include "hw/hw_executor.h"
+#include "util/rng.h"
+
+namespace llsc {
+namespace {
+
+constexpr int kTriples = 200;
+constexpr int kMaxRounds = 1 << 12;
+
+// Taxonomy + op counts + min winner ops: the replay contract, reduced the
+// same way on both substrates.
+struct Observed {
+  RunStatus status = RunStatus::kClean;
+  std::vector<std::uint64_t> proc_ops;
+  std::uint64_t min_winner_ops = ~std::uint64_t{0};
+  DecisionTrace trace;
+};
+
+Observed observe_sim(const ProcBody& body, int n, std::uint64_t toss_seed,
+                     const FaultPlan& plan) {
+  AdversaryOptions adversary;
+  adversary.max_rounds = kMaxRounds;
+  const McSampleOutcome sample = run_mc_sample(
+      body, n, toss_seed, adversary, plan.enabled() ? &plan : nullptr);
+  Observed obs;
+  obs.status = sample.status;
+  obs.proc_ops = sample.proc_ops;
+  if (sample.has_winner) obs.min_winner_ops = sample.winner_ops;
+  obs.trace = sample.decision_trace;
+  return obs;
+}
+
+Observed observe_hw(const ProcBody& body, int n, std::uint64_t toss_seed,
+                    const FaultPlan& plan) {
+  HwRunOptions options;
+  options.seed = toss_seed;
+  options.fault = plan.enabled() ? &plan : nullptr;
+  HwExecutor exec(options);
+  const HwRunResult run = exec.run(n, body);
+  Observed obs;
+  obs.status = run.status;
+  obs.proc_ops = run.shared_ops;
+  obs.trace = run.decision_trace;
+  // The executor has no spec checker; apply the winner scan the
+  // Monte-Carlo classification (core/lower_bound.cc) uses so the
+  // taxonomies are comparable. Like the simulator's classifier, the scan
+  // only applies to fully-terminated runs — a crashed/hung sample
+  // reports no winner there either.
+  if (run.status == RunStatus::kClean) {
+    for (ProcId p = 0; p < n; ++p) {
+      if (run.proc_status[p] == HwProcOutcome::kDone &&
+          run.results[p].holds_u64() && run.results[p].as_u64() == 1) {
+        obs.min_winner_ops = std::min(obs.min_winner_ops, run.shared_ops[p]);
+      }
+    }
+    if (obs.min_winner_ops == ~std::uint64_t{0}) {
+      obs.status = RunStatus::kSpecViolation;
+    }
+  }
+  return obs;
+}
+
+std::string describe(int t, const std::string& scenario, int n,
+                     std::uint64_t toss_seed, const FaultPlan& plan) {
+  return "triple " + std::to_string(t) + ": scenario=" + scenario +
+         " n=" + std::to_string(n) +
+         " toss_seed=" + std::to_string(toss_seed) + " plan=" +
+         plan.to_json();
+}
+
+void expect_equal(const Observed& sim, const Observed& hw,
+                  const std::string& what) {
+  EXPECT_EQ(sim.status, hw.status) << what;
+  EXPECT_EQ(sim.proc_ops, hw.proc_ops) << what;
+  EXPECT_EQ(sim.min_winner_ops, hw.min_winner_ops) << what;
+}
+
+TEST(HwFaultDiffTest, RandomTriplesAgreeAcrossSubstrates) {
+  Rng rng(0xD1FF);
+  int adaptive_with_decisions = 0;
+  for (int t = 0; t < kTriples; ++t) {
+    const int n = 2 + static_cast<int>(rng.next_below(6));  // 2..7
+    const std::string scenario = (t % 2 == 0) ? "fixed_ll_sc" : "fixed_swap";
+    const ProcBody body = fault_scenario(scenario);
+    const std::uint64_t toss_seed = rng.next_u64();
+
+    FaultPlan plan;
+    plan.seed = rng.next_u64();
+    const int strategy = t % 3;
+    if (strategy == 0) {
+      plan.sc_fail_rate = 0.1 + 0.8 * rng.next_double();
+      // Every other oblivious triple also exercises the budget cap.
+      if (t % 6 == 0) plan.fault_budget = 1 + rng.next_below(8);
+    } else if (strategy == 1) {
+      plan.strategy = FaultStrategyKind::kAdaptive;
+      plan.fault_budget = 1 + rng.next_below(8);
+    } else {
+      plan.strategy = FaultStrategyKind::kBurst;
+      plan.burst_len = 1 + static_cast<std::uint32_t>(rng.next_below(3));
+      plan.burst_period =
+          plan.burst_len + 1 + static_cast<std::uint32_t>(rng.next_below(5));
+    }
+    // Every fifth triple crash-stops one process partway through its
+    // fixed op stream.
+    if (t % 5 == 0) {
+      CrashSpec crash;
+      crash.proc = static_cast<ProcId>(rng.next_below(n));
+      crash.after_ops = 1 + rng.next_below(12);
+      plan.crashes.push_back(crash);
+    }
+    const std::string what = describe(t, scenario, n, toss_seed, plan);
+
+    // Schedule-dependent placements: adaptive (decisions follow the
+    // observed history) and budget-CAPPED oblivious (the roll is pure in
+    // (p, k), but which candidates reach the budget first is not — the
+    // arrival order differs between the adversary schedule and free-
+    // running threads). Both go through the record/replay contract.
+    const bool schedule_dependent =
+        strategy == 1 || (strategy == 0 && plan.fault_budget > 0);
+    if (schedule_dependent) {
+      // Record on the deterministic simulator, replay the trace on hw.
+      const Observed recorded = observe_sim(body, n, toss_seed, plan);
+      FaultPlan replay_plan = plan;
+      replay_plan.trace = recorded.trace;
+      const Observed sim = observe_sim(body, n, toss_seed, replay_plan);
+      expect_equal(recorded, sim, what + " [sim replay]");
+      EXPECT_EQ(sim.trace, recorded.trace) << what;
+      const Observed hw = observe_hw(body, n, toss_seed, replay_plan);
+      expect_equal(recorded, hw, what + " [hw replay]");
+      if (strategy == 1 && !recorded.trace.empty()) ++adaptive_with_decisions;
+    } else {
+      const Observed sim = observe_sim(body, n, toss_seed, plan);
+      const Observed hw = observe_hw(body, n, toss_seed, plan);
+      expect_equal(sim, hw, what);
+      EXPECT_EQ(sim.trace, hw.trace) << what;
+    }
+    if (HasFatalFailure()) return;
+  }
+  // The sweep exercised the adaptive path for real: fixed_ll_sc triples
+  // have contended SCs for the adversary to fail (fixed_swap ones are
+  // intentionally vacuous — swaps never reach the SC decision point).
+  EXPECT_GT(adaptive_with_decisions, 10);
+}
+
+}  // namespace
+}  // namespace llsc

@@ -221,7 +221,9 @@ TEST(HwFaultTest, StallDecisionsMatchAcrossSubstrates) {
 TEST(HwFaultTest, WatchdogCancelsHungRunWithTaxonomy) {
   const int n = 2;
   HwRunOptions options;
-  options.timeout_ms = 50;
+  // Tight deadline so the watchdog fires fast; scaled because sanitized
+  // CI jobs (LLSC_TIMEOUT_SCALE=4 under TSan) run several times slower.
+  options.timeout_ms = scale_timeout_ms(50);
   options.watchdog_poll_ms = 2;
   HwExecutor exec(options);
   const HwRunResult r = exec.run(n, &spin_forever_body);

@@ -1,13 +1,23 @@
 // Linearizability smoke test on the hw backend: a genuinely concurrent
 // queue history produced by GroupUpdateUC on HwExecutor, recorded with the
-// thread-safe recorder and fed through the src/lin checker.
+// thread-safe recorder and fed through the src/lin checker — plus
+// linearizability UNDER SPURIOUS SC FAILURES. The wait-free universal
+// constructions assume the helping lemma and abort when an injected
+// failure voids it, so the fault legs use DirectFetchAdd's lock-free
+// LL/SC retry loop: a spurious SC failure there is indistinguishable from
+// losing the race, costing only a retry. The checker then proves the
+// safety half of the fault model: injected failures are false NEGATIVES
+// only — they may delay an operation, never corrupt one.
 #include <gtest/gtest.h>
 
 #include <memory>
 
+#include "direct/direct.h"
+#include "hw/fault.h"
 #include "hw/hw_executor.h"
 #include "hw/hw_history.h"
 #include "lin/checker.h"
+#include "objects/arith.h"
 #include "objects/containers.h"
 #include "universal/group_update.h"
 
@@ -67,6 +77,110 @@ TEST(HwLinTest, CheckerRejectsCorruptedHwHistory) {
   }
   const LinResult lin = check_linearizability(hist, factory);
   EXPECT_FALSE(lin.linearizable);
+}
+
+// --- linearizability under injected SC failures --------------------------
+
+constexpr int kFaultProcs = 3;
+constexpr int kFetchAddsPerProc = 4;
+
+SimTask fetch_add_workload(ProcCtx ctx, ConcurrentHistoryRecorder* rec) {
+  Value v;
+  for (int k = 0; k < kFetchAddsPerProc; ++k) {
+    ObjOp op{"fetch&increment", {}};
+    v = co_await rec->execute(ctx, std::move(op));
+  }
+  co_return v;
+}
+
+// Records a concurrent fetch&add history over DirectFetchAdd's LL/SC
+// retry loop while `plan` injects spurious SC failures.
+History record_faulted_fetch_add_history(std::uint64_t seed,
+                                         const FaultPlan& plan,
+                                         FaultStats* stats) {
+  DirectFetchAdd fa(/*reg=*/0, /*initial=*/0);
+  ConcurrentHistoryRecorder rec(fa, kFaultProcs);
+  HwRunOptions opts;
+  opts.seed = seed;
+  opts.fault = plan.enabled() ? &plan : nullptr;
+  HwExecutor exec(opts);
+  const HwRunResult run =
+      exec.run(kFaultProcs, [&rec](ProcCtx ctx, ProcId, int) {
+        return fetch_add_workload(ctx, &rec);
+      });
+  EXPECT_TRUE(run.ok);
+  if (stats != nullptr) *stats = run.fault;
+  return rec.take();
+}
+
+void expect_faulted_history_linearizable(const FaultPlan& plan) {
+  const ObjectFactory factory = [] {
+    return std::make_unique<FetchAddObject>(64, 0);
+  };
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    FaultStats stats;
+    const History hist = record_faulted_fetch_add_history(seed, plan, &stats);
+    ASSERT_EQ(hist.ops.size(),
+              static_cast<std::size_t>(kFaultProcs * kFetchAddsPerProc));
+    // The injection actually happened — without it the test is vacuous.
+    EXPECT_GT(stats.injected_sc_failures, 0u);
+    const LinResult lin = check_linearizability(hist, factory);
+    EXPECT_TRUE(lin.search_exhausted);
+    EXPECT_TRUE(lin.linearizable) << hist.to_string();
+  }
+}
+
+TEST(HwLinFaultTest, FetchAddHistoryUnderObliviousScFailuresIsLinearizable) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.sc_fail_rate = 0.4;
+  expect_faulted_history_linearizable(plan);
+}
+
+TEST(HwLinFaultTest, FetchAddHistoryUnderAdaptiveAdversaryIsLinearizable) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.strategy = FaultStrategyKind::kAdaptive;
+  plan.fault_budget = 6;
+  expect_faulted_history_linearizable(plan);
+}
+
+// The memory-level invariant behind those lin checks: a spurious failure
+// is a false negative only. In one LL epoch two SCs can never BOTH
+// succeed — the first success consumes the link, and an injected failure
+// also erases it — under any injection pressure.
+SimTask double_sc_workload(ProcCtx ctx, ProcId i, int) {
+  constexpr int kEpochs = 8;
+  std::uint64_t both_succeeded = 0;
+  for (int k = 0; k < kEpochs; ++k) {
+    (void)co_await ctx.ll(0);
+    const ScResult first = co_await ctx.sc(
+        0, Value::of_u64(static_cast<std::uint64_t>(i) * 100 + 1));
+    const ScResult second = co_await ctx.sc(
+        0, Value::of_u64(static_cast<std::uint64_t>(i) * 100 + 2));
+    if (first.ok && second.ok) ++both_succeeded;
+  }
+  co_return Value::of_u64(both_succeeded);
+}
+
+TEST(HwLinFaultTest, SpuriousFailuresNeverYieldTwoSuccessfulScsPerEpoch) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.sc_fail_rate = 0.9;
+    HwRunOptions opts;
+    opts.seed = seed;
+    opts.fault = &plan;
+    HwExecutor exec(opts);
+    const HwRunResult run = exec.run(kFaultProcs, &double_sc_workload);
+    ASSERT_TRUE(run.ok);
+    EXPECT_GT(run.fault.injected_sc_failures, 0u);
+    for (ProcId p = 0; p < kFaultProcs; ++p) {
+      ASSERT_TRUE(run.results[p].holds_u64());
+      EXPECT_EQ(run.results[p].as_u64(), 0u)
+          << "proc " << p << " saw two successful SCs in one LL epoch";
+    }
+  }
 }
 
 TEST(HwLinTest, RecorderStampsRespectRealTime) {

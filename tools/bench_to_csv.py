@@ -30,8 +30,11 @@ oversubscribed, hw_ops_per_sec, cas_failure_rate, and parks counters with
 a known policy_id and a failure rate in [0, 1]. BM_E12_* rows (the
 fault-injection graceful-degradation sweep) must carry sc_fail_rate in
 [0, 1] plus the non-negative clean / spec_violations / crashed / hung
-taxonomy counts. Use it in CI to fail fast on truncated benchmark
-artifacts.
+taxonomy counts. BM_E13_* rows (the adversarial-placement comparison)
+must carry n_threads, strategy_id (0 oblivious / 1 adaptive / 2 burst),
+fault_budget, injected_sc_failures (<= fault_budget when the budget is
+capped), and retry_amplification >= 1. Use it in CI to fail fast on
+truncated benchmark artifacts.
 """
 import argparse
 import csv
@@ -69,6 +72,16 @@ E12_ROW_PREFIX = "BM_E12"
 E12_REQUIRED = [
     "sc_fail_rate", "clean", "spec_violations", "crashed", "hung",
 ]
+
+# The E13 adversarial-placement rows (BM_E13_* in
+# bench/bench_fault_injection.cc) compare fault strategies at equal
+# budget; their fingerprint is the strategy plus the budget accounting.
+E13_ROW_PREFIX = "BM_E13"
+E13_REQUIRED = [
+    "n_threads", "strategy_id", "fault_budget", "injected_sc_failures",
+    "retry_amplification",
+]
+E13_STRATEGY_IDS = {0.0, 1.0, 2.0}  # oblivious, adaptive, burst
 
 
 class MalformedInput(Exception):
@@ -196,6 +209,29 @@ def validate(rows):
                     raise MalformedInput(
                         f"benchmark {row['name']}/{row['arg']}: "
                         f"negative taxonomy count {field}")
+        if row["name"].startswith(E13_ROW_PREFIX):
+            missing = [f for f in E13_REQUIRED if f not in row]
+            if missing:
+                raise MalformedInput(
+                    f"benchmark {row['name']}/{row['arg']}: adversarial-"
+                    f"placement row missing field(s): {', '.join(missing)}")
+            if row["strategy_id"] not in E13_STRATEGY_IDS:
+                raise MalformedInput(
+                    f"benchmark {row['name']}/{row['arg']}: unknown "
+                    f"strategy_id {row['strategy_id']}")
+            if row["fault_budget"] < 0 or row["injected_sc_failures"] < 0:
+                raise MalformedInput(
+                    f"benchmark {row['name']}/{row['arg']}: negative "
+                    f"fault-budget accounting")
+            if (row["fault_budget"] > 0
+                    and row["injected_sc_failures"] > row["fault_budget"]):
+                raise MalformedInput(
+                    f"benchmark {row['name']}/{row['arg']}: injected more "
+                    f"failures than the fault budget allows")
+            if row["retry_amplification"] < 1:
+                raise MalformedInput(
+                    f"benchmark {row['name']}/{row['arg']}: "
+                    f"retry_amplification below 1")
 
 
 def write_csv(rows, out):

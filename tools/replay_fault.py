@@ -17,6 +17,10 @@ or replay failure, 2 on usage/environment errors (missing binary,
 unreadable artifact). Artifacts with an unregistered scenario ("custom")
 are reported and skipped — they document a failure but carry no body to
 rebuild (see docs/fault_injection.md).
+
+--strategy filters by the plan's placement strategy ("oblivious" matches
+plans that omit the optional key; "adaptive"/"burst" match the recorded
+adversarial plans, which replay through their embedded decision trace).
 """
 import argparse
 import json
@@ -65,6 +69,10 @@ def main():
                     help="substrate(s) to replay on (default: sim)")
     ap.add_argument("--timeout-ms", type=int, default=120000,
                     help="watchdog budget per replay (default: 120000)")
+    ap.add_argument("--strategy", default="any",
+                    choices=["any", "oblivious", "adaptive", "burst"],
+                    help="only replay artifacts whose plan uses this "
+                         "placement strategy (default: any)")
     args = ap.parse_args()
 
     if not (os.path.isfile(args.binary) and os.access(args.binary, os.X_OK)):
@@ -88,6 +96,13 @@ def main():
             return 2
         if doc["scenario"] == "custom":
             print(f"SKIP  {path}: scenario 'custom' has no registered body")
+            skipped += 1
+            continue
+        # Oblivious plans predate the optional "strategy" key and omit it.
+        plan = doc["plan"] if isinstance(doc["plan"], dict) else {}
+        strategy = plan.get("strategy", "oblivious")
+        if args.strategy != "any" and strategy != args.strategy:
+            print(f"SKIP  {path}: strategy '{strategy}' filtered out")
             skipped += 1
             continue
         cmd = [args.binary, "--replay", path, "--platform", args.platform,

@@ -1,0 +1,242 @@
+#!/usr/bin/env python3
+"""Regression tests for the repo's Python tooling (stdlib unittest only).
+
+Covers the contracts CI depends on:
+  * bench_to_csv.py --check — accepts sound benchmark JSON, rejects
+    malformed input and rows missing the per-experiment schema fields
+    (E10/E11 backoff fingerprint, E12 taxonomy, E13 adversarial-placement
+    accounting) with a nonzero exit;
+  * bench_to_csv.py conversion — emits the expected CSV columns;
+  * replay_fault.py — exit codes for missing binaries/keys, the
+    custom-scenario and --strategy skip paths, and pass/fail propagation
+    from the fault_replay binary (stubbed; the real binary's behavior is
+    covered by examples/fault_replay --selftest in ctest/CI).
+
+Run directly (tools/test_tools.py) or via ctest (tools_test).
+"""
+import json
+import os
+import stat
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+BENCH_TO_CSV = os.path.join(TOOLS_DIR, "bench_to_csv.py")
+REPLAY_FAULT = os.path.join(TOOLS_DIR, "replay_fault.py")
+
+
+def bench_row(name, **counters):
+    row = {
+        "name": name,
+        "real_time": 100.0,
+        "cpu_time": 90.0,
+        "iterations": 10,
+        "time_unit": "ns",
+    }
+    row.update(counters)
+    return row
+
+
+def bench_doc(*rows):
+    return json.dumps({"context": {}, "benchmarks": list(rows)})
+
+
+def run_bench_to_csv(stdin_text, *args):
+    return subprocess.run(
+        [sys.executable, BENCH_TO_CSV, *args],
+        input=stdin_text, capture_output=True, text=True)
+
+
+def run_replay_fault(*args):
+    return subprocess.run(
+        [sys.executable, REPLAY_FAULT, *args],
+        capture_output=True, text=True)
+
+
+E13_GOOD = dict(n_threads=4, strategy_id=1, fault_budget=128,
+                injected_sc_failures=128, retry_amplification=1.5)
+
+
+class BenchToCsvCheckTest(unittest.TestCase):
+    def test_valid_generic_row_passes(self):
+        doc = bench_doc(bench_row("BM_Tournament/64", log4_n=3))
+        proc = run_bench_to_csv(doc, "--check")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("ok:", proc.stdout)
+
+    def test_malformed_json_rejected(self):
+        proc = run_bench_to_csv('{"benchmarks": [truncated', "--check")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("malformed", proc.stderr)
+
+    def test_empty_input_rejected(self):
+        proc = run_bench_to_csv("", "--check")
+        self.assertEqual(proc.returncode, 1)
+
+    def test_missing_required_field_rejected(self):
+        row = bench_row("BM_X/1")
+        del row["iterations"]
+        proc = run_bench_to_csv(bench_doc(row), "--check")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("missing field", proc.stderr)
+
+    def test_backoff_row_missing_policy_rejected(self):
+        row = bench_row("BM_HwBackoff_Fixed/8", n_threads=8,
+                        oversubscribed=1, hw_ops_per_sec=1e6,
+                        cas_failure_rate=0.25, parks=0)  # no policy_id
+        proc = run_bench_to_csv(bench_doc(row), "--check")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("policy_id", proc.stderr)
+
+    def test_e12_row_missing_taxonomy_rejected(self):
+        row = bench_row("BM_E12_Degradation/4", sc_fail_rate=0.5,
+                        clean=10, spec_violations=0, crashed=0)  # no hung
+        proc = run_bench_to_csv(bench_doc(row), "--check")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("hung", proc.stderr)
+
+    def test_e13_row_passes(self):
+        row = bench_row("BM_E13_AdaptiveVsOblivious_Adaptive/4/256/128",
+                        **E13_GOOD)
+        proc = run_bench_to_csv(bench_doc(row), "--check")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_e13_row_missing_budget_rejected(self):
+        counters = dict(E13_GOOD)
+        del counters["fault_budget"]
+        row = bench_row("BM_E13_AdaptiveVsOblivious_Adaptive/4", **counters)
+        proc = run_bench_to_csv(bench_doc(row), "--check")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("fault_budget", proc.stderr)
+
+    def test_e13_unknown_strategy_rejected(self):
+        row = bench_row("BM_E13_X/4", **dict(E13_GOOD, strategy_id=7))
+        proc = run_bench_to_csv(bench_doc(row), "--check")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("strategy_id", proc.stderr)
+
+    def test_e13_overspent_budget_rejected(self):
+        row = bench_row("BM_E13_X/4",
+                        **dict(E13_GOOD, injected_sc_failures=129))
+        proc = run_bench_to_csv(bench_doc(row), "--check")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("budget", proc.stderr)
+
+    def test_e13_amplification_below_one_rejected(self):
+        row = bench_row("BM_E13_X/4",
+                        **dict(E13_GOOD, retry_amplification=0.5))
+        proc = run_bench_to_csv(bench_doc(row), "--check")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("retry_amplification", proc.stderr)
+
+
+class BenchToCsvConvertTest(unittest.TestCase):
+    def test_csv_has_expected_columns(self):
+        doc = bench_doc(
+            bench_row("BM_E13_AdaptiveVsOblivious_Adaptive/4/256/128",
+                      **E13_GOOD))
+        proc = run_bench_to_csv(doc)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        lines = proc.stdout.strip().splitlines()
+        self.assertEqual(len(lines), 2)
+        header = lines[0].split(",")
+        for col in ("name", "arg", "threads", "time_ns", "cpu_ns",
+                    "iterations", "strategy_id", "fault_budget",
+                    "injected_sc_failures", "retry_amplification"):
+            self.assertIn(col, header)
+        values = dict(zip(header, lines[1].split(",")))
+        self.assertEqual(values["name"], "BM_E13_AdaptiveVsOblivious_Adaptive")
+        self.assertEqual(values["arg"], "4/256/128")
+        self.assertEqual(values["threads"], "4")  # n_threads surfaced
+
+
+def artifact(scenario="fixed_ll_sc", plan=None, **overrides):
+    doc = {
+        "scenario": scenario,
+        "n": 4,
+        "toss_seed": 42,
+        "max_rounds": 4096,
+        "status": "clean",
+        "proc_ops": [16, 16, 16, 16],
+        "plan": plan if plan is not None else {"seed": 7},
+    }
+    doc.update(overrides)
+    return doc
+
+
+class ReplayFaultTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def write_artifact(self, name, doc):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(doc, f)
+        return path
+
+    def write_stub_binary(self, exit_code):
+        path = os.path.join(self.tmp.name, "fault_replay_stub")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(f"#!/bin/sh\nexit {exit_code}\n")
+        os.chmod(path, os.stat(path).st_mode | stat.S_IXUSR)
+        return path
+
+    def test_missing_binary_is_usage_error(self):
+        art = self.write_artifact("a.json", artifact())
+        proc = run_replay_fault("--binary", "/nonexistent/fault_replay", art)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("binary not found", proc.stderr)
+
+    def test_artifact_missing_keys_is_usage_error(self):
+        doc = artifact()
+        del doc["proc_ops"]
+        art = self.write_artifact("a.json", doc)
+        proc = run_replay_fault("--binary", self.write_stub_binary(0), art)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("missing key", proc.stderr)
+
+    def test_custom_scenario_is_skipped(self):
+        art = self.write_artifact("a.json", artifact(scenario="custom"))
+        proc = run_replay_fault("--binary", self.write_stub_binary(1), art)
+        # The failing stub is never invoked: the artifact is skipped.
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("SKIP", proc.stdout)
+
+    def test_strategy_filter_skips_other_plans(self):
+        oblivious = self.write_artifact("obl.json", artifact())
+        adaptive = self.write_artifact(
+            "ada.json",
+            artifact(plan={"seed": 7, "strategy": "adaptive",
+                           "fault_budget": 6}))
+        stub = self.write_stub_binary(0)
+        proc = run_replay_fault("--binary", stub, "--strategy", "adaptive",
+                                oblivious, adaptive)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("SKIP", proc.stdout)
+        self.assertIn("filtered out", proc.stdout)
+        self.assertIn("1/1 artifacts reproduced", proc.stdout)
+        # Plans without the optional "strategy" key are oblivious.
+        proc = run_replay_fault("--binary", stub, "--strategy", "oblivious",
+                                oblivious, adaptive)
+        self.assertEqual(proc.returncode, 0)
+        self.assertIn("1/1 artifacts reproduced", proc.stdout)
+
+    def test_stub_success_reports_ok(self):
+        art = self.write_artifact("a.json", artifact())
+        proc = run_replay_fault("--binary", self.write_stub_binary(0), art)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("OK", proc.stdout)
+        self.assertIn("1/1 artifacts reproduced", proc.stdout)
+
+    def test_stub_failure_propagates(self):
+        art = self.write_artifact("a.json", artifact())
+        proc = run_replay_fault("--binary", self.write_stub_binary(1), art)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("FAIL", proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()
