@@ -17,6 +17,10 @@
 // adaptive+parking backoff policies (hw/backoff.h) on a raw single-register
 // rmw hammer across thread counts, including an oversubscribed point
 // (threads = 2 × cores) where the parking tier earns its keep.
+// E14 (bottom): BM_E14_* compares the register-storage policies
+// (memory/storage_policy.h) — boxed versioned nodes vs inline 64-bit
+// tagged words — on the same single-register retry loop and on the
+// count-based wakeup algorithm via HwExecutor.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -28,6 +32,8 @@
 
 #include "hw/hw_executor.h"
 #include "memory/rmw.h"
+#include "memory/storage_policy.h"
+#include "wakeup/algorithms.h"
 #include "objects/arith.h"
 #include "universal/group_update.h"
 #include "universal/single_register.h"
@@ -206,6 +212,145 @@ void backoff_sweep(benchmark::internal::Benchmark* b) {
   }
 }
 
+// --- E14: register-storage policy comparison -----------------------------
+//
+// Two workloads, each run once per StoragePolicy so the policy is the
+// only variable:
+//
+//   * StorageHammer — the E11 single-register fetch&add rmw retry loop
+//     (default backoff), the hot path where the boxed policy pays one
+//     Node allocation per completed install and the inline policy pays
+//     none. All counts fit a 47-bit payload, so inline runs must report
+//     zero node allocations and zero overflows — checked, not assumed.
+//   * Wakeup — the count-based wakeup algorithm (backoff_counter_wakeup)
+//     on HwExecutor with HwRunOptions::storage set, i.e. the policy seam
+//     exercised through the full executor stack rather than raw HwMemory.
+//
+// policy_id follows the StoragePolicy enum: 0 = boxed, 1 = inline,
+// 2 = inline-strict (strict differs from inline only on overflow, which
+// these workloads never hit — its column bounds the cost of the check).
+
+struct StorageHammerResult {
+  double ops_per_second = 0.0;
+  RegisterWidthStats width;
+  HwReclaimStats reclaim;
+};
+
+StorageHammerResult hammer_storage(StoragePolicy policy, int threads,
+                                   int ops) {
+  HwMemory mem(1, threads, {}, policy);
+  const auto inc = make_rmw("inc", [](const Value& v) {
+    return Value::of_u64(v.is_nil() ? 1 : v.as_u64() + 1);
+  });
+  std::barrier sync(threads + 1);
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      sync.arrive_and_wait();
+      for (int i = 0; i < ops; ++i) (void)mem.rmw(t, 0, *inc);
+    });
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  sync.arrive_and_wait();
+  for (auto& w : workers) w.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(threads) * static_cast<std::uint64_t>(ops);
+  LLSC_CHECK(mem.peek_value(0).as_u64() == total,
+             "lost or duplicated rmw increments");
+  StorageHammerResult out;
+  const double wall = std::chrono::duration<double>(t1 - t0).count();
+  out.ops_per_second = wall > 0 ? static_cast<double>(total) / wall : 0.0;
+  out.width = mem.width_stats();
+  out.reclaim = mem.reclaim_stats();
+  return out;
+}
+
+void report_e14(benchmark::State& state, int threads, double ops_per_second,
+                const RegisterWidthStats& width,
+                const HwReclaimStats& reclaim) {
+  state.counters["n_threads"] = threads;
+  state.counters["policy_id"] = static_cast<double>(width.policy);
+  state.counters["hw_ops_per_sec"] = ops_per_second;
+  state.counters["overflow_events"] =
+      static_cast<double>(width.overflow_events);
+  state.counters["nodes_allocated"] =
+      static_cast<double>(reclaim.nodes_allocated);
+  if (width.policy != StoragePolicy::kBoxed) {
+    // The headline claim: the inline hot path is allocation-free on
+    // counter workloads. Enforced here so a regression fails the bench
+    // run, not just skews a column.
+    LLSC_CHECK(reclaim.nodes_allocated == 0,
+               "inline storage allocated nodes on an all-small workload");
+    LLSC_CHECK(width.overflow_events == 0,
+               "unexpected overflow on an all-small workload");
+  }
+}
+
+void run_storage_hammer(benchmark::State& state, StoragePolicy policy) {
+  const int threads = static_cast<int>(state.range(0));
+  const int ops = static_cast<int>(state.range(1));
+  StorageHammerResult r;
+  for (auto _ : state) {
+    r = hammer_storage(policy, threads, ops);
+  }
+  report_e14(state, threads, r.ops_per_second, r.width, r.reclaim);
+}
+
+void BM_E14_StorageHammer_Boxed(benchmark::State& state) {
+  run_storage_hammer(state, StoragePolicy::kBoxed);
+}
+void BM_E14_StorageHammer_Inline(benchmark::State& state) {
+  run_storage_hammer(state, StoragePolicy::kInline);
+}
+void BM_E14_StorageHammer_InlineStrict(benchmark::State& state) {
+  run_storage_hammer(state, StoragePolicy::kInlineStrict);
+}
+
+void run_storage_wakeup(benchmark::State& state, StoragePolicy policy) {
+  const int n = static_cast<int>(state.range(0));
+  const ProcBody body = backoff_counter_wakeup();
+  HwRunResult run;
+  for (auto _ : state) {
+    HwRunOptions opts;
+    opts.seed = 21;
+    opts.storage = policy;
+    HwExecutor exec(opts);
+    run = exec.run(n, body);
+    LLSC_CHECK(run.ok, "wakeup run did not terminate cleanly");
+  }
+  const double ops_per_second =
+      run.wall_seconds > 0
+          ? static_cast<double>(run.total_shared_ops) / run.wall_seconds
+          : 0.0;
+  report_e14(state, n, ops_per_second, run.width, run.reclaim);
+}
+
+void BM_E14_Wakeup_Boxed(benchmark::State& state) {
+  run_storage_wakeup(state, StoragePolicy::kBoxed);
+}
+void BM_E14_Wakeup_Inline(benchmark::State& state) {
+  run_storage_wakeup(state, StoragePolicy::kInline);
+}
+
+void e14_hammer_sweep(benchmark::internal::Benchmark* b) {
+  const int cores = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  std::vector<int> counts{1, 2, cores};
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  for (const int threads : counts) {
+    b->Args({threads, /*ops_per_thread=*/2000});
+  }
+}
+
+void e14_wakeup_sweep(benchmark::internal::Benchmark* b) {
+  for (const int n : {2, 4, 8}) {
+    b->Args({n});
+  }
+}
+
 }  // namespace
 }  // namespace llsc
 
@@ -233,5 +378,25 @@ BENCHMARK(llsc::BM_HwBackoff_Adaptive)
     ->UseRealTime();
 BENCHMARK(llsc::BM_HwBackoff_AdaptivePark)
     ->Apply(llsc::backoff_sweep)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(llsc::BM_E14_StorageHammer_Boxed)
+    ->Apply(llsc::e14_hammer_sweep)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(llsc::BM_E14_StorageHammer_Inline)
+    ->Apply(llsc::e14_hammer_sweep)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(llsc::BM_E14_StorageHammer_InlineStrict)
+    ->Apply(llsc::e14_hammer_sweep)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(llsc::BM_E14_Wakeup_Boxed)
+    ->Apply(llsc::e14_wakeup_sweep)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(llsc::BM_E14_Wakeup_Inline)
+    ->Apply(llsc::e14_wakeup_sweep)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();

@@ -148,11 +148,13 @@ WakeupLowerBoundReport analyze_wakeup_run(
 McSampleOutcome run_mc_sample(const ProcBody& algo, int n,
                               std::uint64_t toss_seed,
                               const AdversaryOptions& adversary,
-                              const FaultPlan* fault) {
+                              const FaultPlan* fault,
+                              StoragePolicy storage) {
   McSampleOutcome out;
   const auto tosses = std::make_shared<SeededTossAssignment>(toss_seed);
   System sys(n, algo, tosses);
   sys.set_recording(false);
+  sys.memory().set_storage_policy(storage);
   // The injector lives on this stack frame; the System only borrows it.
   std::optional<FaultInjector> injector;
   if (fault != nullptr && fault->enabled()) {
@@ -167,6 +169,7 @@ McSampleOutcome run_mc_sample(const ProcBody& algo, int n,
     out.proc_ops.push_back(sys.process(p).shared_ops());
   }
   out.max_ops = sys.max_shared_ops();
+  out.width = sys.memory().width_stats();
   if (injector) out.decision_trace = injector->trace();
   if (!log.all_terminated) {
     out.status = sys.num_crashed() > 0 ? RunStatus::kCrashed
@@ -195,7 +198,8 @@ McSampleOutcome run_mc_sample(const ProcBody& algo, int n,
 
 ExpectedComplexityEstimate estimate_expected_complexity(
     const ProcBody& algo, int n, int samples, std::uint64_t seed,
-    const AdversaryOptions& adversary, const FaultPlan* fault) {
+    const AdversaryOptions& adversary, const FaultPlan* fault,
+    StoragePolicy storage) {
   LLSC_EXPECTS(samples >= 1, "need at least one sample");
   ExpectedComplexityEstimate est;
   est.n = n;
@@ -215,7 +219,8 @@ ExpectedComplexityEstimate estimate_expected_complexity(
     FaultPlan sample_plan;
     if (inject) sample_plan = derive_sample_plan(*fault, toss_seed);
     const McSampleOutcome sample = run_mc_sample(
-        algo, n, toss_seed, adversary, inject ? &sample_plan : nullptr);
+        algo, n, toss_seed, adversary, inject ? &sample_plan : nullptr,
+        storage);
     if (!sample.terminated) {
       if (sample.status == RunStatus::kCrashed) {
         ++est.crashed_samples;

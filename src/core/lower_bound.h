@@ -26,6 +26,7 @@
 #include "core/indistinguishability.h"
 #include "core/proc_set.h"
 #include "hw/fault.h"
+#include "memory/storage_policy.h"
 #include "runtime/system.h"
 
 namespace llsc {
@@ -130,7 +131,8 @@ struct ExpectedComplexityEstimate {
 ExpectedComplexityEstimate estimate_expected_complexity(
     const ProcBody& algo, int n, int samples, std::uint64_t seed,
     const AdversaryOptions& adversary = {},
-    const FaultPlan* fault = nullptr);
+    const FaultPlan* fault = nullptr,
+    StoragePolicy storage = default_storage_policy());
 
 // One Lemma 3.1 sample: build a System over SeededTossAssignment(toss_seed),
 // optionally install a fault injector (`fault` is used as-is — sweeping
@@ -146,6 +148,11 @@ struct McSampleOutcome {
   std::uint64_t winner_ops = 0;
   std::uint64_t max_ops = 0;
   std::vector<std::uint64_t> proc_ops;  // per-process t(p) at halt
+  // Width/overflow accounting under the sample's register-storage policy
+  // (memory/storage_policy.h) — the simulator twin of HwRunResult::width,
+  // counted at the same completed-install points so deterministic
+  // workloads produce identical totals on both substrates.
+  RegisterWidthStats width;
   // Decisions an adversarial FaultStrategy recorded during this sample
   // (empty on the inline oblivious path). Embedding this trace into the
   // sample's plan makes the adaptive schedule replayable anywhere.
@@ -155,7 +162,9 @@ struct McSampleOutcome {
 McSampleOutcome run_mc_sample(const ProcBody& algo, int n,
                               std::uint64_t toss_seed,
                               const AdversaryOptions& adversary,
-                              const FaultPlan* fault = nullptr);
+                              const FaultPlan* fault = nullptr,
+                              StoragePolicy storage =
+                                  default_storage_policy());
 
 }  // namespace llsc
 

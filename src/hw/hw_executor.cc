@@ -230,7 +230,8 @@ HwExecutor::HwExecutor(HwRunOptions options) : options_(std::move(options)) {}
 
 HwRunResult HwExecutor::run(int n, const ProcBody& body) {
   LLSC_EXPECTS(n >= 1, "an execution needs at least one process");
-  HwMemory memory(options_.num_registers, n, options_.backoff);
+  HwMemory memory(options_.num_registers, n, options_.backoff,
+                  options_.storage);
   std::shared_ptr<const TossAssignment> tosses = options_.tosses;
   if (!tosses) {
     tosses = std::make_shared<SeededTossAssignment>(options_.seed);
@@ -418,6 +419,7 @@ HwRunResult HwExecutor::run(int n, const ProcBody& body) {
              "a process failed to run to completion on hw");
   out.reclaim = memory.reclaim_stats();
   out.backoff = memory.backoff_stats();
+  out.width = memory.width_stats();
   if (injector) {
     out.fault = injector->stats();
     out.decision_trace = injector->trace();

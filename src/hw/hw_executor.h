@@ -74,6 +74,10 @@ struct HwRunOptions {
   // Retry-loop backoff policy for the run's HwMemory (hw/backoff.h);
   // kAdaptiveParking is the right choice when n exceeds the core count.
   BackoffOptions backoff;
+  // Register-storage policy for the run's HwMemory (boxed nodes vs inline
+  // 64-bit tagged words — memory/storage_policy.h); defaults to the
+  // LLSC_STORAGE_POLICY environment variable, else boxed.
+  StoragePolicy storage = default_storage_policy();
   // Fault plan for this run (hw/fault.h); nullptr or a disabled plan means
   // no injection. The plan is used as-is — sweeping drivers derive
   // per-sample seeds themselves (derive_sample_plan). Caller keeps the
@@ -123,6 +127,9 @@ struct HwRunResult {
   double wall_seconds = 0.0;
   HwReclaimStats reclaim;
   HwBackoffStats backoff;
+  // Width/overflow accounting from the run's storage policy (the hw twin
+  // of S7's WidthAudit — see core/audit.h: width_audit_from_stats).
+  RegisterWidthStats width;
   FaultStats fault;  // injected-fault decision counters (zero w/o a plan)
   // Decisions recorded by an adversarial FaultStrategy (hw/fault_adversary.h);
   // empty on the inline oblivious path. Embed into FaultPlan::trace to

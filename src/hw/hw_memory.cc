@@ -2,233 +2,16 @@
 
 #include <utility>
 
-#include "hw/backoff.h"
 #include "util/check.h"
 
 namespace llsc {
 
-namespace {
-
-// Retired nodes per batch before a thread pays for an epoch scan. Small
-// enough that peak garbage stays bounded (≤ interval × threads × ~3
-// epochs), large enough to amortize the O(threads) scan.
-constexpr std::uint64_t kScanInterval = 64;
-
-}  // namespace
-
 HwMemory::HwMemory(std::size_t num_registers, int num_threads,
-                   const BackoffOptions& backoff)
-    : regs_(num_registers),
-      backoff_options_(backoff),
-      waiter_(backoff.waiter != nullptr ? backoff.waiter
-                                        : &Waiter::system()) {
-  LLSC_EXPECTS(num_registers >= 1, "need at least one register");
-  LLSC_EXPECTS(num_threads >= 1, "need at least one thread slot");
-  ctxs_.reserve(static_cast<std::size_t>(num_threads));
-  for (int t = 0; t < num_threads; ++t) {
-    auto c = std::make_unique<ThreadCtx>();
-    c->link.assign(num_registers, 0);
-    c->backoff = Backoff(backoff_options_);
-    ctxs_.push_back(std::move(c));
-  }
-  // Registers start as (nil, version 1): a plain nil node per register so
-  // operations never see a null head.
-  for (auto& r : regs_) {
-    r.head.store(new Node{Value{}, 1}, std::memory_order_relaxed);
-  }
-}
+                   const BackoffOptions& backoff, StoragePolicy storage)
+    : storage_(make_register_storage(storage, num_registers, num_threads,
+                                     backoff)) {}
 
-HwMemory::~HwMemory() {
-  // Quiescent teardown: free live heads and everything still retired.
-  for (auto& r : regs_) {
-    delete r.head.load(std::memory_order_relaxed);
-  }
-  for (auto& c : ctxs_) {
-    for (auto& [epoch, node] : c->retired) delete node;
-  }
-}
-
-HwMemory::ThreadCtx& HwMemory::ctx(ProcId p) {
-  LLSC_EXPECTS(p >= 0 && static_cast<std::size_t>(p) < ctxs_.size(),
-               "process id outside this memory's thread slots");
-  return *ctxs_[static_cast<std::size_t>(p)];
-}
-
-std::atomic<HwMemory::Node*>& HwMemory::head(RegId r) {
-  LLSC_EXPECTS(r < regs_.size(),
-               "register id outside this memory's fixed table");
-  return regs_[static_cast<std::size_t>(r)].head;
-}
-
-HwMemory::Node* HwMemory::make_node(ThreadCtx& c, Value v,
-                                    std::uint64_t version) {
-  ++c.allocated;
-  return new Node{std::move(v), version};
-}
-
-void HwMemory::retire(ThreadCtx& c, Node* n) {
-  // Global epochs are monotone, so retirement epochs are non-decreasing
-  // per thread and the freeable nodes always form a deque prefix.
-  c.retired.emplace_back(global_epoch_.load(), n);
-  ++c.retired_count;
-  if (++c.retires_since_scan >= kScanInterval) {
-    c.retires_since_scan = 0;
-    scan_and_reclaim(c);
-  }
-}
-
-void HwMemory::scan_and_reclaim(ThreadCtx& c) {
-  std::uint64_t global = global_epoch_.load();
-  // Advance the global epoch iff every thread is quiescent or already in
-  // the current epoch. A thread stuck in an older critical section blocks
-  // the advance — that is the grace-period guarantee.
-  bool can_advance = true;
-  for (const auto& t : ctxs_) {
-    const std::uint64_t e = t->epoch.load();
-    if (e != 0 && e != global) {
-      can_advance = false;
-      break;
-    }
-  }
-  if (can_advance) {
-    if (global_epoch_.compare_exchange_strong(global, global + 1)) {
-      global = global + 1;
-    } else {
-      global = global_epoch_.load();  // someone else advanced; also fine
-    }
-  }
-  // A node retired in epoch e is untouchable once the global epoch
-  // reaches e + 2: any thread that could hold a reference entered its
-  // critical section at an epoch ≤ e, and both advances past e required
-  // that thread to have exited (observed via acquire loads of its epoch,
-  // which is the happens-before edge making the delete race-free).
-  while (!c.retired.empty() && c.retired.front().first + 2 <= global) {
-    delete c.retired.front().second;
-    c.retired.pop_front();
-    ++c.freed;
-  }
-}
-
-Value HwMemory::ll(ProcId p, RegId r) {
-  ThreadCtx& c = ctx(p);
-  EpochGuard guard(global_epoch_, c);
-  Node* cur = head(r).load(std::memory_order_acquire);
-  c.link[static_cast<std::size_t>(r)] = cur->version;
-  return cur->value;
-}
-
-OpResult HwMemory::sc(ProcId p, RegId r, Value v) {
-  ThreadCtx& c = ctx(p);
-  EpochGuard guard(global_epoch_, c);
-  // The link dies on this SC no matter what (paper: a successful SC
-  // clears the whole Pset including the writer; a failed SC means the
-  // link was already dead).
-  const std::uint64_t linked =
-      std::exchange(c.link[static_cast<std::size_t>(r)], 0);
-  std::atomic<Node*>& h = head(r);
-  Node* cur = h.load(std::memory_order_acquire);
-  if (linked == 0 || cur->version != linked) {
-    return OpResult{.flag = false, .value = cur->value};
-  }
-  Node* fresh = make_node(c, std::move(v), cur->version + 1);
-  if (h.compare_exchange_strong(cur, fresh, std::memory_order_acq_rel,
-                                std::memory_order_acquire)) {
-    Value prev = cur->value;
-    retire(c, cur);
-    // A successful SC changes the head, so installers parked on r can
-    // make progress again.
-    wake_waiters(c, r);
-    return OpResult{.flag = true, .value = std::move(prev)};
-  }
-  // Lost the race: a concurrent write invalidated the link between our
-  // load and the CAS. `cur` was reloaded by the failed CAS and is
-  // protected by our epoch guard, so reporting its value is safe.
-  delete fresh;
-  --c.allocated;
-  return OpResult{.flag = false, .value = cur->value};
-}
-
-OpResult HwMemory::validate(ProcId p, RegId r) {
-  ThreadCtx& c = ctx(p);
-  EpochGuard guard(global_epoch_, c);
-  Node* cur = head(r).load(std::memory_order_acquire);
-  const std::uint64_t linked = c.link[static_cast<std::size_t>(r)];
-  return OpResult{.flag = linked != 0 && cur->version == linked,
-                  .value = cur->value};
-}
-
-Value HwMemory::install(ThreadCtx& c, RegId r, Value v) {
-  std::atomic<Node*>& h = head(r);
-  Node* fresh = make_node(c, std::move(v), 0);
-  Node* cur = h.load(std::memory_order_acquire);
-  ParkSpot& spot = regs_[static_cast<std::size_t>(r)].park;
-  c.backoff.begin_op();
-  for (;;) {
-    fresh->version = cur->version + 1;
-    if (h.compare_exchange_weak(cur, fresh, std::memory_order_acq_rel,
-                                std::memory_order_acquire)) {
-      break;
-    }
-    c.backoff.on_failure(&spot);
-  }
-  c.backoff.on_success();
-  wake_waiters(c, r);
-  Value prev = cur->value;
-  retire(c, cur);
-  return prev;
-}
-
-void HwMemory::wake_waiters(ThreadCtx& c, RegId r) {
-  ParkSpot& spot = regs_[static_cast<std::size_t>(r)].park;
-  if (spot.waiters.load(std::memory_order_seq_cst) == 0) return;
-  spot.seq.fetch_add(1, std::memory_order_seq_cst);
-  waiter_->wake_all(spot.seq);
-  ++c.wakes;
-}
-
-Value HwMemory::swap(ProcId p, RegId r, Value v) {
-  ThreadCtx& c = ctx(p);
-  EpochGuard guard(global_epoch_, c);
-  Value prev = install(c, r, std::move(v));
-  // The install cleared r's Pset; the writer's own link dies with it.
-  c.link[static_cast<std::size_t>(r)] = 0;
-  return prev;
-}
-
-void HwMemory::move(ProcId p, RegId src, RegId dst) {
-  LLSC_EXPECTS(src != dst, "move(R, R) is excluded from the model");
-  ThreadCtx& c = ctx(p);
-  EpochGuard guard(global_epoch_, c);
-  // Two linearization points (read src, install into dst) where the
-  // paper's move is one step — see docs/hw_backend.md §relaxations.
-  Value v = head(src).load(std::memory_order_acquire)->value;
-  (void)install(c, dst, std::move(v));
-  c.link[static_cast<std::size_t>(dst)] = 0;
-}
-
-Value HwMemory::rmw(ProcId p, RegId r, const RmwFunction& f) {
-  ThreadCtx& c = ctx(p);
-  EpochGuard guard(global_epoch_, c);
-  std::atomic<Node*>& h = head(r);
-  ParkSpot& spot = regs_[static_cast<std::size_t>(r)].park;
-  c.backoff.begin_op();
-  for (;;) {
-    Node* cur = h.load(std::memory_order_acquire);
-    Node* fresh = make_node(c, f.apply(cur->value), cur->version + 1);
-    if (h.compare_exchange_strong(cur, fresh, std::memory_order_acq_rel,
-                                  std::memory_order_acquire)) {
-      c.backoff.on_success();
-      wake_waiters(c, r);
-      Value prev = cur->value;
-      retire(c, cur);
-      c.link[static_cast<std::size_t>(r)] = 0;
-      return prev;
-    }
-    delete fresh;
-    --c.allocated;
-    c.backoff.on_failure(&spot);
-  }
-}
+HwMemory::~HwMemory() = default;
 
 OpResult HwMemory::apply(ProcId p, const PendingOp& op) {
   switch (op.kind) {
@@ -248,50 +31,6 @@ OpResult HwMemory::apply(ProcId p, const PendingOp& op) {
       return OpResult{.flag = true, .value = rmw(p, op.reg, *op.rmw)};
   }
   LLSC_UNREACHABLE("bad OpKind");
-}
-
-Value HwMemory::peek_value(RegId r) const {
-  return regs_[static_cast<std::size_t>(r)]
-      .head.load(std::memory_order_acquire)
-      ->value;
-}
-
-std::uint64_t HwMemory::peek_version(RegId r) const {
-  return regs_[static_cast<std::size_t>(r)]
-      .head.load(std::memory_order_acquire)
-      ->version;
-}
-
-bool HwMemory::peek_link_live(RegId r, ProcId p) const {
-  const ThreadCtx& c = *ctxs_[static_cast<std::size_t>(p)];
-  const std::uint64_t linked = c.link[static_cast<std::size_t>(r)];
-  return linked != 0 && peek_version(r) == linked;
-}
-
-HwReclaimStats HwMemory::reclaim_stats() const {
-  HwReclaimStats s;
-  s.global_epoch = global_epoch_.load();
-  for (const auto& c : ctxs_) {
-    s.nodes_allocated += c->allocated;
-    s.nodes_retired += c->retired_count;
-    s.nodes_freed += c->freed;
-  }
-  return s;
-}
-
-HwBackoffStats HwMemory::backoff_stats() const {
-  HwBackoffStats s;
-  s.policy = backoff_options_.policy;
-  for (const auto& c : ctxs_) {
-    const BackoffStats& b = c->backoff.stats();
-    s.cas_failures += b.cas_failures;
-    s.cas_successes += b.cas_successes;
-    s.spin_pauses += b.spin_pauses;
-    s.yields += b.yields;
-    s.parks += b.parks;
-    s.wakes += c->wakes;
-  }
-  return s;
 }
 
 }  // namespace llsc

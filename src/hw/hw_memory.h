@@ -1,39 +1,36 @@
 // HwMemory — a lock-free multi-threaded emulation of the paper's
-// LL/SC/VL/swap/move shared memory over pointer-width CAS.
+// LL/SC/VL/swap/move shared memory, behind a register-storage policy seam.
 //
 // Real hardware does not expose the paper's operations; following the
 // CAS-from-LL/SC literature (Blelloch & Wei, "LL/SC and Atomic Copy:
 // Constant Time, Space Efficient Implementations using only pointer-width
 // CAS" — see PAPERS.md and docs/hw_backend.md for where we simplify), each
-// register is a single `std::atomic<Node*>` head pointer. A Node is an
-// immutable (value, version) pair; every successful write installs a fresh
-// node whose version is its predecessor's plus one, so versions of a
-// register strictly increase and are never reused.
+// register is a single 64-bit atomic word. *What that word holds* is the
+// storage policy (hw/register_storage.h, memory/storage_policy.h):
 //
-//   LL(p, r)   : load head; record its version as p's link for r; return
-//                the value.
-//   SC(p, r, v): succeeds iff head still carries p's linked version AND
-//                the pointer CAS from that node succeeds — i.e. iff no
+//   kBoxed (default) — the word is a pointer to an immutable heap
+//       Node{value, version}; every successful write installs a fresh node
+//       with version + 1 and replaced nodes go through three-epoch
+//       reclamation. Values are unbounded, exactly the paper's model.
+//   kInline / kInlineStrict — the word *is* the value while it fits
+//       (16-bit version tag + 47-bit payload), Section 7's bounded-register
+//       regime: writes are a single CAS with no allocation. Overflow
+//       demotes that register to boxing (kInline) or throws
+//       RegisterOverflowError (kInlineStrict).
+//
+//   LL(p, r)   : load the word; record the link it asserts; return the
+//                value.
+//   SC(p, r, v): succeeds iff the register still asserts p's link AND the
+//                CAS from that exact word succeeds — i.e. iff no
 //                successful SC/swap/move hit r since p's LL, exactly the
 //                paper's Pset semantics (a successful write invalidates
 //                every outstanding link, including the writer's own).
-//   VL(p, r)   : link-valid flag (current version == linked version) plus
-//                the current value; no state change.
+//   VL(p, r)   : link-valid flag plus the current value; no state change.
 //   swap/move  : unconditional install via a CAS retry loop with bounded
 //                exponential backoff (lock-free; in the paper's model they
 //                are single steps — see docs/hw_backend.md §relaxations).
 //   RMW(p,r,f) : atomic read-modify-write via the same retry loop
 //                (the Section 7 strong operation).
-//
-// ABA safety and reclamation. SC's pointer CAS is sound because a node
-// can neither be re-linked (writes install fresh allocations only) nor
-// freed-and-reused while any thread might still dereference it: replaced
-// nodes are retired into the unlinking thread's list and freed by
-// epoch-based reclamation (three-epoch scheme, see docs/hw_backend.md)
-// only two global epochs after retirement. Link validity itself needs no
-// protection at all — a link is a version NUMBER, not a pointer, and
-// versions are never reused. Per-thread contexts and register heads are
-// cache-line padded; heavy writers back off exponentially.
 //
 // Thread contract: operations for process p must all be issued by the one
 // thread running p (the HwExecutor guarantees this). Different processes'
@@ -42,154 +39,69 @@
 #ifndef LLSC_HW_HW_MEMORY_H_
 #define LLSC_HW_HW_MEMORY_H_
 
-#include <atomic>
-#include <cstdint>
-#include <deque>
 #include <memory>
-#include <vector>
 
 #include "hw/backoff.h"
+#include "hw/register_storage.h"
 #include "memory/op.h"
 #include "memory/rmw.h"
+#include "memory/storage_policy.h"
 #include "memory/value.h"
 
 namespace llsc {
-
-inline constexpr std::size_t kCacheLineBytes = 64;
-
-// Reclamation counters (approximate totals aggregated over threads; read
-// when quiescent).
-struct HwReclaimStats {
-  std::uint64_t nodes_allocated = 0;
-  std::uint64_t nodes_retired = 0;
-  std::uint64_t nodes_freed = 0;
-  std::uint64_t global_epoch = 0;
-};
-
-// Backoff counters aggregated over threads (read when quiescent), plus
-// the wake side of the parking tier, which is charged to the writer
-// thread that issued the wake.
-struct HwBackoffStats {
-  BackoffPolicy policy = BackoffPolicy::kFixed;
-  std::uint64_t cas_failures = 0;
-  std::uint64_t cas_successes = 0;
-  std::uint64_t spin_pauses = 0;
-  std::uint64_t yields = 0;
-  std::uint64_t parks = 0;
-  std::uint64_t wakes = 0;
-
-  double failure_rate() const {
-    const std::uint64_t attempts = cas_failures + cas_successes;
-    return attempts == 0
-               ? 0.0
-               : static_cast<double>(cas_failures) /
-                     static_cast<double>(attempts);
-  }
-};
 
 class HwMemory {
  public:
   // A fixed table of `num_registers` registers (the simulator's lazy
   // "infinite" array would need a concurrent map; algorithms declare their
   // span up front) serving threads/processes [0, num_threads). `backoff`
-  // selects the retry-loop policy for every contended CAS site.
+  // selects the retry-loop policy for every contended CAS site; `storage`
+  // the register representation (default: the LLSC_STORAGE_POLICY
+  // environment variable, else boxed).
   HwMemory(std::size_t num_registers, int num_threads,
-           const BackoffOptions& backoff = {});
+           const BackoffOptions& backoff = {},
+           StoragePolicy storage = default_storage_policy());
   ~HwMemory();
   HwMemory(const HwMemory&) = delete;
   HwMemory& operator=(const HwMemory&) = delete;
 
   // The paper's five operations plus the optional Section 7 RMW; `p` is
   // the invoking process == the invoking thread's slot.
-  Value ll(ProcId p, RegId r);
-  OpResult sc(ProcId p, RegId r, Value v);
-  OpResult validate(ProcId p, RegId r);
-  Value swap(ProcId p, RegId r, Value v);
-  void move(ProcId p, RegId src, RegId dst);
-  Value rmw(ProcId p, RegId r, const RmwFunction& f);
+  Value ll(ProcId p, RegId r) { return storage_->ll(p, r); }
+  OpResult sc(ProcId p, RegId r, Value v) {
+    return storage_->sc(p, r, std::move(v));
+  }
+  OpResult validate(ProcId p, RegId r) { return storage_->validate(p, r); }
+  Value swap(ProcId p, RegId r, Value v) {
+    return storage_->swap(p, r, std::move(v));
+  }
+  void move(ProcId p, RegId src, RegId dst) { storage_->move(p, src, dst); }
+  Value rmw(ProcId p, RegId r, const RmwFunction& f) {
+    return storage_->rmw(p, r, f);
+  }
 
   // Uniform entry point mirroring SharedMemory::apply (this is what the
   // HwPlatform routes Process steps through).
   OpResult apply(ProcId p, const PendingOp& op);
 
-  std::size_t num_registers() const { return regs_.size(); }
-  int num_threads() const { return static_cast<int>(ctxs_.size()); }
+  std::size_t num_registers() const { return storage_->num_registers(); }
+  int num_threads() const { return storage_->num_threads(); }
+  StoragePolicy storage_policy() const { return storage_->policy(); }
 
   // --- quiescent observation (tests / post-run accounting only) ---
-  Value peek_value(RegId r) const;
-  std::uint64_t peek_version(RegId r) const;
-  bool peek_link_live(RegId r, ProcId p) const;
-  HwReclaimStats reclaim_stats() const;
-  HwBackoffStats backoff_stats() const;
+  Value peek_value(RegId r) const { return storage_->peek_value(r); }
+  std::uint64_t peek_version(RegId r) const {
+    return storage_->peek_version(r);
+  }
+  bool peek_link_live(RegId r, ProcId p) const {
+    return storage_->peek_link_live(r, p);
+  }
+  HwReclaimStats reclaim_stats() const { return storage_->reclaim_stats(); }
+  HwBackoffStats backoff_stats() const { return storage_->backoff_stats(); }
+  RegisterWidthStats width_stats() const { return storage_->width_stats(); }
 
  private:
-  // Immutable once published; `version` strictly increases per register
-  // starting from 1 (so link 0 means "no live link").
-  struct Node {
-    Value value;
-    std::uint64_t version = 1;
-  };
-
-  struct alignas(kCacheLineBytes) PaddedHead {
-    std::atomic<Node*> head{nullptr};
-    // Park rendezvous for the adaptive+parking backoff tier; shares the
-    // head's (already-padded) line, which the waking writer just owned.
-    ParkSpot park;
-  };
-
-  struct alignas(kCacheLineBytes) ThreadCtx {
-    // 0 = quiescent; otherwise the global epoch observed at critical-
-    // section entry. Written only by the owning thread; read by everyone.
-    std::atomic<std::uint64_t> epoch{0};
-    // Linked version per register (owner-thread private).
-    std::vector<std::uint64_t> link;
-    // Retired nodes with their retirement epoch; epochs are non-decreasing
-    // in deque order, so the freeable nodes form a prefix.
-    std::deque<std::pair<std::uint64_t, Node*>> retired;
-    std::uint64_t retires_since_scan = 0;
-    std::uint64_t allocated = 0;
-    std::uint64_t retired_count = 0;
-    std::uint64_t freed = 0;
-    // Retry-loop backoff state and counters (owner-thread private).
-    Backoff backoff;
-    std::uint64_t wakes = 0;
-  };
-
-  // RAII epoch critical section: dereferencing head-loaded nodes is safe
-  // only between construction and destruction.
-  class EpochGuard {
-   public:
-    EpochGuard(const std::atomic<std::uint64_t>& global, ThreadCtx& ctx)
-        : ctx_(ctx) {
-      ctx_.epoch.store(global.load());
-    }
-    ~EpochGuard() { ctx_.epoch.store(0); }
-    EpochGuard(const EpochGuard&) = delete;
-    EpochGuard& operator=(const EpochGuard&) = delete;
-
-   private:
-    ThreadCtx& ctx_;
-  };
-
-  ThreadCtx& ctx(ProcId p);
-  std::atomic<Node*>& head(RegId r);
-  Node* make_node(ThreadCtx& c, Value v, std::uint64_t version);
-  void retire(ThreadCtx& c, Node* n);
-  // Attempt a global-epoch advance, then free this thread's retired
-  // prefix that is two epochs stale.
-  void scan_and_reclaim(ThreadCtx& c);
-  // Unconditional install of `v` into r with a version bump (swap/move
-  // tail); returns the replaced value.
-  Value install(ThreadCtx& c, RegId r, Value v);
-  // Wake threads parked on r's ParkSpot after a successful write (no-op
-  // unless someone is registered as a waiter).
-  void wake_waiters(ThreadCtx& c, RegId r);
-
-  std::vector<PaddedHead> regs_;
-  std::vector<std::unique_ptr<ThreadCtx>> ctxs_;
-  BackoffOptions backoff_options_;
-  Waiter* waiter_;
-  alignas(kCacheLineBytes) std::atomic<std::uint64_t> global_epoch_{1};
+  std::unique_ptr<RegisterStorage> storage_;
 };
 
 }  // namespace llsc

@@ -70,7 +70,7 @@ ParallelMcResult estimate_expected_complexity_parallel(
       if (inject) sample_plan = derive_sample_plan(*options.fault, toss_seed);
       outcomes[static_cast<std::size_t>(i)] =
           run_mc_sample(algo, n, toss_seed, adversary,
-                        inject ? &sample_plan : nullptr);
+                        inject ? &sample_plan : nullptr, options.storage);
       ++stats.samples_run;
     }
     stats.wall_seconds =
@@ -165,6 +165,10 @@ ParallelMcResult estimate_expected_complexity_parallel(
       artifact.max_rounds = adversary.max_rounds;
       artifact.status = o.status;
       artifact.proc_ops = o.proc_ops;
+      artifact.storage = o.width.policy;
+      artifact.overflow_events = o.width.overflow_events;
+      artifact.max_bits = o.width.max_bits;
+      artifact.boxed_fallback_registers = o.width.boxed_fallback_registers;
       if (inject) {
         artifact.plan = derive_sample_plan(*options.fault,
                                            artifact.toss_seed);

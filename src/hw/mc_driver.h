@@ -43,6 +43,10 @@ struct McRunOptions {
   // count); 1 degenerates to the serial driver on this thread.
   int num_workers = 0;
   AdversaryOptions adversary;
+  // Register-storage policy threaded to every sample's run_mc_sample —
+  // the serial estimator's trailing parameter, so parity holds under
+  // kInline/kInlineStrict exactly as it does under kBoxed.
+  StoragePolicy storage = default_storage_policy();
   // Fault plan for the sweep (hw/fault.h); per-sample schedules are
   // derived from it with derive_sample_plan(plan, toss_seed) — exactly as
   // the serial estimator does, so parity is preserved under injection.

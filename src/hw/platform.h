@@ -24,6 +24,13 @@
 // platforms (outcome(p, j) is a pure function of the seed), so a run's
 // toss outcomes are reproducible across platforms and across repeated
 // hw runs — only the interleaving of shared-memory steps varies.
+//
+// Register storage is a second seam below this one
+// (memory/storage_policy.h): both substrates honour the same
+// boxed/inline policy choice — HwMemory by swapping its RegisterStorage
+// backend (hw/register_storage.h), SharedMemory by mirroring the width /
+// overflow accounting — so a policy can be compared across platforms
+// without touching algorithm code.
 #ifndef LLSC_HW_PLATFORM_H_
 #define LLSC_HW_PLATFORM_H_
 

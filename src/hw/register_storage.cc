@@ -1,0 +1,558 @@
+#include "hw/register_storage.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace llsc {
+
+namespace {
+
+// Retired nodes per batch before a thread pays for an epoch scan. Small
+// enough that peak garbage stays bounded (≤ interval × threads × ~3
+// epochs), large enough to amortize the O(threads) scan.
+constexpr std::uint64_t kScanInterval = 64;
+
+}  // namespace
+
+RegisterStorage::RegisterStorage(std::size_t num_registers, int num_threads,
+                                 const BackoffOptions& backoff)
+    : regs_(num_registers),
+      backoff_options_(backoff),
+      waiter_(backoff.waiter != nullptr ? backoff.waiter
+                                        : &Waiter::system()) {
+  // A Node* must leave bit 0 clear for the inline-word discriminator.
+  static_assert(alignof(Node) >= 2);
+  LLSC_EXPECTS(num_registers >= 1, "need at least one register");
+  LLSC_EXPECTS(num_threads >= 1, "need at least one thread slot");
+  ctxs_.reserve(static_cast<std::size_t>(num_threads));
+  for (int t = 0; t < num_threads; ++t) {
+    auto c = std::make_unique<ThreadCtx>();
+    c->link.assign(num_registers, 0);
+    c->backoff = Backoff(backoff_options_);
+    ctxs_.push_back(std::move(c));
+  }
+}
+
+RegisterStorage::~RegisterStorage() {
+  // Quiescent teardown: free live boxed heads and everything still retired.
+  for (auto& r : regs_) {
+    const std::uint64_t w = r.word.load(std::memory_order_relaxed);
+    if (w != 0 && is_node_word(w)) delete as_node(w);
+  }
+  for (auto& c : ctxs_) {
+    for (auto& [epoch, node] : c->retired) delete node;
+  }
+}
+
+RegisterStorage::ThreadCtx& RegisterStorage::ctx(ProcId p) {
+  LLSC_EXPECTS(p >= 0 && static_cast<std::size_t>(p) < ctxs_.size(),
+               "process id outside this memory's thread slots");
+  return *ctxs_[static_cast<std::size_t>(p)];
+}
+
+std::atomic<std::uint64_t>& RegisterStorage::word(RegId r) {
+  LLSC_EXPECTS(r < regs_.size(),
+               "register id outside this memory's fixed table");
+  return regs_[static_cast<std::size_t>(r)].word;
+}
+
+const std::atomic<std::uint64_t>& RegisterStorage::word(RegId r) const {
+  LLSC_EXPECTS(r < regs_.size(),
+               "register id outside this memory's fixed table");
+  return regs_[static_cast<std::size_t>(r)].word;
+}
+
+RegisterStorage::Node* RegisterStorage::make_node(ThreadCtx& c, Value v,
+                                                  std::uint64_t version) {
+  ++c.allocated;
+  return new Node{std::move(v), version};
+}
+
+void RegisterStorage::retire(ThreadCtx& c, Node* n) {
+  // Global epochs are monotone, so retirement epochs are non-decreasing
+  // per thread and the freeable nodes always form a deque prefix.
+  c.retired.emplace_back(global_epoch_.load(), n);
+  ++c.retired_count;
+  if (++c.retires_since_scan >= kScanInterval) {
+    c.retires_since_scan = 0;
+    scan_and_reclaim(c);
+  }
+}
+
+void RegisterStorage::scan_and_reclaim(ThreadCtx& c) {
+  std::uint64_t global = global_epoch_.load();
+  // Advance the global epoch iff every thread is quiescent or already in
+  // the current epoch. A thread stuck in an older critical section blocks
+  // the advance — that is the grace-period guarantee.
+  bool can_advance = true;
+  for (const auto& t : ctxs_) {
+    const std::uint64_t e = t->epoch.load();
+    if (e != 0 && e != global) {
+      can_advance = false;
+      break;
+    }
+  }
+  if (can_advance) {
+    if (global_epoch_.compare_exchange_strong(global, global + 1)) {
+      global = global + 1;
+    } else {
+      global = global_epoch_.load();  // someone else advanced; also fine
+    }
+  }
+  // A node retired in epoch e is untouchable once the global epoch
+  // reaches e + 2: any thread that could hold a reference entered its
+  // critical section at an epoch ≤ e, and both advances past e required
+  // that thread to have exited (observed via acquire loads of its epoch,
+  // which is the happens-before edge making the delete race-free).
+  while (!c.retired.empty() && c.retired.front().first + 2 <= global) {
+    delete c.retired.front().second;
+    c.retired.pop_front();
+    ++c.freed;
+  }
+}
+
+void RegisterStorage::wake_waiters(ThreadCtx& c, RegId r) {
+  ParkSpot& spot = regs_[static_cast<std::size_t>(r)].park;
+  if (spot.waiters.load(std::memory_order_seq_cst) == 0) return;
+  spot.seq.fetch_add(1, std::memory_order_seq_cst);
+  waiter_->wake_all(spot.seq);
+  ++c.wakes;
+}
+
+void RegisterStorage::note_install(ThreadCtx& c, const Value& v,
+                                   bool inline_install) {
+  ++c.writes_inspected;
+  const std::size_t bits = v.encoded_bits();
+  if (bits > c.max_bits) c.max_bits = bits;
+  if (inline_install) {
+    ++c.inline_installs;
+  } else {
+    ++c.boxed_installs;
+  }
+}
+
+bool RegisterStorage::peek_link_live(RegId r, ProcId p) const {
+  const ThreadCtx& c = *ctxs_[static_cast<std::size_t>(p)];
+  const std::uint64_t linked = c.link[static_cast<std::size_t>(r)];
+  return linked != 0 && peek_version(r) == linked;
+}
+
+HwReclaimStats RegisterStorage::reclaim_stats() const {
+  HwReclaimStats s;
+  s.global_epoch = global_epoch_.load();
+  for (const auto& c : ctxs_) {
+    s.nodes_allocated += c->allocated;
+    s.nodes_retired += c->retired_count;
+    s.nodes_freed += c->freed;
+  }
+  return s;
+}
+
+HwBackoffStats RegisterStorage::backoff_stats() const {
+  HwBackoffStats s;
+  s.policy = backoff_options_.policy;
+  for (const auto& c : ctxs_) {
+    const BackoffStats& b = c->backoff.stats();
+    s.cas_failures += b.cas_failures;
+    s.cas_successes += b.cas_successes;
+    s.spin_pauses += b.spin_pauses;
+    s.yields += b.yields;
+    s.parks += b.parks;
+    s.wakes += c->wakes;
+  }
+  return s;
+}
+
+RegisterWidthStats RegisterStorage::width_stats() const {
+  RegisterWidthStats s;
+  s.policy = policy();
+  for (const auto& c : ctxs_) {
+    s.writes_inspected += c->writes_inspected;
+    if (c->max_bits > s.max_bits) s.max_bits = c->max_bits;
+    s.overflow_events += c->overflow_events;
+    s.inline_installs += c->inline_installs;
+    s.boxed_installs += c->boxed_installs;
+  }
+  return s;
+}
+
+// --- BoxedStorage --------------------------------------------------------
+
+BoxedStorage::BoxedStorage(std::size_t num_registers, int num_threads,
+                           const BackoffOptions& backoff)
+    : RegisterStorage(num_registers, num_threads, backoff) {
+  // Registers start as (nil, version 1): a plain nil node per register so
+  // operations never see a null head. Initial nodes are not charged to any
+  // thread's allocation counter (they predate all operations).
+  for (auto& r : regs_) {
+    r.word.store(from_node(new Node{Value{}, 1}), std::memory_order_relaxed);
+  }
+}
+
+Value BoxedStorage::ll(ProcId p, RegId r) {
+  ThreadCtx& c = ctx(p);
+  EpochGuard guard(global_epoch_, c);
+  Node* cur = as_node(word(r).load(std::memory_order_acquire));
+  c.link[static_cast<std::size_t>(r)] = cur->version;
+  return cur->value;
+}
+
+OpResult BoxedStorage::sc(ProcId p, RegId r, Value v) {
+  ThreadCtx& c = ctx(p);
+  EpochGuard guard(global_epoch_, c);
+  // The link dies on this SC no matter what (paper: a successful SC
+  // clears the whole Pset including the writer; a failed SC means the
+  // link was already dead).
+  const std::uint64_t linked =
+      std::exchange(c.link[static_cast<std::size_t>(r)], 0);
+  std::atomic<std::uint64_t>& h = word(r);
+  std::uint64_t curw = h.load(std::memory_order_acquire);
+  Node* cur = as_node(curw);
+  if (linked == 0 || cur->version != linked) {
+    return OpResult{.flag = false, .value = cur->value};
+  }
+  Node* fresh = make_node(c, std::move(v), cur->version + 1);
+  if (h.compare_exchange_strong(curw, from_node(fresh),
+                                std::memory_order_acq_rel,
+                                std::memory_order_acquire)) {
+    Value prev = cur->value;
+    retire(c, cur);
+    // A successful SC changes the head, so installers parked on r can
+    // make progress again.
+    wake_waiters(c, r);
+    note_install(c, fresh->value, /*inline_install=*/false);
+    return OpResult{.flag = true, .value = std::move(prev)};
+  }
+  // Lost the race: a concurrent write invalidated the link between our
+  // load and the CAS. `curw` was reloaded by the failed CAS and its node
+  // is protected by our epoch guard, so reporting its value is safe.
+  delete fresh;
+  --c.allocated;
+  return OpResult{.flag = false, .value = as_node(curw)->value};
+}
+
+OpResult BoxedStorage::validate(ProcId p, RegId r) {
+  ThreadCtx& c = ctx(p);
+  EpochGuard guard(global_epoch_, c);
+  Node* cur = as_node(word(r).load(std::memory_order_acquire));
+  const std::uint64_t linked = c.link[static_cast<std::size_t>(r)];
+  return OpResult{.flag = linked != 0 && cur->version == linked,
+                  .value = cur->value};
+}
+
+Value BoxedStorage::install(ThreadCtx& c, RegId r, Value v) {
+  std::atomic<std::uint64_t>& h = word(r);
+  Node* fresh = make_node(c, std::move(v), 0);
+  std::uint64_t curw = h.load(std::memory_order_acquire);
+  ParkSpot& spot = regs_[static_cast<std::size_t>(r)].park;
+  c.backoff.begin_op();
+  for (;;) {
+    fresh->version = as_node(curw)->version + 1;
+    if (h.compare_exchange_weak(curw, from_node(fresh),
+                                std::memory_order_acq_rel,
+                                std::memory_order_acquire)) {
+      break;
+    }
+    c.backoff.on_failure(&spot);
+  }
+  c.backoff.on_success();
+  wake_waiters(c, r);
+  Node* cur = as_node(curw);
+  Value prev = cur->value;
+  retire(c, cur);
+  note_install(c, fresh->value, /*inline_install=*/false);
+  return prev;
+}
+
+Value BoxedStorage::swap(ProcId p, RegId r, Value v) {
+  ThreadCtx& c = ctx(p);
+  EpochGuard guard(global_epoch_, c);
+  Value prev = install(c, r, std::move(v));
+  // The install cleared r's Pset; the writer's own link dies with it.
+  c.link[static_cast<std::size_t>(r)] = 0;
+  return prev;
+}
+
+void BoxedStorage::move(ProcId p, RegId src, RegId dst) {
+  LLSC_EXPECTS(src != dst, "move(R, R) is excluded from the model");
+  ThreadCtx& c = ctx(p);
+  EpochGuard guard(global_epoch_, c);
+  // Two linearization points (read src, install into dst) where the
+  // paper's move is one step — see docs/hw_backend.md §relaxations.
+  Value v = as_node(word(src).load(std::memory_order_acquire))->value;
+  (void)install(c, dst, std::move(v));
+  c.link[static_cast<std::size_t>(dst)] = 0;
+}
+
+Value BoxedStorage::rmw(ProcId p, RegId r, const RmwFunction& f) {
+  ThreadCtx& c = ctx(p);
+  EpochGuard guard(global_epoch_, c);
+  std::atomic<std::uint64_t>& h = word(r);
+  ParkSpot& spot = regs_[static_cast<std::size_t>(r)].park;
+  c.backoff.begin_op();
+  for (;;) {
+    std::uint64_t curw = h.load(std::memory_order_acquire);
+    Node* cur = as_node(curw);
+    Node* fresh = make_node(c, f.apply(cur->value), cur->version + 1);
+    if (h.compare_exchange_strong(curw, from_node(fresh),
+                                  std::memory_order_acq_rel,
+                                  std::memory_order_acquire)) {
+      c.backoff.on_success();
+      wake_waiters(c, r);
+      Value prev = cur->value;
+      retire(c, cur);
+      note_install(c, fresh->value, /*inline_install=*/false);
+      c.link[static_cast<std::size_t>(r)] = 0;
+      return prev;
+    }
+    delete fresh;
+    --c.allocated;
+    c.backoff.on_failure(&spot);
+  }
+}
+
+Value BoxedStorage::peek_value(RegId r) const {
+  return as_node(word(r).load(std::memory_order_acquire))->value;
+}
+
+std::uint64_t BoxedStorage::peek_version(RegId r) const {
+  return as_node(word(r).load(std::memory_order_acquire))->version;
+}
+
+// --- InlineStorage -------------------------------------------------------
+
+InlineStorage::InlineStorage(std::size_t num_registers, int num_threads,
+                             const BackoffOptions& backoff, bool strict)
+    : RegisterStorage(num_registers, num_threads, backoff), strict_(strict) {
+  // Registers start as inline (nil, tag 1) — no allocation at all until a
+  // value overflows the word.
+  const std::uint64_t nil_word = encode_inline(Value{}, 1);
+  for (auto& r : regs_) {
+    r.word.store(nil_word, std::memory_order_relaxed);
+  }
+}
+
+void InlineStorage::throw_overflow(RegId r, const Value& v) const {
+  throw RegisterOverflowError(
+      "register " + std::to_string(r) + ": value " + v.to_string() +
+      " does not fit in a 64-bit inline register word (strict policy)");
+}
+
+Value InlineStorage::ll(ProcId p, RegId r) {
+  ThreadCtx& c = ctx(p);
+  EpochGuard guard(global_epoch_, c);
+  const std::uint64_t cur = word(r).load(std::memory_order_acquire);
+  c.link[static_cast<std::size_t>(r)] = link_of(cur);
+  return value_of(cur);
+}
+
+OpResult InlineStorage::sc(ProcId p, RegId r, Value v) {
+  ThreadCtx& c = ctx(p);
+  EpochGuard guard(global_epoch_, c);
+  const std::uint64_t linked =
+      std::exchange(c.link[static_cast<std::size_t>(r)], 0);
+  std::atomic<std::uint64_t>& h = word(r);
+  std::uint64_t cur = h.load(std::memory_order_acquire);
+  if (linked == 0 || link_of(cur) != linked) {
+    return OpResult{.flag = false, .value = value_of(cur)};
+  }
+  const bool fits = value_fits_inline(v);
+  if (!is_node_word(cur) && fits) {
+    // The pure bounded-register path: one CAS, no allocation.
+    const std::uint64_t fresh =
+        encode_inline(v, next_inline_tag(inline_tag(cur)));
+    if (h.compare_exchange_strong(cur, fresh, std::memory_order_acq_rel,
+                                  std::memory_order_acquire)) {
+      Value prev = decode_inline(cur);
+      wake_waiters(c, r);
+      note_install(c, v, /*inline_install=*/true);
+      return OpResult{.flag = true, .value = std::move(prev)};
+    }
+    return OpResult{.flag = false, .value = value_of(cur)};
+  }
+  if (!fits && strict_) throw_overflow(r, v);
+  // Demote the register (first even-version node) or replace the node of
+  // an already-demoted one.
+  Node* fresh = make_node(
+      c, std::move(v), is_node_word(cur) ? as_node(cur)->version + 2 : 2);
+  if (h.compare_exchange_strong(cur, from_node(fresh),
+                                std::memory_order_acq_rel,
+                                std::memory_order_acquire)) {
+    Value prev;
+    if (is_node_word(cur)) {
+      prev = as_node(cur)->value;
+      retire(c, as_node(cur));
+    } else {
+      prev = decode_inline(cur);
+    }
+    wake_waiters(c, r);
+    if (!fits) ++c.overflow_events;
+    note_install(c, fresh->value, /*inline_install=*/false);
+    return OpResult{.flag = true, .value = std::move(prev)};
+  }
+  delete fresh;
+  --c.allocated;
+  return OpResult{.flag = false, .value = value_of(cur)};
+}
+
+OpResult InlineStorage::validate(ProcId p, RegId r) {
+  ThreadCtx& c = ctx(p);
+  EpochGuard guard(global_epoch_, c);
+  const std::uint64_t cur = word(r).load(std::memory_order_acquire);
+  const std::uint64_t linked = c.link[static_cast<std::size_t>(r)];
+  return OpResult{.flag = linked != 0 && link_of(cur) == linked,
+                  .value = value_of(cur)};
+}
+
+Value InlineStorage::install(ThreadCtx& c, RegId r, const Value& v) {
+  const bool fits = value_fits_inline(v);
+  if (!fits && strict_) throw_overflow(r, v);
+  std::atomic<std::uint64_t>& h = word(r);
+  ParkSpot& spot = regs_[static_cast<std::size_t>(r)].park;
+  Node* fresh = nullptr;  // allocated lazily, only for the node path
+  std::uint64_t cur = h.load(std::memory_order_acquire);
+  c.backoff.begin_op();
+  Value prev;
+  bool inline_install = false;
+  for (;;) {
+    if (!is_node_word(cur) && fits) {
+      const std::uint64_t next =
+          encode_inline(v, next_inline_tag(inline_tag(cur)));
+      if (h.compare_exchange_weak(cur, next, std::memory_order_acq_rel,
+                                  std::memory_order_acquire)) {
+        prev = decode_inline(cur);
+        inline_install = true;
+        break;
+      }
+    } else {
+      if (fresh == nullptr) fresh = make_node(c, v, 0);
+      fresh->version = is_node_word(cur) ? as_node(cur)->version + 2 : 2;
+      if (h.compare_exchange_weak(cur, from_node(fresh),
+                                  std::memory_order_acq_rel,
+                                  std::memory_order_acquire)) {
+        if (is_node_word(cur)) {
+          prev = as_node(cur)->value;
+          retire(c, as_node(cur));
+        } else {
+          prev = decode_inline(cur);
+        }
+        fresh = nullptr;  // the register owns it now
+        break;
+      }
+    }
+    c.backoff.on_failure(&spot);
+  }
+  if (fresh != nullptr) {  // defensive: allocated but won another path
+    delete fresh;
+    --c.allocated;
+  }
+  c.backoff.on_success();
+  wake_waiters(c, r);
+  if (!fits) ++c.overflow_events;
+  note_install(c, v, inline_install);
+  return prev;
+}
+
+Value InlineStorage::swap(ProcId p, RegId r, Value v) {
+  ThreadCtx& c = ctx(p);
+  EpochGuard guard(global_epoch_, c);
+  Value prev = install(c, r, v);
+  c.link[static_cast<std::size_t>(r)] = 0;
+  return prev;
+}
+
+void InlineStorage::move(ProcId p, RegId src, RegId dst) {
+  LLSC_EXPECTS(src != dst, "move(R, R) is excluded from the model");
+  ThreadCtx& c = ctx(p);
+  EpochGuard guard(global_epoch_, c);
+  Value v = value_of(word(src).load(std::memory_order_acquire));
+  (void)install(c, dst, v);
+  c.link[static_cast<std::size_t>(dst)] = 0;
+}
+
+Value InlineStorage::rmw(ProcId p, RegId r, const RmwFunction& f) {
+  ThreadCtx& c = ctx(p);
+  EpochGuard guard(global_epoch_, c);
+  std::atomic<std::uint64_t>& h = word(r);
+  ParkSpot& spot = regs_[static_cast<std::size_t>(r)].park;
+  c.backoff.begin_op();
+  std::uint64_t cur = h.load(std::memory_order_acquire);
+  for (;;) {
+    Value curv = value_of(cur);
+    Value next = f.apply(curv);
+    const bool fits = value_fits_inline(next);
+    if (!is_node_word(cur) && fits) {
+      const std::uint64_t nw =
+          encode_inline(next, next_inline_tag(inline_tag(cur)));
+      if (h.compare_exchange_strong(cur, nw, std::memory_order_acq_rel,
+                                    std::memory_order_acquire)) {
+        c.backoff.on_success();
+        wake_waiters(c, r);
+        note_install(c, next, /*inline_install=*/true);
+        c.link[static_cast<std::size_t>(r)] = 0;
+        return curv;
+      }
+      c.backoff.on_failure(&spot);
+      continue;
+    }
+    if (!fits && strict_) throw_overflow(r, next);
+    Node* fresh = make_node(
+        c, std::move(next),
+        is_node_word(cur) ? as_node(cur)->version + 2 : 2);
+    if (h.compare_exchange_strong(cur, from_node(fresh),
+                                  std::memory_order_acq_rel,
+                                  std::memory_order_acquire)) {
+      c.backoff.on_success();
+      wake_waiters(c, r);
+      if (is_node_word(cur)) retire(c, as_node(cur));
+      if (!fits) ++c.overflow_events;
+      note_install(c, fresh->value, /*inline_install=*/false);
+      c.link[static_cast<std::size_t>(r)] = 0;
+      return curv;
+    }
+    delete fresh;
+    --c.allocated;
+    c.backoff.on_failure(&spot);
+  }
+}
+
+Value InlineStorage::peek_value(RegId r) const {
+  return value_of(word(r).load(std::memory_order_acquire));
+}
+
+std::uint64_t InlineStorage::peek_version(RegId r) const {
+  return link_of(word(r).load(std::memory_order_acquire));
+}
+
+RegisterWidthStats InlineStorage::width_stats() const {
+  RegisterWidthStats s = RegisterStorage::width_stats();
+  // Demotion is sticky, so the demoted-register count is exactly the
+  // number of words currently holding a node (quiescent read).
+  for (const auto& reg : regs_) {
+    const std::uint64_t w = reg.word.load(std::memory_order_acquire);
+    if (w != 0 && is_node_word(w)) ++s.boxed_fallback_registers;
+  }
+  return s;
+}
+
+// --- factory -------------------------------------------------------------
+
+std::unique_ptr<RegisterStorage> make_register_storage(
+    StoragePolicy policy, std::size_t num_registers, int num_threads,
+    const BackoffOptions& backoff) {
+  switch (policy) {
+    case StoragePolicy::kBoxed:
+      return std::make_unique<BoxedStorage>(num_registers, num_threads,
+                                            backoff);
+    case StoragePolicy::kInline:
+      return std::make_unique<InlineStorage>(num_registers, num_threads,
+                                             backoff, /*strict=*/false);
+    case StoragePolicy::kInlineStrict:
+      return std::make_unique<InlineStorage>(num_registers, num_threads,
+                                             backoff, /*strict=*/true);
+  }
+  LLSC_UNREACHABLE("bad StoragePolicy");
+}
+
+}  // namespace llsc

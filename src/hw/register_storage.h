@@ -1,0 +1,275 @@
+// RegisterStorage — the storage-policy seam behind HwMemory.
+//
+// HwMemory's public API (the paper's LL/SC/VL/swap/move plus the Section 7
+// RMW) is fixed; *how a register stores its value* is the policy this seam
+// varies:
+//
+//   BoxedStorage  — each register's word is always a pointer to an
+//                   immutable heap Node{Value, version}; every successful
+//                   write installs a fresh node with version + 1 and the
+//                   replaced node goes through three-epoch reclamation.
+//                   This is the pre-seam HwMemory behavior, preserved
+//                   exactly (same versions, same allocation counts).
+//   InlineStorage — while a register's values fit, its word *is* the
+//                   value: a 64-bit tagged word (memory/storage_policy.h
+//                   codec — 16-bit version tag, 47-bit payload, bit 0 set)
+//                   and a write is one CAS with no allocation and no
+//                   reclamation. The first write that does not fit either
+//                   demotes that one register to boxing permanently
+//                   (kInline) or throws RegisterOverflowError
+//                   (kInlineStrict).
+//
+// Link discipline across the two node/inline representations: a process's
+// link for a register is the 64-bit word it would have to still observe —
+// the node's version for a boxed register, the whole tagged word for an
+// inline one. Inline words always have bit 0 set (odd); nodes installed by
+// InlineStorage carry even versions (2, 4, …), so a link taken before a
+// register was demoted can never validate against a node installed after,
+// and vice versa. BoxedStorage keeps the legacy odd-and-even versions
+// (1, 2, 3, …) — bit-identical to the pre-seam backend.
+//
+// ABA: boxed versions never recur (64-bit counter), so boxed SC is exact.
+// An inline word's 16-bit tag wraps 0xFFFF → 1, so a *wrong* inline SC
+// success requires exactly k · 65535 intervening completed writes, the
+// last of which re-encodes the linked payload — the bounded-register price
+// Section 7 is about, documented in docs/hw_backend.md.
+#ifndef LLSC_HW_REGISTER_STORAGE_H_
+#define LLSC_HW_REGISTER_STORAGE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "hw/backoff.h"
+#include "memory/op.h"
+#include "memory/rmw.h"
+#include "memory/storage_policy.h"
+#include "memory/value.h"
+
+namespace llsc {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+// Reclamation counters (approximate totals aggregated over threads; read
+// when quiescent).
+struct HwReclaimStats {
+  std::uint64_t nodes_allocated = 0;
+  std::uint64_t nodes_retired = 0;
+  std::uint64_t nodes_freed = 0;
+  std::uint64_t global_epoch = 0;
+};
+
+// Backoff counters aggregated over threads (read when quiescent), plus
+// the wake side of the parking tier, which is charged to the writer
+// thread that issued the wake.
+struct HwBackoffStats {
+  BackoffPolicy policy = BackoffPolicy::kFixed;
+  std::uint64_t cas_failures = 0;
+  std::uint64_t cas_successes = 0;
+  std::uint64_t spin_pauses = 0;
+  std::uint64_t yields = 0;
+  std::uint64_t parks = 0;
+  std::uint64_t wakes = 0;
+
+  double failure_rate() const {
+    const std::uint64_t attempts = cas_failures + cas_successes;
+    return attempts == 0
+               ? 0.0
+               : static_cast<double>(cas_failures) /
+                     static_cast<double>(attempts);
+  }
+};
+
+class RegisterStorage {
+ public:
+  RegisterStorage(std::size_t num_registers, int num_threads,
+                  const BackoffOptions& backoff);
+  virtual ~RegisterStorage();
+  RegisterStorage(const RegisterStorage&) = delete;
+  RegisterStorage& operator=(const RegisterStorage&) = delete;
+
+  virtual StoragePolicy policy() const = 0;
+
+  virtual Value ll(ProcId p, RegId r) = 0;
+  virtual OpResult sc(ProcId p, RegId r, Value v) = 0;
+  virtual OpResult validate(ProcId p, RegId r) = 0;
+  virtual Value swap(ProcId p, RegId r, Value v) = 0;
+  virtual void move(ProcId p, RegId src, RegId dst) = 0;
+  virtual Value rmw(ProcId p, RegId r, const RmwFunction& f) = 0;
+
+  std::size_t num_registers() const { return regs_.size(); }
+  int num_threads() const { return static_cast<int>(ctxs_.size()); }
+
+  // --- quiescent observation (tests / post-run accounting only) ---
+  virtual Value peek_value(RegId r) const = 0;
+  // For a boxed register this is the node's version; for an inline one it
+  // is the whole tagged word (what peek_link_live compares links against).
+  virtual std::uint64_t peek_version(RegId r) const = 0;
+  bool peek_link_live(RegId r, ProcId p) const;
+  HwReclaimStats reclaim_stats() const;
+  HwBackoffStats backoff_stats() const;
+  virtual RegisterWidthStats width_stats() const;
+
+ protected:
+  // Immutable once published; versions per register strictly increase and
+  // are never reused (from 1 step 1 under BoxedStorage; from 2 step 2 —
+  // always even — for InlineStorage's demoted registers).
+  struct Node {
+    Value value;
+    std::uint64_t version = 1;
+  };
+
+  struct alignas(kCacheLineBytes) PaddedWord {
+    // Either a Node* (bit 0 clear — nodes are 8-byte aligned) or, under
+    // InlineStorage, a tagged inline word (bit 0 set). Derived
+    // constructors initialize it; 0 only before that.
+    std::atomic<std::uint64_t> word{0};
+    // Park rendezvous for the adaptive+parking backoff tier; shares the
+    // word's (already-padded) line, which the waking writer just owned.
+    ParkSpot park;
+  };
+
+  struct alignas(kCacheLineBytes) ThreadCtx {
+    // 0 = quiescent; otherwise the global epoch observed at critical-
+    // section entry. Written only by the owning thread; read by everyone.
+    std::atomic<std::uint64_t> epoch{0};
+    // Linked word per register (owner-thread private); 0 = no live link.
+    std::vector<std::uint64_t> link;
+    // Retired nodes with their retirement epoch; epochs are non-decreasing
+    // in deque order, so the freeable nodes form a prefix.
+    std::deque<std::pair<std::uint64_t, Node*>> retired;
+    std::uint64_t retires_since_scan = 0;
+    std::uint64_t allocated = 0;
+    std::uint64_t retired_count = 0;
+    std::uint64_t freed = 0;
+    // Retry-loop backoff state and counters (owner-thread private).
+    Backoff backoff;
+    std::uint64_t wakes = 0;
+    // Width accounting (owner-thread private; see RegisterWidthStats).
+    std::uint64_t writes_inspected = 0;
+    std::size_t max_bits = 0;
+    std::uint64_t overflow_events = 0;
+    std::uint64_t inline_installs = 0;
+    std::uint64_t boxed_installs = 0;
+  };
+
+  // RAII epoch critical section: dereferencing word-loaded nodes is safe
+  // only between construction and destruction.
+  class EpochGuard {
+   public:
+    EpochGuard(const std::atomic<std::uint64_t>& global, ThreadCtx& ctx)
+        : ctx_(ctx) {
+      ctx_.epoch.store(global.load());
+    }
+    ~EpochGuard() { ctx_.epoch.store(0); }
+    EpochGuard(const EpochGuard&) = delete;
+    EpochGuard& operator=(const EpochGuard&) = delete;
+
+   private:
+    ThreadCtx& ctx_;
+  };
+
+  static bool is_node_word(std::uint64_t w) { return (w & 1) == 0; }
+  static Node* as_node(std::uint64_t w) {
+    return reinterpret_cast<Node*>(static_cast<std::uintptr_t>(w));
+  }
+  static std::uint64_t from_node(Node* n) {
+    return static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(n));
+  }
+
+  ThreadCtx& ctx(ProcId p);
+  std::atomic<std::uint64_t>& word(RegId r);
+  const std::atomic<std::uint64_t>& word(RegId r) const;
+  Node* make_node(ThreadCtx& c, Value v, std::uint64_t version);
+  void retire(ThreadCtx& c, Node* n);
+  // Attempt a global-epoch advance, then free this thread's retired
+  // prefix that is two epochs stale.
+  void scan_and_reclaim(ThreadCtx& c);
+  // Wake threads parked on r's ParkSpot after a successful write (no-op
+  // unless someone is registered as a waiter).
+  void wake_waiters(ThreadCtx& c, RegId r);
+  // Width accounting at a *completed* install (SC success, swap, move,
+  // rmw) — never per CAS retry, so simulator and hw totals agree.
+  void note_install(ThreadCtx& c, const Value& v, bool inline_install);
+
+  std::vector<PaddedWord> regs_;
+  std::vector<std::unique_ptr<ThreadCtx>> ctxs_;
+  BackoffOptions backoff_options_;
+  Waiter* waiter_;
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> global_epoch_{1};
+};
+
+// The pre-seam HwMemory: every register word is a Node*, versions run
+// 1, 2, 3, … per register, every write allocates.
+class BoxedStorage : public RegisterStorage {
+ public:
+  BoxedStorage(std::size_t num_registers, int num_threads,
+               const BackoffOptions& backoff);
+
+  StoragePolicy policy() const override { return StoragePolicy::kBoxed; }
+
+  Value ll(ProcId p, RegId r) override;
+  OpResult sc(ProcId p, RegId r, Value v) override;
+  OpResult validate(ProcId p, RegId r) override;
+  Value swap(ProcId p, RegId r, Value v) override;
+  void move(ProcId p, RegId src, RegId dst) override;
+  Value rmw(ProcId p, RegId r, const RmwFunction& f) override;
+
+  Value peek_value(RegId r) const override;
+  std::uint64_t peek_version(RegId r) const override;
+
+ private:
+  // Unconditional install of `v` into r with a version bump (swap/move
+  // tail); returns the replaced value.
+  Value install(ThreadCtx& c, RegId r, Value v);
+};
+
+// The bounded-register regime: one 64-bit tagged word per register while
+// its values fit, per-register demotion to boxing (or a thrown
+// RegisterOverflowError under kInlineStrict) when one does not.
+class InlineStorage final : public RegisterStorage {
+ public:
+  InlineStorage(std::size_t num_registers, int num_threads,
+                const BackoffOptions& backoff, bool strict);
+
+  StoragePolicy policy() const override {
+    return strict_ ? StoragePolicy::kInlineStrict : StoragePolicy::kInline;
+  }
+
+  Value ll(ProcId p, RegId r) override;
+  OpResult sc(ProcId p, RegId r, Value v) override;
+  OpResult validate(ProcId p, RegId r) override;
+  Value swap(ProcId p, RegId r, Value v) override;
+  void move(ProcId p, RegId src, RegId dst) override;
+  Value rmw(ProcId p, RegId r, const RmwFunction& f) override;
+
+  Value peek_value(RegId r) const override;
+  std::uint64_t peek_version(RegId r) const override;
+  RegisterWidthStats width_stats() const override;
+
+ private:
+  // The link a register's current word asserts: the whole word when
+  // inline, the node's (even) version when demoted.
+  static std::uint64_t link_of(std::uint64_t w) {
+    return is_node_word(w) ? as_node(w)->version : w;
+  }
+  Value value_of(std::uint64_t w) const {
+    return is_node_word(w) ? as_node(w)->value : decode_inline(w);
+  }
+  [[noreturn]] void throw_overflow(RegId r, const Value& v) const;
+  // Unconditional install (swap/move tail): inline CAS when the register
+  // is inline and `v` fits, demotion or node replacement otherwise.
+  Value install(ThreadCtx& c, RegId r, const Value& v);
+
+  const bool strict_;
+};
+
+std::unique_ptr<RegisterStorage> make_register_storage(
+    StoragePolicy policy, std::size_t num_registers, int num_threads,
+    const BackoffOptions& backoff);
+
+}  // namespace llsc
+
+#endif  // LLSC_HW_REGISTER_STORAGE_H_

@@ -32,6 +32,10 @@ OpResult SharedMemory::sc(ProcId p, RegId r, Value v) {
   ++counts_[OpKind::kSC];
   Register& R = reg(r);
   if (R.pset.contains(p)) {
+    // The overflow check comes after the link check, matching the hw
+    // backend: a failed SC never faults, whatever its argument.
+    check_overflow(r, v);
+    note_write(r, v);
     Value prev = R.value;
     R.value = std::move(v);
     R.pset.clear();
@@ -52,6 +56,8 @@ OpResult SharedMemory::validate(ProcId p, RegId r) const {
 Value SharedMemory::swap(ProcId p, RegId r, Value v) {
   (void)p;  // swap's effect does not depend on the invoker
   ++counts_[OpKind::kSwap];
+  check_overflow(r, v);
+  note_write(r, v);
   Register& R = reg(r);
   Value prev = R.value;
   R.value = std::move(v);
@@ -66,6 +72,8 @@ void SharedMemory::move(ProcId p, RegId src, RegId dst) {
   // rehash the map and invalidate references.
   Value v = src == dst ? reg(src).value : (find(src) ? find(src)->value
                                                      : Value{});
+  check_overflow(dst, v);
+  note_write(dst, v);
   Register& D = reg(dst);
   D.value = std::move(v);
   D.pset.clear();
@@ -75,8 +83,11 @@ Value SharedMemory::rmw(ProcId p, RegId r, const RmwFunction& f) {
   (void)p;
   ++counts_[OpKind::kRmw];
   Register& R = reg(r);
-  Value prev = R.value;
-  R.value = f.apply(prev);
+  Value next = f.apply(R.value);
+  check_overflow(r, next);
+  note_write(r, next);
+  Value prev = std::move(R.value);
+  R.value = std::move(next);
   R.pset.clear();
   return prev;
 }
@@ -144,6 +155,42 @@ std::size_t SharedMemory::state_hash() const {
     acc ^= h;
   }
   return acc;
+}
+
+void SharedMemory::note_write(RegId r, const Value& v) {
+  ++width_.writes_inspected;
+  const std::size_t bits = v.encoded_bits();
+  if (bits > width_.max_bits) width_.max_bits = bits;
+  if (storage_ == StoragePolicy::kBoxed) {
+    ++width_.boxed_installs;
+    return;
+  }
+  const bool fits = value_fits_inline(v);
+  if (!fits) {
+    // Only reachable under kInline — check_overflow threw for strict.
+    ++width_.overflow_events;
+    demoted_.insert(r);
+  }
+  if (fits && !demoted_.contains(r)) {
+    ++width_.inline_installs;
+  } else {
+    ++width_.boxed_installs;
+  }
+}
+
+void SharedMemory::check_overflow(RegId r, const Value& v) const {
+  if (storage_ == StoragePolicy::kInlineStrict && !value_fits_inline(v)) {
+    throw RegisterOverflowError(
+        "register " + std::to_string(r) + ": value " + v.to_string() +
+        " does not fit in a 64-bit inline register word (strict policy)");
+  }
+}
+
+RegisterWidthStats SharedMemory::width_stats() const {
+  RegisterWidthStats s = width_;
+  s.policy = storage_;
+  s.boxed_fallback_registers = demoted_.size();
+  return s;
 }
 
 Register& SharedMemory::reg(RegId r) { return regs_[r]; }

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "memory/op.h"
+#include "memory/storage_policy.h"
 #include "memory/value.h"
 
 namespace llsc {
@@ -87,6 +88,17 @@ class SharedMemory {
   const MemoryOpCounts& counts() const { return counts_; }
   void reset_counts() { counts_ = MemoryOpCounts{}; }
 
+  // Register-storage policy (memory/storage_policy.h). The simulator always
+  // stores full Values — the policy changes only the *accounting* (width /
+  // overflow / per-register demotion counters, mirroring the hw backend's
+  // RegisterStorage bit for bit on deterministic workloads) and, under
+  // kInlineStrict, makes an unencodable completed write throw
+  // RegisterOverflowError before mutating anything. Set it before running;
+  // it defaults to LLSC_STORAGE_POLICY like the hw side.
+  void set_storage_policy(StoragePolicy policy) { storage_ = policy; }
+  StoragePolicy storage_policy() const { return storage_; }
+  RegisterWidthStats width_stats() const;
+
   // Structural hash of the full memory state (values + Psets), used by the
   // bounded model checker to detect revisited configurations.
   std::size_t state_hash() const;
@@ -94,9 +106,20 @@ class SharedMemory {
  private:
   Register& reg(RegId r);
   const Register* find(RegId r) const;
+  // Width accounting at a *completed* install (SC success, swap, move,
+  // rmw) — the same points the hw backend counts at, so the totals agree
+  // across substrates for deterministic workloads.
+  void note_write(RegId r, const Value& v);
+  // Throws RegisterOverflowError under kInlineStrict for unencodable `v`;
+  // called before the mutation, after the operation is known to complete.
+  void check_overflow(RegId r, const Value& v) const;
 
   std::unordered_map<RegId, Register> regs_;
   MemoryOpCounts counts_;
+  StoragePolicy storage_ = default_storage_policy();
+  RegisterWidthStats width_;
+  // Registers an overflow demoted to boxing (kInline; sticky, like hw).
+  std::set<RegId> demoted_;
 };
 
 }  // namespace llsc

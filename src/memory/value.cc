@@ -4,17 +4,9 @@ namespace llsc {
 
 namespace {
 
-// Boxes giving the built-in scalar payloads equality, printing and hashing.
-struct U64Box {
-  std::uint64_t v;
-  bool operator==(const U64Box&) const = default;
-  std::string to_string() const { return std::to_string(v); }
-  std::size_t hash() const { return mix64(v); }
-  std::size_t encoded_bits() const {
-    return v == 0 ? 1 : 64 - static_cast<std::size_t>(__builtin_clzll(v));
-  }
-};
-
+// Boxes giving the built-in non-scalar payloads equality, printing and
+// hashing. u64 payloads are stored inline in the Value handle itself (see
+// value.h) and need no box.
 struct BigBox {
   BigInt v;
   bool operator==(const BigBox&) const = default;
@@ -35,16 +27,9 @@ struct StrBox {
 
 }  // namespace
 
-Value Value::of_u64(std::uint64_t v) { return Value::of(U64Box{v}); }
 Value Value::of_big(BigInt v) { return Value::of(BigBox{std::move(v)}); }
 Value Value::of_string(std::string v) {
   return Value::of(StrBox{std::move(v)});
-}
-
-std::uint64_t Value::as_u64() const {
-  const auto* box = get_if<U64Box>();
-  LLSC_EXPECTS(box != nullptr, "Value does not hold a u64");
-  return box->v;
 }
 
 const BigInt& Value::as_big() const {
@@ -59,10 +44,14 @@ const std::string& Value::as_string() const {
   return box->v;
 }
 
-bool Value::holds_u64() const { return get_if<U64Box>() != nullptr; }
 bool Value::holds_big() const { return get_if<BigBox>() != nullptr; }
 
 bool Value::operator==(const Value& rhs) const {
+  if (holds_u64_ || rhs.holds_u64_) {
+    // A u64 equals only another u64 with the same bits — in particular it
+    // is never equal to a BigInt holding the same number, as before.
+    return holds_u64_ == rhs.holds_u64_ && u64_ == rhs.u64_;
+  }
   if (payload_ == rhs.payload_) return true;  // covers nil == nil and aliases
   if (payload_ == nullptr || rhs.payload_ == nullptr) return false;
   if (payload_->type() != rhs.payload_->type()) return false;
@@ -70,14 +59,20 @@ bool Value::operator==(const Value& rhs) const {
 }
 
 std::string Value::to_string() const {
+  if (holds_u64_) return std::to_string(u64_);
   return payload_ == nullptr ? "nil" : payload_->to_string();
 }
 
 std::size_t Value::hash() const {
+  if (holds_u64_) return mix64(u64_);
   return payload_ == nullptr ? 0 : payload_->hash();
 }
 
 std::size_t Value::encoded_bits() const {
+  if (holds_u64_) {
+    return u64_ == 0 ? 1
+                     : 64 - static_cast<std::size_t>(__builtin_clzll(u64_));
+  }
   return payload_ == nullptr ? 0 : payload_->encoded_bits();
 }
 

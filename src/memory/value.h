@@ -98,11 +98,23 @@ class TypedPayload final : public ValuePayload {
 
 // Immutable register value. Default-constructed Value is "nil", the
 // distinguished initial content of every register.
+//
+// u64 payloads are stored inline in the handle rather than behind a
+// shared_ptr: the hw backend's inline storage policy promises zero
+// allocations on its hot path, and a heap box for every counter bump
+// would break that promise one layer up. Observable semantics (printing,
+// hashing, equality — a u64 is still never equal to a BigInt) are
+// unchanged.
 class Value {
  public:
   Value() = default;
 
-  static Value of_u64(std::uint64_t v);
+  static Value of_u64(std::uint64_t v) {
+    Value out;
+    out.u64_ = v;
+    out.holds_u64_ = true;
+    return out;
+  }
   static Value of_big(BigInt v);
   static Value of_string(std::string v);
 
@@ -117,9 +129,10 @@ class Value {
     return v;
   }
 
-  bool is_nil() const { return payload_ == nullptr; }
+  bool is_nil() const { return payload_ == nullptr && !holds_u64_; }
 
-  // Typed access; returns nullptr if the value is nil or holds another type.
+  // Typed access; returns nullptr if the value is nil or holds another type
+  // (u64 payloads are inline, not boxed — use as_u64/holds_u64 for those).
   template <typename T>
   const T* get_if() const {
     if (payload_ == nullptr || payload_->type() != typeid(T)) return nullptr;
@@ -127,10 +140,13 @@ class Value {
   }
 
   // Convenience accessors with precondition checks.
-  std::uint64_t as_u64() const;
+  std::uint64_t as_u64() const {
+    LLSC_EXPECTS(holds_u64_, "Value does not hold a u64");
+    return u64_;
+  }
   const BigInt& as_big() const;
   const std::string& as_string() const;
-  bool holds_u64() const;
+  bool holds_u64() const { return holds_u64_; }
   bool holds_big() const;
 
   // Structural equality: same payload type and equal payloads. nil == nil.
@@ -147,6 +163,10 @@ class Value {
 
  private:
   std::shared_ptr<const internal::ValuePayload> payload_;
+  // Inline u64 payload; meaningful only when holds_u64_ (payload_ is then
+  // null — a Value holds exactly one of {nothing, a u64, a boxed payload}).
+  std::uint64_t u64_ = 0;
+  bool holds_u64_ = false;
 };
 
 }  // namespace llsc

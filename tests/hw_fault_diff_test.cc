@@ -20,6 +20,7 @@
 #include "hw/fault.h"
 #include "hw/fault_scenarios.h"
 #include "hw/hw_executor.h"
+#include "memory/storage_policy.h"
 #include "util/rng.h"
 
 namespace llsc {
@@ -27,6 +28,19 @@ namespace {
 
 constexpr int kTriples = 200;
 constexpr int kMaxRounds = 1 << 12;
+
+// The whole sweep runs once per register-storage policy: fault decisions
+// are pure in (proc, op-index) and a forced-failed SC substitutes a
+// read-only probe, so the cross-substrate contract must be policy-
+// independent (memory/storage_policy.h).
+class HwFaultDiffTest : public ::testing::TestWithParam<StoragePolicy> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Storage, HwFaultDiffTest,
+    ::testing::Values(StoragePolicy::kBoxed, StoragePolicy::kInline),
+    [](const ::testing::TestParamInfo<StoragePolicy>& info) {
+      return info.param == StoragePolicy::kBoxed ? "Boxed" : "Inline";
+    });
 
 // Taxonomy + op counts + min winner ops: the replay contract, reduced the
 // same way on both substrates.
@@ -38,11 +52,12 @@ struct Observed {
 };
 
 Observed observe_sim(const ProcBody& body, int n, std::uint64_t toss_seed,
-                     const FaultPlan& plan) {
+                     const FaultPlan& plan, StoragePolicy storage) {
   AdversaryOptions adversary;
   adversary.max_rounds = kMaxRounds;
   const McSampleOutcome sample = run_mc_sample(
-      body, n, toss_seed, adversary, plan.enabled() ? &plan : nullptr);
+      body, n, toss_seed, adversary, plan.enabled() ? &plan : nullptr,
+      storage);
   Observed obs;
   obs.status = sample.status;
   obs.proc_ops = sample.proc_ops;
@@ -52,9 +67,10 @@ Observed observe_sim(const ProcBody& body, int n, std::uint64_t toss_seed,
 }
 
 Observed observe_hw(const ProcBody& body, int n, std::uint64_t toss_seed,
-                    const FaultPlan& plan) {
+                    const FaultPlan& plan, StoragePolicy storage) {
   HwRunOptions options;
   options.seed = toss_seed;
+  options.storage = storage;
   options.fault = plan.enabled() ? &plan : nullptr;
   HwExecutor exec(options);
   const HwRunResult run = exec.run(n, body);
@@ -96,7 +112,8 @@ void expect_equal(const Observed& sim, const Observed& hw,
   EXPECT_EQ(sim.min_winner_ops, hw.min_winner_ops) << what;
 }
 
-TEST(HwFaultDiffTest, RandomTriplesAgreeAcrossSubstrates) {
+TEST_P(HwFaultDiffTest, RandomTriplesAgreeAcrossSubstrates) {
+  const StoragePolicy storage = GetParam();
   Rng rng(0xD1FF);
   int adaptive_with_decisions = 0;
   for (int t = 0; t < kTriples; ++t) {
@@ -140,18 +157,19 @@ TEST(HwFaultDiffTest, RandomTriplesAgreeAcrossSubstrates) {
         strategy == 1 || (strategy == 0 && plan.fault_budget > 0);
     if (schedule_dependent) {
       // Record on the deterministic simulator, replay the trace on hw.
-      const Observed recorded = observe_sim(body, n, toss_seed, plan);
+      const Observed recorded = observe_sim(body, n, toss_seed, plan, storage);
       FaultPlan replay_plan = plan;
       replay_plan.trace = recorded.trace;
-      const Observed sim = observe_sim(body, n, toss_seed, replay_plan);
+      const Observed sim = observe_sim(body, n, toss_seed, replay_plan,
+                                       storage);
       expect_equal(recorded, sim, what + " [sim replay]");
       EXPECT_EQ(sim.trace, recorded.trace) << what;
-      const Observed hw = observe_hw(body, n, toss_seed, replay_plan);
+      const Observed hw = observe_hw(body, n, toss_seed, replay_plan, storage);
       expect_equal(recorded, hw, what + " [hw replay]");
       if (strategy == 1 && !recorded.trace.empty()) ++adaptive_with_decisions;
     } else {
-      const Observed sim = observe_sim(body, n, toss_seed, plan);
-      const Observed hw = observe_hw(body, n, toss_seed, plan);
+      const Observed sim = observe_sim(body, n, toss_seed, plan, storage);
+      const Observed hw = observe_hw(body, n, toss_seed, plan, storage);
       expect_equal(sim, hw, what);
       EXPECT_EQ(sim.trace, hw.trace) << what;
     }

@@ -17,6 +17,7 @@
 #include "hw/hw_executor.h"
 #include "hw/hw_history.h"
 #include "lin/checker.h"
+#include "memory/storage_policy.h"
 #include "objects/arith.h"
 #include "objects/containers.h"
 #include "universal/group_update.h"
@@ -80,6 +81,20 @@ TEST(HwLinTest, CheckerRejectsCorruptedHwHistory) {
 }
 
 // --- linearizability under injected SC failures --------------------------
+//
+// The fault legs run once per register-storage policy: a spurious SC loss
+// is decided purely in (plan.seed, p, k) and substitutes a read-only
+// probe, so injection must behave identically over boxed nodes and
+// inline tagged words (memory/storage_policy.h).
+
+class HwLinFaultTest : public ::testing::TestWithParam<StoragePolicy> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Storage, HwLinFaultTest,
+    ::testing::Values(StoragePolicy::kBoxed, StoragePolicy::kInline),
+    [](const ::testing::TestParamInfo<StoragePolicy>& info) {
+      return info.param == StoragePolicy::kBoxed ? "Boxed" : "Inline";
+    });
 
 constexpr int kFaultProcs = 3;
 constexpr int kFetchAddsPerProc = 4;
@@ -97,11 +112,13 @@ SimTask fetch_add_workload(ProcCtx ctx, ConcurrentHistoryRecorder* rec) {
 // retry loop while `plan` injects spurious SC failures.
 History record_faulted_fetch_add_history(std::uint64_t seed,
                                          const FaultPlan& plan,
-                                         FaultStats* stats) {
+                                         FaultStats* stats,
+                                         StoragePolicy storage) {
   DirectFetchAdd fa(/*reg=*/0, /*initial=*/0);
   ConcurrentHistoryRecorder rec(fa, kFaultProcs);
   HwRunOptions opts;
   opts.seed = seed;
+  opts.storage = storage;
   opts.fault = plan.enabled() ? &plan : nullptr;
   HwExecutor exec(opts);
   const HwRunResult run =
@@ -113,13 +130,15 @@ History record_faulted_fetch_add_history(std::uint64_t seed,
   return rec.take();
 }
 
-void expect_faulted_history_linearizable(const FaultPlan& plan) {
+void expect_faulted_history_linearizable(const FaultPlan& plan,
+                                         StoragePolicy storage) {
   const ObjectFactory factory = [] {
     return std::make_unique<FetchAddObject>(64, 0);
   };
   for (std::uint64_t seed = 1; seed <= 3; ++seed) {
     FaultStats stats;
-    const History hist = record_faulted_fetch_add_history(seed, plan, &stats);
+    const History hist =
+        record_faulted_fetch_add_history(seed, plan, &stats, storage);
     ASSERT_EQ(hist.ops.size(),
               static_cast<std::size_t>(kFaultProcs * kFetchAddsPerProc));
     // The injection actually happened — without it the test is vacuous.
@@ -130,19 +149,19 @@ void expect_faulted_history_linearizable(const FaultPlan& plan) {
   }
 }
 
-TEST(HwLinFaultTest, FetchAddHistoryUnderObliviousScFailuresIsLinearizable) {
+TEST_P(HwLinFaultTest, FetchAddHistoryUnderObliviousScFailuresIsLinearizable) {
   FaultPlan plan;
   plan.seed = 7;
   plan.sc_fail_rate = 0.4;
-  expect_faulted_history_linearizable(plan);
+  expect_faulted_history_linearizable(plan, GetParam());
 }
 
-TEST(HwLinFaultTest, FetchAddHistoryUnderAdaptiveAdversaryIsLinearizable) {
+TEST_P(HwLinFaultTest, FetchAddHistoryUnderAdaptiveAdversaryIsLinearizable) {
   FaultPlan plan;
   plan.seed = 7;
   plan.strategy = FaultStrategyKind::kAdaptive;
   plan.fault_budget = 6;
-  expect_faulted_history_linearizable(plan);
+  expect_faulted_history_linearizable(plan, GetParam());
 }
 
 // The memory-level invariant behind those lin checks: a spurious failure
@@ -163,13 +182,14 @@ SimTask double_sc_workload(ProcCtx ctx, ProcId i, int) {
   co_return Value::of_u64(both_succeeded);
 }
 
-TEST(HwLinFaultTest, SpuriousFailuresNeverYieldTwoSuccessfulScsPerEpoch) {
+TEST_P(HwLinFaultTest, SpuriousFailuresNeverYieldTwoSuccessfulScsPerEpoch) {
   for (std::uint64_t seed = 1; seed <= 4; ++seed) {
     FaultPlan plan;
     plan.seed = seed;
     plan.sc_fail_rate = 0.9;
     HwRunOptions opts;
     opts.seed = seed;
+    opts.storage = GetParam();
     opts.fault = &plan;
     HwExecutor exec(opts);
     const HwRunResult run = exec.run(kFaultProcs, &double_sc_workload);

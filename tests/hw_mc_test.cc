@@ -179,6 +179,32 @@ TEST(HwMcTest, SpuriousFailureSweepFoldsIdenticallySerialAndParallel) {
   expect_identical(serial, par.estimate);
 }
 
+// The fold-parity contract is policy-independent: the serial estimator
+// and the parallel driver must agree bit for bit under the inline
+// register-storage policy too (the policy only changes accounting on the
+// simulator, so the estimates must also equal the boxed ones exactly).
+TEST(HwMcTest, FoldParityHoldsUnderInlineStorage) {
+  const int n = 6;
+  const int samples = 24;
+  const std::uint64_t seed = 17;
+  const ExpectedComplexityEstimate boxed = estimate_expected_complexity(
+      randomized_tournament_wakeup(), n, samples, seed, {}, nullptr,
+      StoragePolicy::kBoxed);
+  const ExpectedComplexityEstimate serial = estimate_expected_complexity(
+      randomized_tournament_wakeup(), n, samples, seed, {}, nullptr,
+      StoragePolicy::kInline);
+  expect_identical(boxed, serial);
+  for (const int workers : {1, 3}) {
+    McRunOptions options;
+    options.num_workers = workers;
+    options.storage = StoragePolicy::kInline;
+    const ParallelMcResult par = estimate_expected_complexity_parallel(
+        randomized_tournament_wakeup(), n, samples, seed, options);
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    expect_identical(serial, par.estimate);
+  }
+}
+
 TEST(HwMcTest, WorkerCountIsCappedBySamples) {
   const ParallelMcResult par = estimate_expected_complexity_parallel(
       tournament_wakeup(), /*n=*/4, /*samples=*/2, /*seed=*/1, /*workers=*/16);

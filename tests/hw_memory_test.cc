@@ -1,7 +1,13 @@
 // HwMemory: single-thread parity with the paper-exact SharedMemory, the
 // deterministic cross-thread SC/VL invalidation contract, lock-free
 // fetch&increment counting under real contention, and epoch reclamation
-// accounting.
+// accounting. The whole suite runs once per register-storage policy
+// (boxed nodes and inline tagged words — memory/storage_policy.h), since
+// every semantic assertion must hold identically under both; only the
+// reclamation-accounting expectations are policy-aware (inline storage
+// allocates no nodes for small u64 payloads). Inline-only behaviors
+// (overflow demotion, strict faulting, version-tag wrap) get their own
+// unparameterized tests at the bottom.
 #include "hw/hw_memory.h"
 
 #include <gtest/gtest.h>
@@ -13,13 +19,26 @@
 
 #include "memory/rmw.h"
 #include "memory/shared_memory.h"
+#include "memory/storage_policy.h"
 #include "util/rng.h"
 
 namespace llsc {
 namespace {
 
-TEST(HwMemoryTest, LlScBasics) {
-  HwMemory mem(4, 2);
+class HwMemoryPolicyTest : public ::testing::TestWithParam<StoragePolicy> {
+ protected:
+  bool inline_policy() const { return GetParam() != StoragePolicy::kBoxed; }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Storage, HwMemoryPolicyTest,
+    ::testing::Values(StoragePolicy::kBoxed, StoragePolicy::kInline),
+    [](const ::testing::TestParamInfo<StoragePolicy>& info) {
+      return info.param == StoragePolicy::kBoxed ? "Boxed" : "Inline";
+    });
+
+TEST_P(HwMemoryPolicyTest, LlScBasics) {
+  HwMemory mem(4, 2, {}, GetParam());
   EXPECT_TRUE(mem.ll(0, 0).is_nil());
   OpResult r = mem.sc(0, 0, Value::of_u64(7));
   EXPECT_TRUE(r.flag);
@@ -33,8 +52,8 @@ TEST(HwMemoryTest, LlScBasics) {
   EXPECT_EQ(mem.peek_value(0).as_u64(), 7u);
 }
 
-TEST(HwMemoryTest, InterveningScInvalidatesOtherLinks) {
-  HwMemory mem(4, 2);
+TEST_P(HwMemoryPolicyTest, InterveningScInvalidatesOtherLinks) {
+  HwMemory mem(4, 2, {}, GetParam());
   (void)mem.ll(0, 0);
   (void)mem.ll(1, 0);
   ASSERT_TRUE(mem.sc(1, 0, Value::of_u64(1)).flag);
@@ -45,8 +64,8 @@ TEST(HwMemoryTest, InterveningScInvalidatesOtherLinks) {
   EXPECT_EQ(r.value.as_u64(), 1u);
 }
 
-TEST(HwMemoryTest, SwapAndMoveInvalidate) {
-  HwMemory mem(4, 2);
+TEST_P(HwMemoryPolicyTest, SwapAndMoveInvalidate) {
+  HwMemory mem(4, 2, {}, GetParam());
   (void)mem.ll(0, 0);
   EXPECT_TRUE(mem.swap(1, 0, Value::of_u64(3)).is_nil());
   EXPECT_FALSE(mem.validate(0, 0).flag);
@@ -59,8 +78,8 @@ TEST(HwMemoryTest, SwapAndMoveInvalidate) {
   EXPECT_FALSE(mem.validate(0, 1).flag);
 }
 
-TEST(HwMemoryTest, RmwAppliesAndReturnsOld) {
-  HwMemory mem(2, 1);
+TEST_P(HwMemoryPolicyTest, RmwAppliesAndReturnsOld) {
+  HwMemory mem(2, 1, {}, GetParam());
   (void)mem.swap(0, 0, Value::of_u64(10));
   const auto inc = make_rmw("inc", [](const Value& v) {
     return Value::of_u64(v.as_u64() + 1);
@@ -71,11 +90,12 @@ TEST(HwMemoryTest, RmwAppliesAndReturnsOld) {
 
 // Random single-thread op script applied to both memories step by step —
 // every response (flag and value) must match the paper-exact model.
-TEST(HwMemoryTest, RandomParityWithSharedMemory) {
+TEST_P(HwMemoryPolicyTest, RandomParityWithSharedMemory) {
   constexpr int kProcs = 3;
   constexpr RegId kRegs = 4;
-  HwMemory hw(kRegs, kProcs);
+  HwMemory hw(kRegs, kProcs, {}, GetParam());
   SharedMemory model;
+  model.set_storage_policy(GetParam());
   Rng rng(42);
   for (int step = 0; step < 5000; ++step) {
     PendingOp op;
@@ -106,13 +126,25 @@ TEST(HwMemoryTest, RandomParityWithSharedMemory) {
     ASSERT_EQ(got.flag, want.flag) << "step " << step;
     ASSERT_EQ(got.value, want.value) << "step " << step;
   }
+  // Width accounting ticks at the same completed-install points on both
+  // substrates, so the deterministic script produces identical counters.
+  const RegisterWidthStats hw_width = hw.width_stats();
+  const RegisterWidthStats sim_width = model.width_stats();
+  EXPECT_EQ(hw_width.policy, GetParam());
+  EXPECT_EQ(hw_width.writes_inspected, sim_width.writes_inspected);
+  EXPECT_EQ(hw_width.max_bits, sim_width.max_bits);
+  EXPECT_EQ(hw_width.overflow_events, sim_width.overflow_events);
+  EXPECT_EQ(hw_width.inline_installs, sim_width.inline_installs);
+  EXPECT_EQ(hw_width.boxed_installs, sim_width.boxed_installs);
+  EXPECT_EQ(hw_width.boxed_fallback_registers,
+            sim_width.boxed_fallback_registers);
 }
 
 // Deterministic two-thread handshake: after an intervening swap, the
 // reader's VL and SC must both fail — every round, no races about it.
-TEST(HwMemoryTest, ScAndVlNeverSucceedAfterInterveningWrite) {
+TEST_P(HwMemoryPolicyTest, ScAndVlNeverSucceedAfterInterveningWrite) {
   constexpr int kRounds = 2000;
-  HwMemory mem(2, 2);
+  HwMemory mem(2, 2, {}, GetParam());
   std::atomic<int> linked_round{-1};
   std::atomic<int> swapped_round{-1};
   std::thread writer([&] {
@@ -139,10 +171,10 @@ TEST(HwMemoryTest, ScAndVlNeverSucceedAfterInterveningWrite) {
 // successful SC adds exactly 1, so the final value must equal the summed
 // success counts — lost updates (an SC succeeding despite an intervening
 // write) or duplicated ones would break the equality.
-TEST(HwMemoryTest, ConcurrentFetchIncrementIsExact) {
+TEST_P(HwMemoryPolicyTest, ConcurrentFetchIncrementIsExact) {
   constexpr int kThreads = 4;
   constexpr std::uint64_t kPerThread = 3000;
-  HwMemory mem(1, kThreads);
+  HwMemory mem(1, kThreads, {}, GetParam());
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
@@ -156,14 +188,29 @@ TEST(HwMemoryTest, ConcurrentFetchIncrementIsExact) {
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(mem.peek_value(0).as_u64(), kThreads * kPerThread);
+  // The retry loop's payloads all fit an inline word, so the inline
+  // policy's hot path must never box a node.
+  if (inline_policy()) {
+    EXPECT_EQ(mem.reclaim_stats().nodes_allocated, 0u);
+    EXPECT_EQ(mem.width_stats().overflow_events, 0u);
+  }
 }
 
-TEST(HwMemoryTest, EpochReclamationFreesRetiredNodes) {
-  HwMemory mem(1, 1);
+TEST_P(HwMemoryPolicyTest, EpochReclamationFreesRetiredNodes) {
+  HwMemory mem(1, 1, {}, GetParam());
   for (int i = 0; i < 20000; ++i) {
     (void)mem.swap(0, 0, Value::of_u64(static_cast<std::uint64_t>(i)));
   }
   const HwReclaimStats s = mem.reclaim_stats();
+  if (inline_policy()) {
+    // Small u64 payloads live in the register word itself: no nodes were
+    // ever allocated, so there is nothing to retire or reclaim.
+    EXPECT_EQ(s.nodes_allocated, 0u);
+    EXPECT_EQ(s.nodes_retired, 0u);
+    EXPECT_EQ(s.nodes_freed, 0u);
+    EXPECT_EQ(mem.width_stats().inline_installs, 20000u);
+    return;
+  }
   EXPECT_EQ(s.nodes_allocated, 20000u);
   EXPECT_EQ(s.nodes_retired, 20000u);  // every install retires its predecessor
   EXPECT_LE(s.nodes_freed, s.nodes_retired);
@@ -179,7 +226,7 @@ TEST(HwMemoryTest, EpochReclamationFreesRetiredNodes) {
 // spin, yield, AND park wait paths; the stats cross-check pins the
 // accounting (every loop iteration is either a counted failure or a
 // counted success). Runs under the tsan CI job like every hw_* suite.
-TEST(HwMemoryTest, OversubscribedAdaptiveParkingRmwIsExact) {
+TEST_P(HwMemoryPolicyTest, OversubscribedAdaptiveParkingRmwIsExact) {
   const int kThreads = std::max(
       4, 2 * static_cast<int>(std::thread::hardware_concurrency()));
   constexpr std::uint64_t kPerThread = 1500;
@@ -191,7 +238,7 @@ TEST(HwMemoryTest, OversubscribedAdaptiveParkingRmwIsExact) {
   opts.max_spins = 64;
   opts.yield_threshold = 32;
   opts.park_threshold = 1;
-  HwMemory mem(1, kThreads, opts);
+  HwMemory mem(1, kThreads, opts, GetParam());
   const auto inc = make_rmw("inc", [](const Value& v) {
     return Value::of_u64(v.is_nil() ? 1 : v.as_u64() + 1);
   });
@@ -216,9 +263,9 @@ TEST(HwMemoryTest, OversubscribedAdaptiveParkingRmwIsExact) {
   EXPECT_LE(s.failure_rate(), 1.0);
 }
 
-TEST(HwMemoryTest, ReclamationUnderContention) {
+TEST_P(HwMemoryPolicyTest, ReclamationUnderContention) {
   constexpr int kThreads = 4;
-  HwMemory mem(2, kThreads);
+  HwMemory mem(2, kThreads, {}, GetParam());
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
@@ -235,8 +282,89 @@ TEST(HwMemoryTest, ReclamationUnderContention) {
   for (auto& t : threads) t.join();
   const HwReclaimStats s = mem.reclaim_stats();
   EXPECT_EQ(s.nodes_retired, s.nodes_allocated);
+  if (inline_policy()) {
+    // All payloads fit inline — the policy's no-allocation promise holds
+    // under contention too.
+    EXPECT_EQ(s.nodes_allocated, 0u);
+    return;
+  }
   EXPECT_GT(s.nodes_freed, 0u);
   EXPECT_LE(s.nodes_freed, s.nodes_retired);
+}
+
+// --- inline-only behaviors ----------------------------------------------
+
+// A value beyond the 47-bit payload bound demotes the register to a boxed
+// node (sticky), counts an overflow event, and keeps every subsequent
+// operation correct — including small values that would have fit.
+TEST(HwMemoryInlineTest, OverflowDemotesRegisterAndCounts) {
+  HwMemory mem(2, 1, {}, StoragePolicy::kInline);
+  const Value big = Value::of_u64(kInlineMaxU64 + 1);
+  (void)mem.swap(0, 0, big);
+  EXPECT_EQ(mem.peek_value(0).as_u64(), kInlineMaxU64 + 1);
+  RegisterWidthStats w = mem.width_stats();
+  EXPECT_EQ(w.policy, StoragePolicy::kInline);
+  EXPECT_EQ(w.overflow_events, 1u);
+  EXPECT_EQ(w.boxed_installs, 1u);
+  EXPECT_EQ(w.boxed_fallback_registers, 1u);
+  // Demotion is sticky: a small value on the demoted register is boxed,
+  // while the untouched register still installs inline.
+  (void)mem.swap(0, 0, Value::of_u64(5));
+  (void)mem.swap(0, 1, Value::of_u64(5));
+  w = mem.width_stats();
+  EXPECT_EQ(w.boxed_installs, 2u);
+  EXPECT_EQ(w.inline_installs, 1u);
+  EXPECT_EQ(w.boxed_fallback_registers, 1u);
+  EXPECT_EQ(w.overflow_events, 1u);  // only the unencodable write counts
+  // LL/SC on the demoted register behaves exactly as specified.
+  (void)mem.ll(0, 0);
+  EXPECT_TRUE(mem.sc(0, 0, Value::of_u64(6)).flag);
+  EXPECT_EQ(mem.peek_value(0).as_u64(), 6u);
+}
+
+// Strict policy: a completed write that does not fit faults the run
+// instead of falling back; a FAILED SC never faults, whatever its
+// argument (matching the simulator's check-after-link-check order).
+TEST(HwMemoryInlineTest, StrictPolicyThrowsOnOverflow) {
+  HwMemory mem(2, 2, {}, StoragePolicy::kInlineStrict);
+  const Value big = Value::of_u64(kInlineMaxU64 + 1);
+  EXPECT_THROW((void)mem.swap(0, 0, big), RegisterOverflowError);
+  // The failed swap mutated nothing.
+  EXPECT_TRUE(mem.peek_value(0).is_nil());
+  // Dead link: the SC fails before the overflow check and must not throw.
+  (void)mem.ll(0, 1);
+  (void)mem.swap(1, 1, Value::of_u64(1));
+  OpResult r;
+  EXPECT_NO_THROW(r = mem.sc(0, 1, big));
+  EXPECT_FALSE(r.flag);
+  // Live link: the SC would complete, so the overflow faults it.
+  (void)mem.ll(0, 1);
+  EXPECT_THROW((void)mem.sc(0, 1, big), RegisterOverflowError);
+  EXPECT_EQ(mem.peek_value(1).as_u64(), 1u);
+}
+
+// Version-tag wrap: the 16-bit tag cycles after 65535 completed inline
+// writes. Far more writes than one period must leave LL/SC semantics
+// intact (each write bumps the tag, so a stale link can only revalidate
+// after exactly k * 65535 intervening writes — not exercised here; this
+// pins the wrap itself: correct values, zero allocations, full count).
+TEST(HwMemoryInlineTest, TagWrapKeepsLlScExact) {
+  constexpr std::uint64_t kWrites = 70000;  // > one 65535 tag period
+  HwMemory mem(1, 1, {}, StoragePolicy::kInline);
+  for (std::uint64_t i = 0; i < kWrites; ++i) {
+    (void)mem.ll(0, 0);
+    const OpResult r = mem.sc(0, 0, Value::of_u64(i));
+    ASSERT_TRUE(r.flag) << "write " << i;
+  }
+  EXPECT_EQ(mem.peek_value(0).as_u64(), kWrites - 1);
+  EXPECT_EQ(mem.reclaim_stats().nodes_allocated, 0u);
+  const RegisterWidthStats w = mem.width_stats();
+  EXPECT_EQ(w.inline_installs, kWrites);
+  EXPECT_EQ(w.overflow_events, 0u);
+  // A link taken before a wrapped-tag write must still be dead after it.
+  (void)mem.ll(0, 0);
+  (void)mem.swap(0, 0, Value::of_u64(1));
+  EXPECT_FALSE(mem.validate(0, 0).flag);
 }
 
 }  // namespace

@@ -33,8 +33,11 @@ fault-injection graceful-degradation sweep) must carry sc_fail_rate in
 taxonomy counts. BM_E13_* rows (the adversarial-placement comparison)
 must carry n_threads, strategy_id (0 oblivious / 1 adaptive / 2 burst),
 fault_budget, injected_sc_failures (<= fault_budget when the budget is
-capped), and retry_amplification >= 1. Use it in CI to fail fast on
-truncated benchmark artifacts.
+capped), and retry_amplification >= 1. BM_E14_* rows (the register-
+storage-policy comparison) must carry n_threads, policy_id (0 boxed /
+1 inline / 2 inline-strict), hw_ops_per_sec, and a non-negative
+overflow_events count. Use it in CI to fail fast on truncated benchmark
+artifacts.
 """
 import argparse
 import csv
@@ -82,6 +85,16 @@ E13_REQUIRED = [
     "retry_amplification",
 ]
 E13_STRATEGY_IDS = {0.0, 1.0, 2.0}  # oblivious, adaptive, burst
+
+# The E14 register-storage-policy rows (BM_E14_* in
+# bench/bench_hw_throughput.cc) compare inline tagged words against boxed
+# nodes; their fingerprint is the policy plus the overflow accounting, or
+# the inline-vs-boxed contrast cannot be reconstructed from the CSV.
+E14_ROW_PREFIX = "BM_E14"
+E14_REQUIRED = [
+    "n_threads", "policy_id", "hw_ops_per_sec", "overflow_events",
+]
+E14_POLICY_IDS = {0.0, 1.0, 2.0}  # boxed, inline, inline-strict
 
 
 class MalformedInput(Exception):
@@ -232,6 +245,24 @@ def validate(rows):
                 raise MalformedInput(
                     f"benchmark {row['name']}/{row['arg']}: "
                     f"retry_amplification below 1")
+        if row["name"].startswith(E14_ROW_PREFIX):
+            missing = [f for f in E14_REQUIRED if f not in row]
+            if missing:
+                raise MalformedInput(
+                    f"benchmark {row['name']}/{row['arg']}: storage-policy "
+                    f"row missing field(s): {', '.join(missing)}")
+            if row["policy_id"] not in E14_POLICY_IDS:
+                raise MalformedInput(
+                    f"benchmark {row['name']}/{row['arg']}: unknown "
+                    f"policy_id {row['policy_id']}")
+            if row["hw_ops_per_sec"] < 0:
+                raise MalformedInput(
+                    f"benchmark {row['name']}/{row['arg']}: negative "
+                    f"hw_ops_per_sec")
+            if row["overflow_events"] < 0:
+                raise MalformedInput(
+                    f"benchmark {row['name']}/{row['arg']}: negative "
+                    f"overflow_events")
 
 
 def write_csv(rows, out):

@@ -107,10 +107,19 @@ def main():
             continue
         cmd = [args.binary, "--replay", path, "--platform", args.platform,
                "--timeout_ms", str(args.timeout_ms)]
+        # Non-boxed artifacts carry the storage policy and width counters
+        # of the failing sample (optional keys; boxed artifacts omit them).
+        width = ""
+        if "storage_policy" in doc:
+            width = (f", storage={doc['storage_policy']}"
+                     f", overflow_events={doc.get('overflow_events', 0)}"
+                     f", max_bits={doc.get('max_bits', 0)}"
+                     f", boxed_fallback_registers="
+                     f"{doc.get('boxed_fallback_registers', 0)}")
         proc = subprocess.run(cmd, capture_output=True, text=True)
         if proc.returncode == 0:
             print(f"OK    {path}: replay matches "
-                  f"(status={doc['status']}, n={doc['n']})")
+                  f"(status={doc['status']}, n={doc['n']}{width})")
         else:
             failures += 1
             print(f"FAIL  {path}: replay diverged (exit {proc.returncode})")

@@ -58,6 +58,9 @@ def run_replay_fault(*args):
 E13_GOOD = dict(n_threads=4, strategy_id=1, fault_budget=128,
                 injected_sc_failures=128, retry_amplification=1.5)
 
+E14_GOOD = dict(n_threads=4, policy_id=1, hw_ops_per_sec=2.5e6,
+                overflow_events=0)
+
 
 class BenchToCsvCheckTest(unittest.TestCase):
     def test_valid_generic_row_passes(self):
@@ -130,6 +133,31 @@ class BenchToCsvCheckTest(unittest.TestCase):
         proc = run_bench_to_csv(bench_doc(row), "--check")
         self.assertEqual(proc.returncode, 1)
         self.assertIn("retry_amplification", proc.stderr)
+
+    def test_e14_row_passes(self):
+        row = bench_row("BM_E14_StorageHammer_Inline/4", **E14_GOOD)
+        proc = run_bench_to_csv(bench_doc(row), "--check")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_e14_row_missing_policy_rejected(self):
+        counters = dict(E14_GOOD)
+        del counters["policy_id"]
+        row = bench_row("BM_E14_StorageHammer_Inline/4", **counters)
+        proc = run_bench_to_csv(bench_doc(row), "--check")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("policy_id", proc.stderr)
+
+    def test_e14_unknown_policy_rejected(self):
+        row = bench_row("BM_E14_X/4", **dict(E14_GOOD, policy_id=9))
+        proc = run_bench_to_csv(bench_doc(row), "--check")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("policy_id", proc.stderr)
+
+    def test_e14_negative_overflow_rejected(self):
+        row = bench_row("BM_E14_X/4", **dict(E14_GOOD, overflow_events=-1))
+        proc = run_bench_to_csv(bench_doc(row), "--check")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("overflow_events", proc.stderr)
 
 
 class BenchToCsvConvertTest(unittest.TestCase):
