@@ -17,10 +17,17 @@
 // adaptive+parking backoff policies (hw/backoff.h) on a raw single-register
 // rmw hammer across thread counts, including an oversubscribed point
 // (threads = 2 × cores) where the parking tier earns its keep.
-// E14 (bottom): BM_E14_* compares the register-storage policies
+// E14: BM_E14_* compares the register-storage policies
 // (memory/storage_policy.h) — boxed versioned nodes vs inline 64-bit
 // tagged words — on the same single-register retry loop and on the
 // count-based wakeup algorithm via HwExecutor.
+// E15 (bottom): BM_E15_* pits the flat-combining universal construction
+// (universal/combining.h) against the single-register helping baseline
+// and the raw LL/SC DirectFetchAdd on real threads, reporting ops/sec and
+// — for combining — the mean batch size per successful install. Combining
+// and direct are lock-free, not wait-free, so E15 deliberately does NOT
+// reuse E10's shared_ops-vs-analytic-worst-case assertion; exactness is
+// audited through the response sum alone.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -30,11 +37,13 @@
 #include <thread>
 #include <vector>
 
+#include "direct/direct.h"
 #include "hw/hw_executor.h"
 #include "memory/rmw.h"
 #include "memory/storage_policy.h"
 #include "wakeup/algorithms.h"
 #include "objects/arith.h"
+#include "universal/combining.h"
 #include "universal/group_update.h"
 #include "universal/single_register.h"
 #include "util/check.h"
@@ -351,6 +360,137 @@ void e14_wakeup_sweep(benchmark::internal::Benchmark* b) {
   }
 }
 
+// --- E15: flat-combining vs helping vs raw LL/SC on real threads ---------
+//
+// Every thread performs `ops` fetch&increment operations through one of
+// three implementations of the same object:
+//
+//   * Combining     — CombiningUniversal in its strict (unbounded-retry)
+//     mode: announce + toggle, one winner applies the whole pending batch
+//     and CAS-installs state + responses, losers adopt.
+//   * SingleRegister — the classic one-register helping construction
+//     (every process re-applies every announced op).
+//   * DirectFetchAdd — the oblivious-free LL/SC retry loop; the
+//     "hardware" price of the operation, no universality overhead.
+//
+// The batching thesis: under contention a single combining install
+// retires several operations, so its ops/sec should beat SingleRegister
+// from n >= 8 while mean_batch_size climbs past 1. Combining and direct
+// are lock-free (per-attempt cost bounded, total cost not), so unlike
+// E10 no shared-ops-vs-worst-case bound is asserted here — correctness
+// is the response-sum audit only. The *_Inline legs re-run combining and
+// single-register under StoragePolicy::kInline, where both constructions'
+// structured payloads exercise the demote-on-overflow path on every
+// install (toggle words stay inline by design; see universal/combining.h).
+
+enum class E15Which { kCombining, kSingleRegister, kDirect };
+
+void run_e15(benchmark::State& state, E15Which which, StoragePolicy policy) {
+  const int n = static_cast<int>(state.range(0));
+  const int ops = static_cast<int>(state.range(1));
+  const UcOpFactory make_op = [](ProcId, int) {
+    return ObjOp{"fetch&increment", {}};
+  };
+  const ObjectFactory factory = [] {
+    return std::make_unique<FetchAddObject>(64, 0);
+  };
+  UcThroughput t;
+  CombiningStats cstats;
+  for (auto _ : state) {
+    std::unique_ptr<UniversalConstruction> uc;
+    CombiningUniversal* combining = nullptr;
+    switch (which) {
+      case E15Which::kCombining: {
+        auto c = std::make_unique<CombiningUniversal>(n, factory);
+        combining = c.get();
+        uc = std::move(c);
+        break;
+      }
+      case E15Which::kSingleRegister:
+        uc = std::make_unique<SingleRegisterUC>(n, factory);
+        break;
+      case E15Which::kDirect:
+        uc = std::make_unique<DirectFetchAdd>();
+        break;
+    }
+    HwRunOptions opts;
+    opts.storage = policy;
+    opts.register_groups = uc->register_groups();
+    HwExecutor exec(opts);
+    t = run_uc_on_hw(exec, *uc, n, ops, make_op);
+    if (combining != nullptr) cstats = combining->stats();
+  }
+  LLSC_CHECK(t.response_sum == t.total_uc_ops * (t.total_uc_ops - 1) / 2,
+             "fetch&increment responses are wrong");
+  state.counters["n_threads"] = n;
+  state.counters["policy_id"] = static_cast<double>(policy);
+  state.counters["uc_ops_per_sec"] = t.ops_per_second;
+  state.counters["latency_p50_ns"] = static_cast<double>(t.latency_p50_ns);
+  state.counters["latency_p99_ns"] = static_cast<double>(t.latency_p99_ns);
+  state.counters["shared_ops_per_uc_op"] = t.shared_ops_per_uc_op;
+  if (which == E15Which::kCombining) {
+    state.counters["mean_batch_size"] = cstats.mean_batch_size();
+    state.counters["batches"] = static_cast<double>(cstats.installs);
+    state.counters["adopted"] = static_cast<double>(cstats.adopted);
+  }
+}
+
+void BM_E15_Combining_Boxed(benchmark::State& state) {
+  run_e15(state, E15Which::kCombining, StoragePolicy::kBoxed);
+}
+void BM_E15_Combining_Inline(benchmark::State& state) {
+  run_e15(state, E15Which::kCombining, StoragePolicy::kInline);
+}
+void BM_E15_SingleRegister_Boxed(benchmark::State& state) {
+  run_e15(state, E15Which::kSingleRegister, StoragePolicy::kBoxed);
+}
+void BM_E15_SingleRegister_Inline(benchmark::State& state) {
+  run_e15(state, E15Which::kSingleRegister, StoragePolicy::kInline);
+}
+void BM_E15_DirectFetchAdd_Boxed(benchmark::State& state) {
+  run_e15(state, E15Which::kDirect, StoragePolicy::kBoxed);
+}
+
+// The batching contrast column. On a single-core host real threads rarely
+// overlap mid-protocol (each ~1us operation completes within its
+// timeslice), so the hw legs above report mean_batch_size barely over 1 —
+// the same host caveat E10 records for its throughput columns. Under the
+// simulator's round-robin schedule every process is mid-operation at
+// once, which is the regime the batching argument is about: the winner's
+// snapshot sees all n toggles flipped and one install retires ~n
+// operations.
+void BM_E15_Combining_Simulator(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int ops = static_cast<int>(state.range(1));
+  const UcOpFactory make_op = [](ProcId, int) {
+    return ObjOp{"fetch&increment", {}};
+  };
+  UcThroughput t;
+  CombiningStats cstats;
+  for (auto _ : state) {
+    CombiningUniversal uc(n, [] {
+      return std::make_unique<FetchAddObject>(64, 0);
+    });
+    t = run_uc_on_simulator(uc, n, ops, make_op);
+    cstats = uc.stats();
+  }
+  LLSC_CHECK(t.response_sum == t.total_uc_ops * (t.total_uc_ops - 1) / 2,
+             "fetch&increment responses are wrong");
+  state.counters["n_threads"] = n;
+  state.counters["policy_id"] = static_cast<double>(StoragePolicy::kBoxed);
+  state.counters["uc_ops_per_sec"] = t.ops_per_second;
+  state.counters["shared_ops_per_uc_op"] = t.shared_ops_per_uc_op;
+  state.counters["mean_batch_size"] = cstats.mean_batch_size();
+  state.counters["batches"] = static_cast<double>(cstats.installs);
+  state.counters["adopted"] = static_cast<double>(cstats.adopted);
+}
+
+void e15_sweep(benchmark::internal::Benchmark* b) {
+  for (const int n : {1, 2, 4, 8, 16}) {
+    b->Args({n, /*ops_per_process=*/256});
+  }
+}
+
 }  // namespace
 }  // namespace llsc
 
@@ -400,3 +540,26 @@ BENCHMARK(llsc::BM_E14_Wakeup_Inline)
     ->Apply(llsc::e14_wakeup_sweep)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+BENCHMARK(llsc::BM_E15_Combining_Boxed)
+    ->Apply(llsc::e15_sweep)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(llsc::BM_E15_Combining_Inline)
+    ->Apply(llsc::e15_sweep)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(llsc::BM_E15_SingleRegister_Boxed)
+    ->Apply(llsc::e15_sweep)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(llsc::BM_E15_SingleRegister_Inline)
+    ->Apply(llsc::e15_sweep)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(llsc::BM_E15_DirectFetchAdd_Boxed)
+    ->Apply(llsc::e15_sweep)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(llsc::BM_E15_Combining_Simulator)
+    ->Apply(llsc::e15_sweep)
+    ->Unit(benchmark::kMillisecond);

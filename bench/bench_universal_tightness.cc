@@ -1,11 +1,15 @@
 // E2 — tightness of the lower bound. Each process performs one operation
-// on a fetch&increment object implemented by (a) the Group-Update
+// on a fetch&increment object implemented by every registered universal
+// construction (universal.h's make_universal): the Group-Update
 // construction (O(log n) with unbounded registers — the paper's upper
-// bound) and (b) the classic single-register helping construction (O(n)).
+// bound), the classic single-register helping construction (O(n)), the
+// consensus-based construction, and the flat-combining construction
+// (lock-free; its reported bound is the fault-free one-outstanding-op
+// figure).
 //
 // Expected shape: `max_ops_per_op` grows like ~8·log2(n) for Group-Update
-// and like ~2n for the baseline, with the crossover at small n (around
-// n = 16-32); both stay above log_4 n (the lower bound).
+// and like ~2n for the single-register baseline, with the crossover at
+// small n (around n = 16-32); all stay above log_4 n (the lower bound).
 #include <benchmark/benchmark.h>
 
 #include <memory>
@@ -13,9 +17,7 @@
 #include "core/adversary.h"
 #include "objects/arith.h"
 #include "sched/scheduler.h"
-#include "universal/consensus_based.h"
-#include "universal/group_update.h"
-#include "universal/single_register.h"
+#include "universal/universal.h"
 #include "util/check.h"
 #include "util/str.h"
 
@@ -28,28 +30,15 @@ SimTask one_op(ProcCtx ctx, UniversalConstruction* uc) {
   co_return r;
 }
 
-enum class Which { kGroupUpdate, kSingleRegister, kConsensusBased };
-
-void run_case(benchmark::State& state, Which which, bool adversarial) {
+void run_case(benchmark::State& state, const std::string& which,
+              bool adversarial) {
   const int n = static_cast<int>(state.range(0));
   std::uint64_t max_ops = 0;
   std::uint64_t worst_case = 0;
   for (auto _ : state) {
-    std::unique_ptr<UniversalConstruction> uc;
-    const ObjectFactory factory = [] {
+    std::unique_ptr<UniversalConstruction> uc = make_universal(which, n, [] {
       return std::make_unique<FetchAddObject>(64, 0);
-    };
-    switch (which) {
-      case Which::kGroupUpdate:
-        uc = std::make_unique<GroupUpdateUC>(n, factory);
-        break;
-      case Which::kSingleRegister:
-        uc = std::make_unique<SingleRegisterUC>(n, factory);
-        break;
-      case Which::kConsensusBased:
-        uc = std::make_unique<ConsensusBasedUC>(n, factory);
-        break;
-    }
+    });
     System sys(n, [&uc](ProcCtx ctx, ProcId, int) {
       return one_op(ctx, uc.get());
     });
@@ -82,22 +71,28 @@ void run_case(benchmark::State& state, Which which, bool adversarial) {
 }
 
 void BM_GroupUpdate_RoundRobin(benchmark::State& state) {
-  run_case(state, Which::kGroupUpdate, /*adversarial=*/false);
+  run_case(state, "group-update", /*adversarial=*/false);
 }
 void BM_SingleRegister_RoundRobin(benchmark::State& state) {
-  run_case(state, Which::kSingleRegister, /*adversarial=*/false);
+  run_case(state, "single-register", /*adversarial=*/false);
 }
 void BM_ConsensusBased_RoundRobin(benchmark::State& state) {
-  run_case(state, Which::kConsensusBased, /*adversarial=*/false);
+  run_case(state, "consensus-based", /*adversarial=*/false);
+}
+void BM_Combining_RoundRobin(benchmark::State& state) {
+  run_case(state, "combining", /*adversarial=*/false);
 }
 void BM_GroupUpdate_Adversary(benchmark::State& state) {
-  run_case(state, Which::kGroupUpdate, /*adversarial=*/true);
+  run_case(state, "group-update", /*adversarial=*/true);
 }
 void BM_SingleRegister_Adversary(benchmark::State& state) {
-  run_case(state, Which::kSingleRegister, /*adversarial=*/true);
+  run_case(state, "single-register", /*adversarial=*/true);
 }
 void BM_ConsensusBased_Adversary(benchmark::State& state) {
-  run_case(state, Which::kConsensusBased, /*adversarial=*/true);
+  run_case(state, "consensus-based", /*adversarial=*/true);
+}
+void BM_Combining_Adversary(benchmark::State& state) {
+  run_case(state, "combining", /*adversarial=*/true);
 }
 
 }  // namespace
@@ -115,6 +110,10 @@ BENCHMARK(llsc::BM_ConsensusBased_RoundRobin)
     ->RangeMultiplier(2)
     ->Range(2, 1024)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(llsc::BM_Combining_RoundRobin)
+    ->RangeMultiplier(2)
+    ->Range(2, 1024)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(llsc::BM_GroupUpdate_Adversary)
     ->RangeMultiplier(4)
     ->Range(2, 256)
@@ -124,6 +123,10 @@ BENCHMARK(llsc::BM_SingleRegister_Adversary)
     ->Range(2, 256)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(llsc::BM_ConsensusBased_Adversary)
+    ->RangeMultiplier(4)
+    ->Range(2, 256)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(llsc::BM_Combining_Adversary)
     ->RangeMultiplier(4)
     ->Range(2, 256)
     ->Unit(benchmark::kMillisecond);

@@ -1,6 +1,11 @@
 #include "hw/fault_scenarios.h"
 
+#include <memory>
+
 #include "memory/value.h"
+#include "objects/arith.h"
+#include "universal/combining.h"
+#include "universal/single_register.h"
 #include "wakeup/algorithms.h"
 
 namespace llsc {
@@ -8,6 +13,7 @@ namespace llsc {
 namespace {
 
 constexpr int kFixedRounds = 8;
+constexpr int kUcScenarioOps = 2;
 
 // Each process hammers its own register: exactly kFixedRounds swaps per
 // process, no cross-process data flow, so the per-process op count is 8
@@ -34,6 +40,55 @@ SimTask fixed_ll_sc_body(ProcCtx ctx, ProcId i, int) {
   co_return Value::of_u64(1);
 }
 
+// Universal-construction scenarios: every process runs kUcScenarioOps
+// fetch&increment operations through a FIXED-shape universal construction
+// (single-register's two-attempt loop, or combining with a pinned attempt
+// budget + full announce scans), so the per-process op count is schedule-
+// independent even though SC outcomes, batch contents, and responses are
+// not. Fault tolerance: neither shape faults when injected SC loss leaves
+// an operation unapplied — single-register runs with tolerate_unapplied,
+// combining's fixed mode returns nil by contract.
+struct UcScenarioState {
+  std::unique_ptr<UniversalConstruction> uc;
+};
+
+SimTask uc_scenario_worker(ProcCtx ctx,
+                           std::shared_ptr<UcScenarioState> state) {
+  for (int k = 0; k < kUcScenarioOps; ++k) {
+    // Hoisted: braced temporaries may not appear in co_await expressions
+    // (GCC 12 workaround; see runtime/sub_task.h).
+    ObjOp op{"fetch&increment", {}};
+    (void)co_await state->uc->execute(ctx, std::move(op));
+  }
+  co_return Value::of_u64(1);
+}
+
+ProcBody uc_scenario(bool combining) {
+  // One construction per run, shared by the run's n processes. Both
+  // substrates instantiate the bodies for processes 0..n-1 in ascending
+  // order on the driving thread before any step executes, so "i == 0"
+  // marks a run boundary and rebuilding there gives every run (including
+  // the record and replay legs of one differential triple) a fresh,
+  // identical starting state.
+  auto state = std::make_shared<UcScenarioState>();
+  return [state, combining](ProcCtx ctx, ProcId i, int n) {
+    if (i == 0) {
+      ObjectFactory factory = [] {
+        return std::make_unique<FetchAddObject>(64, 0);
+      };
+      if (combining) {
+        state->uc = std::make_unique<CombiningUniversal>(
+            n, std::move(factory), /*base=*/0,
+            CombiningOptions{.max_attempts = 2, .scan_all = true});
+      } else {
+        state->uc = std::make_unique<SingleRegisterUC>(
+            n, std::move(factory), /*base=*/0, /*tolerate_unapplied=*/true);
+      }
+    }
+    return uc_scenario_worker(ctx, state);
+  };
+}
+
 }  // namespace
 
 ProcBody fault_scenario(const std::string& name) {
@@ -42,12 +97,15 @@ ProcBody fault_scenario(const std::string& name) {
   if (name == "counter") return counter_wakeup();
   if (name == "fixed_swap") return &fixed_swap_body;
   if (name == "fixed_ll_sc") return &fixed_ll_sc_body;
+  if (name == "uc_single_register") return uc_scenario(/*combining=*/false);
+  if (name == "uc_combining") return uc_scenario(/*combining=*/true);
   return {};
 }
 
 std::vector<std::string> fault_scenario_names() {
-  return {"tournament", "randomized_tournament", "counter", "fixed_swap",
-          "fixed_ll_sc"};
+  return {"tournament",  "randomized_tournament", "counter",
+          "fixed_swap",  "fixed_ll_sc",           "uc_single_register",
+          "uc_combining"};
 }
 
 }  // namespace llsc

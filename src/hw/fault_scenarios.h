@@ -28,6 +28,10 @@ namespace llsc {
 //   "counter"               — counter_wakeup()
 //   "fixed_swap"            — each process swaps its own register 8 times
 //   "fixed_ll_sc"           — 8 x (LL; SC) on one shared register
+//   "uc_single_register"    — 2 fetch&increments per process through a
+//                             fixed-shape SingleRegisterUC
+//   "uc_combining"          — 2 fetch&increments per process through
+//                             CombiningUniversal's fixed two-attempt mode
 ProcBody fault_scenario(const std::string& name);
 
 // Names accepted by fault_scenario, for CLI help text.

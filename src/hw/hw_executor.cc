@@ -232,6 +232,9 @@ HwRunResult HwExecutor::run(int n, const ProcBody& body) {
   LLSC_EXPECTS(n >= 1, "an execution needs at least one process");
   HwMemory memory(options_.num_registers, n, options_.backoff,
                   options_.storage);
+  if (!options_.register_groups.empty()) {
+    memory.set_register_groups(options_.register_groups);
+  }
   std::shared_ptr<const TossAssignment> tosses = options_.tosses;
   if (!tosses) {
     tosses = std::make_shared<SeededTossAssignment>(options_.seed);

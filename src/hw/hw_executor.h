@@ -95,6 +95,10 @@ struct HwRunOptions {
   // Watchdog poll period (only meaningful when a deadline or progress
   // window is armed).
   std::uint64_t watchdog_poll_ms = 5;
+  // Labeled logical-object register ranges (memory/storage_policy.h),
+  // e.g. from UniversalConstruction::register_groups(). When non-empty
+  // the run's width stats attribute demoted registers per group.
+  std::vector<RegisterGroup> register_groups;
 };
 
 // Per-process outcome of one hw run.

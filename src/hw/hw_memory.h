@@ -100,6 +100,12 @@ class HwMemory {
   HwBackoffStats backoff_stats() const { return storage_->backoff_stats(); }
   RegisterWidthStats width_stats() const { return storage_->width_stats(); }
 
+  // Per-logical-object width attribution (memory/storage_policy.h); set
+  // before threads start.
+  void set_register_groups(std::vector<RegisterGroup> groups) {
+    storage_->set_register_groups(std::move(groups));
+  }
+
  private:
   std::unique_ptr<RegisterStorage> storage_;
 };

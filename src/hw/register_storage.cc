@@ -529,10 +529,15 @@ RegisterWidthStats InlineStorage::width_stats() const {
   RegisterWidthStats s = RegisterStorage::width_stats();
   // Demotion is sticky, so the demoted-register count is exactly the
   // number of words currently holding a node (quiescent read).
-  for (const auto& reg : regs_) {
-    const std::uint64_t w = reg.word.load(std::memory_order_acquire);
-    if (w != 0 && is_node_word(w)) ++s.boxed_fallback_registers;
+  std::vector<RegId> demoted;
+  for (std::size_t r = 0; r < regs_.size(); ++r) {
+    const std::uint64_t w = regs_[r].word.load(std::memory_order_acquire);
+    if (w != 0 && is_node_word(w)) {
+      ++s.boxed_fallback_registers;
+      demoted.push_back(static_cast<RegId>(r));
+    }
   }
+  attribute_boxed_fallbacks(register_groups(), demoted, s);
   return s;
 }
 

@@ -112,6 +112,18 @@ class RegisterStorage {
   HwBackoffStats backoff_stats() const;
   virtual RegisterWidthStats width_stats() const;
 
+  // Labeled logical-object ranges (memory/storage_policy.h). When set,
+  // InlineStorage::width_stats() attributes each demoted register to its
+  // group in boxed_fallback_by_group; empty (the default) keeps the
+  // breakdown empty and existing artifact schemas byte-stable. Set before
+  // the run; not thread-safe against concurrent operations.
+  void set_register_groups(std::vector<RegisterGroup> groups) {
+    groups_ = std::move(groups);
+  }
+  const std::vector<RegisterGroup>& register_groups() const {
+    return groups_;
+  }
+
  protected:
   // Immutable once published; versions per register strictly increase and
   // are never reused (from 1 step 1 under BoxedStorage; from 2 step 2 —
@@ -197,6 +209,7 @@ class RegisterStorage {
   std::vector<PaddedWord> regs_;
   std::vector<std::unique_ptr<ThreadCtx>> ctxs_;
   BackoffOptions backoff_options_;
+  std::vector<RegisterGroup> groups_;
   Waiter* waiter_;
   alignas(kCacheLineBytes) std::atomic<std::uint64_t> global_epoch_{1};
 };

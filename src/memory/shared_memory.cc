@@ -190,6 +190,8 @@ RegisterWidthStats SharedMemory::width_stats() const {
   RegisterWidthStats s = width_;
   s.policy = storage_;
   s.boxed_fallback_registers = demoted_.size();
+  attribute_boxed_fallbacks(
+      groups_, std::vector<RegId>(demoted_.begin(), demoted_.end()), s);
   return s;
 }
 

@@ -99,6 +99,15 @@ class SharedMemory {
   StoragePolicy storage_policy() const { return storage_; }
   RegisterWidthStats width_stats() const;
 
+  // Labeled logical-object ranges (e.g. a universal construction's
+  // announce array vs its state register). When set, width_stats()
+  // attributes each demoted register to its group in
+  // boxed_fallback_by_group; when empty (the default) the breakdown stays
+  // empty and existing consumers see the lumped counter only.
+  void set_register_groups(std::vector<RegisterGroup> groups) {
+    groups_ = std::move(groups);
+  }
+
   // Structural hash of the full memory state (values + Psets), used by the
   // bounded model checker to detect revisited configurations.
   std::size_t state_hash() const;
@@ -120,6 +129,7 @@ class SharedMemory {
   RegisterWidthStats width_;
   // Registers an overflow demoted to boxing (kInline; sticky, like hw).
   std::set<RegId> demoted_;
+  std::vector<RegisterGroup> groups_;
 };
 
 }  // namespace llsc

@@ -34,9 +34,12 @@
 #define LLSC_MEMORY_STORAGE_POLICY_H_
 
 #include <cstdint>
+#include <map>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
+#include "memory/op.h"
 #include "memory/value.h"
 
 namespace llsc {
@@ -88,6 +91,24 @@ std::uint64_t next_inline_tag(std::uint64_t tag);
 std::uint64_t encode_inline(const Value& v, std::uint64_t tag);
 Value decode_inline(std::uint64_t word);
 
+// A labeled half-open register-id range [lo, hi) identifying one logical
+// object inside a construction's register span — e.g. CombiningUniversal's
+// announce array vs its single state pointer. Supplied to a substrate
+// (RegisterStorage::set_register_groups / SharedMemory::set_register_groups)
+// so RegisterWidthStats can attribute demote-on-overflow events per
+// logical object instead of lumping them into one counter.
+struct RegisterGroup {
+  std::string label;
+  RegId lo = 0;
+  RegId hi = 0;  // exclusive
+
+  bool contains(RegId r) const { return r >= lo && r < hi; }
+};
+
+// Label under which demoted registers outside every supplied group are
+// reported in the per-group breakdown.
+inline constexpr const char* kUngroupedLabel = "other";
+
 // Width/overflow counters, the hw-side twin of S7's WidthAudit (see
 // core/audit.h: width_audit_from_stats). Counted only at *completed*
 // install points (SC success, swap, move, rmw) — never per CAS retry — so
@@ -106,9 +127,23 @@ struct RegisterWidthStats {
   std::uint64_t boxed_installs = 0;
   // Registers demoted to per-register boxing by an overflow (kInline only).
   std::uint64_t boxed_fallback_registers = 0;
+  // Breakdown of boxed_fallback_registers by logical object, keyed by
+  // RegisterGroup label (kUngroupedLabel for registers outside every
+  // supplied group). Populated only when register groups were installed on
+  // the substrate; empty otherwise, keeping existing artifact schemas
+  // byte-stable. Values always sum to boxed_fallback_registers when
+  // non-empty.
+  std::map<std::string, std::uint64_t> boxed_fallback_by_group;
 
   bool bounded() const { return max_bits != ~std::size_t{0}; }
 };
+
+// Shared attribution helper for both substrates: distributes `demoted`
+// register ids over `groups`, writing the per-label counts into
+// `stats.boxed_fallback_by_group` (no-op when `groups` is empty).
+void attribute_boxed_fallbacks(const std::vector<RegisterGroup>& groups,
+                               const std::vector<RegId>& demoted,
+                               RegisterWidthStats& stats);
 
 }  // namespace llsc
 

@@ -1,0 +1,49 @@
+// Name-keyed registry of the universal constructions, so benches and
+// workloads (E2 tightness, the wakeup/fetch&inc harnesses, E15) select a
+// contender by the string its name() reports instead of linking against
+// each concrete header.
+#include "universal/universal.h"
+
+#include "universal/combining.h"
+#include "universal/consensus_based.h"
+#include "universal/group_update.h"
+#include "universal/single_register.h"
+#include "util/check.h"
+
+namespace llsc {
+
+std::unique_ptr<UniversalConstruction> make_universal(
+    const std::string& name, int n, ObjectFactory factory, RegId base) {
+  if (name == "group-update") {
+    return std::make_unique<GroupUpdateUC>(n, std::move(factory), base);
+  }
+  if (name == "single-register") {
+    return std::make_unique<SingleRegisterUC>(n, std::move(factory), base);
+  }
+  if (name == "consensus-based") {
+    return std::make_unique<ConsensusBasedUC>(n, std::move(factory), base);
+  }
+  if (name == "combining") {
+    return std::make_unique<CombiningUniversal>(n, std::move(factory), base);
+  }
+  LLSC_CHECK(false, "unknown universal construction (want " +
+                        [] {
+                          std::string all;
+                          for (const std::string& s :
+                               universal_construction_names()) {
+                            if (!all.empty()) all += " | ";
+                            all += s;
+                          }
+                          return all;
+                        }() +
+                        "): " + name);
+  return nullptr;
+}
+
+const std::vector<std::string>& universal_construction_names() {
+  static const std::vector<std::string> names = {
+      "group-update", "single-register", "consensus-based", "combining"};
+  return names;
+}
+
+}  // namespace llsc

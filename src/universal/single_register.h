@@ -27,8 +27,15 @@ namespace llsc {
 class SingleRegisterUC final : public UniversalConstruction {
  public:
   // Uses registers [base, base + register_span()): base is the root,
-  // base + 1 + i is process i's announce register.
-  SingleRegisterUC(int n, ObjectFactory factory, RegId base = 0);
+  // base + 1 + i is process i's announce register. The two-attempt
+  // argument makes an unapplied operation after both attempts a
+  // contract violation — unless `tolerate_unapplied` is set, in which
+  // case execute() returns nil instead of failing loudly: under
+  // injected spurious SC loss (hw/fault.h) both attempts can be forced
+  // to fail with no helper succeeding either, and the cross-substrate
+  // differential sweep needs the fixed op shape to survive that.
+  SingleRegisterUC(int n, ObjectFactory factory, RegId base = 0,
+                   bool tolerate_unapplied = false);
 
   SubTask<Value> execute(ProcCtx ctx, ObjOp op) override;
   std::uint64_t worst_case_shared_ops() const override;
@@ -46,6 +53,7 @@ class SingleRegisterUC final : public UniversalConstruction {
   int n_;
   ObjectFactory factory_;
   RegId base_;
+  bool tolerate_unapplied_;
   std::vector<std::uint64_t> next_seq_;
   std::vector<AnnounceSet> announced_;
 };

@@ -10,6 +10,14 @@
 // that. The adaptive strategy is schedule-DEPENDENT, so its legs go
 // through record-on-sim / trace-replay-on-hw — the same loop CI runs via
 // examples/fault_replay.
+//
+// The sweep is parameterized over workload, alternating the raw fixed_*
+// register streams with the two fixed-shape universal-construction
+// scenarios (uc_single_register, uc_combining — fault_scenarios.h): the
+// same contract must hold when the contended SCs come from a whole
+// construction's announce/toggle/install protocol. uc_combining triples
+// ALWAYS go through the record/replay path, so combining replays
+// bit-for-bit from recorded DecisionTraces on both substrates.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -118,7 +126,9 @@ TEST_P(HwFaultDiffTest, RandomTriplesAgreeAcrossSubstrates) {
   int adaptive_with_decisions = 0;
   for (int t = 0; t < kTriples; ++t) {
     const int n = 2 + static_cast<int>(rng.next_below(6));  // 2..7
-    const std::string scenario = (t % 2 == 0) ? "fixed_ll_sc" : "fixed_swap";
+    static const char* const kScenarios[] = {
+        "fixed_ll_sc", "uc_single_register", "fixed_swap", "uc_combining"};
+    const std::string scenario = kScenarios[t % 4];
     const ProcBody body = fault_scenario(scenario);
     const std::uint64_t toss_seed = rng.next_u64();
 
@@ -152,9 +162,12 @@ TEST_P(HwFaultDiffTest, RandomTriplesAgreeAcrossSubstrates) {
     // observed history) and budget-CAPPED oblivious (the roll is pure in
     // (p, k), but which candidates reach the budget first is not — the
     // arrival order differs between the adversary schedule and free-
-    // running threads). Both go through the record/replay contract.
-    const bool schedule_dependent =
-        strategy == 1 || (strategy == 0 && plan.fault_budget > 0);
+    // running threads). Both go through the record/replay contract, as
+    // does every combining triple (the ISSUE-level contract: combining
+    // replays bit-for-bit from recorded DecisionTraces).
+    const bool schedule_dependent = strategy == 1 ||
+                                    (strategy == 0 && plan.fault_budget > 0) ||
+                                    scenario == "uc_combining";
     if (schedule_dependent) {
       // Record on the deterministic simulator, replay the trace on hw.
       const Observed recorded = observe_sim(body, n, toss_seed, plan, storage);
@@ -175,9 +188,10 @@ TEST_P(HwFaultDiffTest, RandomTriplesAgreeAcrossSubstrates) {
     }
     if (HasFatalFailure()) return;
   }
-  // The sweep exercised the adaptive path for real: fixed_ll_sc triples
-  // have contended SCs for the adversary to fail (fixed_swap ones are
-  // intentionally vacuous — swaps never reach the SC decision point).
+  // The sweep exercised the adaptive path for real: fixed_ll_sc and the
+  // two universal-construction scenarios have contended SCs for the
+  // adversary to fail (fixed_swap ones are intentionally vacuous — swaps
+  // never reach the SC decision point).
   EXPECT_GT(adaptive_with_decisions, 10);
 }
 

@@ -3,13 +3,19 @@
 // thread-safe recorder and fed through the src/lin checker — plus
 // linearizability UNDER SPURIOUS SC FAILURES. The wait-free universal
 // constructions assume the helping lemma and abort when an injected
-// failure voids it, so the fault legs use DirectFetchAdd's lock-free
+// failure voids it, so those fault legs use DirectFetchAdd's lock-free
 // LL/SC retry loop: a spurious SC failure there is indistinguishable from
-// losing the race, costing only a retry. The checker then proves the
-// safety half of the fault model: injected failures are false NEGATIVES
-// only — they may delay an operation, never corrupt one.
+// losing the race, costing only a retry. CombiningUniversal is lock-free
+// the same way — a lost SC only delays a batch — so it gets its own fault
+// legs: histories through the announce/toggle/combine protocol must stay
+// linearizable under oblivious and adaptive injection, and the sequence
+// numbers in the announce slots must prevent double-application (each
+// announced op's return value observed exactly once). The checker then
+// proves the safety half of the fault model: injected failures are false
+// NEGATIVES only — they may delay an operation, never corrupt one.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <memory>
 
 #include "direct/direct.h"
@@ -20,6 +26,7 @@
 #include "memory/storage_policy.h"
 #include "objects/arith.h"
 #include "objects/containers.h"
+#include "universal/combining.h"
 #include "universal/group_update.h"
 
 namespace llsc {
@@ -162,6 +169,95 @@ TEST_P(HwLinFaultTest, FetchAddHistoryUnderAdaptiveAdversaryIsLinearizable) {
   plan.strategy = FaultStrategyKind::kAdaptive;
   plan.fault_budget = 6;
   expect_faulted_history_linearizable(plan, GetParam());
+}
+
+// --- CombiningUniversal under injected SC failures -----------------------
+//
+// Lock-free like DirectFetchAdd, so the full strict protocol (announce,
+// toggle flip retry, combine-until-applied) runs to completion under
+// injection: a spurious SC loss delays a batch, never drops it.
+
+History record_faulted_combining_history(std::uint64_t seed,
+                                         const FaultPlan& plan,
+                                         FaultStats* stats,
+                                         StoragePolicy storage) {
+  CombiningUniversal uc(kFaultProcs, [] {
+    return std::make_unique<FetchAddObject>(64, 0);
+  });
+  ConcurrentHistoryRecorder rec(uc, kFaultProcs);
+  HwRunOptions opts;
+  opts.seed = seed;
+  opts.storage = storage;
+  opts.fault = plan.enabled() ? &plan : nullptr;
+  opts.register_groups = uc.register_groups();
+  HwExecutor exec(opts);
+  const HwRunResult run =
+      exec.run(kFaultProcs, [&rec](ProcCtx ctx, ProcId, int) {
+        return fetch_add_workload(ctx, &rec);
+      });
+  EXPECT_TRUE(run.ok);
+  if (stats != nullptr) *stats = run.fault;
+  if (storage == StoragePolicy::kInline) {
+    // The deliberate demote-on-overflow story, attributed per logical
+    // object: the structured state + announce payloads demote their
+    // registers, the ≤46-bit toggle words never do.
+    EXPECT_EQ(run.width.boxed_fallback_by_group.at("state"), 1u);
+    EXPECT_EQ(run.width.boxed_fallback_by_group.at("toggle"), 0u);
+    EXPECT_EQ(run.width.boxed_fallback_by_group.at("announce"),
+              static_cast<std::uint64_t>(kFaultProcs));
+  }
+  return rec.take();
+}
+
+void expect_faulted_combining_history_sound(const FaultPlan& plan,
+                                            StoragePolicy storage) {
+  const ObjectFactory factory = [] {
+    return std::make_unique<FetchAddObject>(64, 0);
+  };
+  constexpr std::size_t kTotal =
+      static_cast<std::size_t>(kFaultProcs * kFetchAddsPerProc);
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    FaultStats stats;
+    const History hist =
+        record_faulted_combining_history(seed, plan, &stats, storage);
+    ASSERT_EQ(hist.ops.size(), kTotal);
+    // The injection actually happened — without it the test is vacuous.
+    EXPECT_GT(stats.injected_sc_failures, 0u);
+    const LinResult lin = check_linearizability(hist, factory);
+    EXPECT_TRUE(lin.search_exhausted);
+    EXPECT_TRUE(lin.linearizable) << hist.to_string();
+    // No-double-apply: a fetch&increment counter hands out each value at
+    // most once, so the announced ops' return values must be exactly
+    // {0, ..., kTotal-1}, each observed exactly once. A dropped op would
+    // shrink the set; a double-applied one would skip a value and (for
+    // two announcements of the same op) duplicate a response.
+    std::map<std::uint64_t, int> seen;
+    for (const HistOp& op : hist.ops) {
+      ASSERT_TRUE(op.response.holds_u64()) << hist.to_string();
+      ++seen[op.response.as_u64()];
+    }
+    ASSERT_EQ(seen.size(), kTotal) << hist.to_string();
+    for (const auto& [value, count] : seen) {
+      EXPECT_LT(value, kTotal);
+      EXPECT_EQ(count, 1) << "response " << value << " observed " << count
+                          << " times";
+    }
+  }
+}
+
+TEST_P(HwLinFaultTest, CombiningHistoryUnderObliviousScFailuresIsSound) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.sc_fail_rate = 0.4;
+  expect_faulted_combining_history_sound(plan, GetParam());
+}
+
+TEST_P(HwLinFaultTest, CombiningHistoryUnderAdaptiveAdversaryIsSound) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.strategy = FaultStrategyKind::kAdaptive;
+  plan.fault_budget = 6;
+  expect_faulted_combining_history_sound(plan, GetParam());
 }
 
 // The memory-level invariant behind those lin checks: a spurious failure

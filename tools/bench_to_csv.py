@@ -36,8 +36,12 @@ fault_budget, injected_sc_failures (<= fault_budget when the budget is
 capped), and retry_amplification >= 1. BM_E14_* rows (the register-
 storage-policy comparison) must carry n_threads, policy_id (0 boxed /
 1 inline / 2 inline-strict), hw_ops_per_sec, and a non-negative
-overflow_events count. Use it in CI to fail fast on truncated benchmark
-artifacts.
+overflow_events count. BM_E15_* rows (the flat-combining universal-
+construction comparison) must carry n_threads, policy_id, and a
+non-negative uc_ops_per_sec; BM_E15_Combining* rows must additionally
+carry a mean_batch_size >= 1 and a batches count >= 1 (every run
+installs at least one batch, every batch holds at least one operation).
+Use it in CI to fail fast on truncated benchmark artifacts.
 """
 import argparse
 import csv
@@ -95,6 +99,19 @@ E14_REQUIRED = [
     "n_threads", "policy_id", "hw_ops_per_sec", "overflow_events",
 ]
 E14_POLICY_IDS = {0.0, 1.0, 2.0}  # boxed, inline, inline-strict
+
+# The E15 flat-combining rows (BM_E15_* in bench/bench_hw_throughput.cc)
+# compare the combining universal construction against the single-register
+# helping baseline and raw LL/SC fetch&add. Every row carries the thread
+# count, storage policy, and throughput; the combining legs additionally
+# carry the batching fingerprint — without it the batching thesis (ops/sec
+# beats the baseline BECAUSE installs retire multiple ops) cannot be
+# reconstructed from the CSV.
+E15_ROW_PREFIX = "BM_E15"
+E15_COMBINING_PREFIX = "BM_E15_Combining"
+E15_REQUIRED = ["n_threads", "policy_id", "uc_ops_per_sec"]
+E15_COMBINING_REQUIRED = ["mean_batch_size", "batches"]
+E15_POLICY_IDS = {0.0, 1.0, 2.0}  # boxed, inline, inline-strict
 
 
 class MalformedInput(Exception):
@@ -263,6 +280,36 @@ def validate(rows):
                 raise MalformedInput(
                     f"benchmark {row['name']}/{row['arg']}: negative "
                     f"overflow_events")
+        if row["name"].startswith(E15_ROW_PREFIX):
+            missing = [f for f in E15_REQUIRED if f not in row]
+            if missing:
+                raise MalformedInput(
+                    f"benchmark {row['name']}/{row['arg']}: combining "
+                    f"comparison row missing field(s): {', '.join(missing)}")
+            if row["policy_id"] not in E15_POLICY_IDS:
+                raise MalformedInput(
+                    f"benchmark {row['name']}/{row['arg']}: unknown "
+                    f"policy_id {row['policy_id']}")
+            if row["uc_ops_per_sec"] < 0:
+                raise MalformedInput(
+                    f"benchmark {row['name']}/{row['arg']}: negative "
+                    f"uc_ops_per_sec")
+            if row["name"].startswith(E15_COMBINING_PREFIX):
+                missing = [
+                    f for f in E15_COMBINING_REQUIRED if f not in row]
+                if missing:
+                    raise MalformedInput(
+                        f"benchmark {row['name']}/{row['arg']}: combining "
+                        f"row missing batching field(s): "
+                        f"{', '.join(missing)}")
+                if row["batches"] < 1:
+                    raise MalformedInput(
+                        f"benchmark {row['name']}/{row['arg']}: a combining "
+                        f"run must install at least one batch")
+                if row["mean_batch_size"] < 1:
+                    raise MalformedInput(
+                        f"benchmark {row['name']}/{row['arg']}: "
+                        f"mean_batch_size below 1")
 
 
 def write_csv(rows, out):

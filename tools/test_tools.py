@@ -5,7 +5,8 @@ Covers the contracts CI depends on:
   * bench_to_csv.py --check — accepts sound benchmark JSON, rejects
     malformed input and rows missing the per-experiment schema fields
     (E10/E11 backoff fingerprint, E12 taxonomy, E13 adversarial-placement
-    accounting) with a nonzero exit;
+    accounting, E14 storage-policy fingerprint, E15 combining batching
+    fingerprint) with a nonzero exit;
   * bench_to_csv.py conversion — emits the expected CSV columns;
   * replay_fault.py — exit codes for missing binaries/keys, the
     custom-scenario and --strategy skip paths, and pass/fail propagation
@@ -60,6 +61,10 @@ E13_GOOD = dict(n_threads=4, strategy_id=1, fault_budget=128,
 
 E14_GOOD = dict(n_threads=4, policy_id=1, hw_ops_per_sec=2.5e6,
                 overflow_events=0)
+
+E15_GOOD = dict(n_threads=8, policy_id=0, uc_ops_per_sec=5.4e5)
+
+E15_COMBINING_GOOD = dict(E15_GOOD, mean_batch_size=3.3, batches=619)
 
 
 class BenchToCsvCheckTest(unittest.TestCase):
@@ -158,6 +163,54 @@ class BenchToCsvCheckTest(unittest.TestCase):
         proc = run_bench_to_csv(bench_doc(row), "--check")
         self.assertEqual(proc.returncode, 1)
         self.assertIn("overflow_events", proc.stderr)
+
+    def test_e15_baseline_row_passes(self):
+        # Non-combining contenders carry no batching fingerprint.
+        row = bench_row("BM_E15_SingleRegister_Boxed/8/256", **E15_GOOD)
+        proc = run_bench_to_csv(bench_doc(row), "--check")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_e15_combining_row_passes(self):
+        row = bench_row("BM_E15_Combining_Boxed/8/256", **E15_COMBINING_GOOD)
+        proc = run_bench_to_csv(bench_doc(row), "--check")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_e15_row_missing_throughput_rejected(self):
+        counters = dict(E15_GOOD)
+        del counters["uc_ops_per_sec"]
+        row = bench_row("BM_E15_DirectFetchAdd_Boxed/8/256", **counters)
+        proc = run_bench_to_csv(bench_doc(row), "--check")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("uc_ops_per_sec", proc.stderr)
+
+    def test_e15_unknown_policy_rejected(self):
+        row = bench_row("BM_E15_Combining_Inline/8/256",
+                        **dict(E15_COMBINING_GOOD, policy_id=9))
+        proc = run_bench_to_csv(bench_doc(row), "--check")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("policy_id", proc.stderr)
+
+    def test_e15_combining_row_missing_batching_rejected(self):
+        # Without mean_batch_size the batching thesis cannot be audited.
+        row = bench_row("BM_E15_Combining_Boxed/8/256",
+                        **dict(E15_GOOD, batches=619))
+        proc = run_bench_to_csv(bench_doc(row), "--check")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("mean_batch_size", proc.stderr)
+
+    def test_e15_combining_batch_below_one_rejected(self):
+        row = bench_row("BM_E15_Combining_Boxed/8/256",
+                        **dict(E15_COMBINING_GOOD, mean_batch_size=0.5))
+        proc = run_bench_to_csv(bench_doc(row), "--check")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("mean_batch_size", proc.stderr)
+
+    def test_e15_combining_zero_batches_rejected(self):
+        row = bench_row("BM_E15_Combining_Boxed/8/256",
+                        **dict(E15_COMBINING_GOOD, batches=0))
+        proc = run_bench_to_csv(bench_doc(row), "--check")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("batch", proc.stderr)
 
 
 class BenchToCsvConvertTest(unittest.TestCase):
