@@ -429,7 +429,13 @@ void run_e15(benchmark::State& state, E15Which which, StoragePolicy policy) {
   state.counters["latency_p99_ns"] = static_cast<double>(t.latency_p99_ns);
   state.counters["shared_ops_per_uc_op"] = t.shared_ops_per_uc_op;
   if (which == E15Which::kCombining) {
-    state.counters["mean_batch_size"] = cstats.mean_batch_size();
+    // A zero-batch run (every op adopted, or crash-stop before the first
+    // winner install) has no meaningful mean: report batches = 0 and OMIT
+    // mean_batch_size rather than emit 0/NaN that --check would reject
+    // (tools/bench_to_csv.py accepts exactly this shape).
+    if (cstats.installs > 0) {
+      state.counters["mean_batch_size"] = cstats.mean_batch_size();
+    }
     state.counters["batches"] = static_cast<double>(cstats.installs);
     state.counters["adopted"] = static_cast<double>(cstats.adopted);
   }
@@ -480,7 +486,11 @@ void BM_E15_Combining_Simulator(benchmark::State& state) {
   state.counters["policy_id"] = static_cast<double>(StoragePolicy::kBoxed);
   state.counters["uc_ops_per_sec"] = t.ops_per_second;
   state.counters["shared_ops_per_uc_op"] = t.shared_ops_per_uc_op;
-  state.counters["mean_batch_size"] = cstats.mean_batch_size();
+  // Same zero-batch contract as run_e15: omit the mean when no winner
+  // ever installed.
+  if (cstats.installs > 0) {
+    state.counters["mean_batch_size"] = cstats.mean_batch_size();
+  }
   state.counters["batches"] = static_cast<double>(cstats.installs);
   state.counters["adopted"] = static_cast<double>(cstats.adopted);
 }

@@ -63,11 +63,16 @@ class Waiter {
   static Waiter& system();
 };
 
-// Per-register park rendezvous. Writers bump `seq` and wake when
-// `waiters` is non-zero; parkers register in `waiters`, snapshot `seq`,
-// and wait while it is unchanged. The (benign) race where a write lands
-// between a parker's last CAS failure and its waiters increment is
-// bounded by the Waiter's timeout.
+// Per-register park rendezvous. Writers install their value, then bump
+// `seq` and wake — but only when `waiters` is non-zero; parkers register
+// in `waiters`, re-snapshot `seq`, RE-CHECK the register word they failed
+// against, and only then wait. The re-check closes the lost-wakeup
+// window: a writer that installed before the parker's `waiters` increment
+// may legitimately skip the seq bump (it saw waiters == 0), but that same
+// install is what the parker's re-check observes, so the parker returns
+// to its retry loop instead of sleeping out the Waiter timeout. A writer
+// that installs after the increment observes waiters != 0 (both sides use
+// seq_cst) and issues the wake.
 struct ParkSpot {
   std::atomic<std::uint32_t> seq{0};
   std::atomic<std::uint32_t> waiters{0};
@@ -97,6 +102,10 @@ struct BackoffStats {
   std::uint64_t spin_pauses = 0;  // backoff waits served by spinning
   std::uint64_t yields = 0;       // ... by yielding the timeslice
   std::uint64_t parks = 0;        // ... by parking on a ParkSpot
+  // Parks cut short by the pre-wait register re-check: the word changed
+  // between the CAS failure and the park, so the thread skipped the wait
+  // entirely instead of riding out the Waiter timeout.
+  std::uint64_t park_skips = 0;
 
   double failure_rate() const {
     const std::uint64_t attempts = cas_failures + cas_successes;
@@ -119,8 +128,14 @@ class Backoff {
   // Called after a failed CAS: wait once (spin, yield, or park on `spot`
   // depending on tier and window), then widen the window — multiplicative
   // increase clamped to max_spins. `spot` may be null (no parking tier
-  // available at this call site).
-  void on_failure(ParkSpot* spot = nullptr);
+  // available at this call site). When parking, `word` is the atomic the
+  // caller's CAS failed against and `observed` the value it saw: after
+  // registering in `waiters` the parker re-reads `word` and skips the
+  // wait if it moved (see ParkSpot). A null `word` skips the re-check and
+  // leans on the Waiter timeout alone.
+  void on_failure(ParkSpot* spot = nullptr,
+                  const std::atomic<std::uint64_t>* word = nullptr,
+                  std::uint64_t observed = 0);
 
   // Called after the retry loop's CAS lands: adaptive policies narrow the
   // window (additive decrease clamped to min_spins).
@@ -141,7 +156,8 @@ class Backoff {
 #endif
   }
 
-  void park(ParkSpot& spot);
+  void park(ParkSpot& spot, const std::atomic<std::uint64_t>* word,
+            std::uint64_t observed);
 
   BackoffOptions options_;
   Waiter* waiter_;
@@ -172,14 +188,16 @@ inline void Backoff::begin_op() {
   }
 }
 
-inline void Backoff::on_failure(ParkSpot* spot) {
+inline void Backoff::on_failure(ParkSpot* spot,
+                                const std::atomic<std::uint64_t>* word,
+                                std::uint64_t observed) {
   ++stats_.cas_failures;
   const bool saturated = window_ >= options_.max_spins;
   saturated_streak_ = saturated ? saturated_streak_ + 1 : 0;
   if (options_.policy == BackoffPolicy::kAdaptiveParking && spot != nullptr &&
       saturated_streak_ > options_.park_threshold) {
     ++stats_.parks;
-    park(*spot);
+    park(*spot, word, observed);
   } else if (window_ >= options_.yield_threshold) {
     ++stats_.yields;
     std::this_thread::yield();
@@ -202,12 +220,26 @@ inline void Backoff::on_success() {
                 : options_.min_spins;
 }
 
-inline void Backoff::park(ParkSpot& spot) {
-  // Order matters: register as a waiter BEFORE snapshotting seq, so a
-  // writer that bumps seq after our snapshot is guaranteed to observe
-  // waiters != 0 and issue the wake.
+inline void Backoff::park(ParkSpot& spot,
+                          const std::atomic<std::uint64_t>* word,
+                          std::uint64_t observed) {
+  // Order matters, twice over. (1) Register as a waiter BEFORE
+  // snapshotting seq, so a writer that bumps seq after our snapshot is
+  // guaranteed to observe waiters != 0 and issue the wake. (2) Re-check
+  // the contended word AFTER registering: a writer that installed before
+  // our increment saw waiters == 0 and skipped its seq bump, so the only
+  // trace of its write is the word itself — seeing it changed here means
+  // a retry will observe new state, and sleeping would trade that for a
+  // full Waiter timeout. Both sides are seq_cst, so one of the two
+  // signals (changed word, or seq bump + wake) is always visible.
   spot.waiters.fetch_add(1, std::memory_order_seq_cst);
   const std::uint32_t seen = spot.seq.load(std::memory_order_seq_cst);
+  if (word != nullptr &&
+      word->load(std::memory_order_seq_cst) != observed) {
+    ++stats_.park_skips;
+    spot.waiters.fetch_sub(1, std::memory_order_relaxed);
+    return;
+  }
   waiter_->wait(spot.seq, seen);
   spot.waiters.fetch_sub(1, std::memory_order_relaxed);
 }

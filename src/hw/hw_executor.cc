@@ -3,13 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <utility>
 
+#include "hw/run_support.h"
 #include "sched/scheduler.h"
 #include "runtime/system.h"
 #include "util/check.h"
@@ -18,109 +17,17 @@ namespace llsc {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
+using hw_internal::CancelledSignal;
+using hw_internal::Clock;
+using hw_internal::CrashStopSignal;
+using hw_internal::MonitoredHwPlatform;
+using hw_internal::RunMonitor;
+using hw_internal::Watchdog;
 
 // Process-wide timeout default; ~0 marks "not resolved yet" so the
 // LLSC_TIMEOUT_MS environment variable is read lazily, after a test/bench
 // main() had its chance to call set_default_hw_timeout_ms().
 std::atomic<std::uint64_t> g_default_timeout_ms{~0ull};
-
-// Thrown (file-local) out of the monitored platform to unwind a worker's
-// coroutine stack; caught in the worker lambda and turned into a per-
-// process outcome. These never escape run().
-struct CrashStopSignal {};
-struct CancelledSignal {};
-
-// Per-worker progress state, padded so the watchdog's reads don't share
-// lines with the workers' increments.
-struct alignas(64) WorkerProgress {
-  std::atomic<std::uint64_t> steps{0};
-  std::atomic<bool> finished{false};
-};
-
-// Shared run monitor: the cancel flag every worker polls at each shared
-// step, plus the per-worker progress counters the watchdog watches.
-struct RunMonitor {
-  explicit RunMonitor(int n) : progress(static_cast<std::size_t>(n)) {}
-
-  void check_cancel(ProcId p) const {
-    if (cancel.load(std::memory_order_relaxed)) {
-      (void)p;
-      throw CancelledSignal{};
-    }
-  }
-  void note_step(ProcId p) {
-    progress[static_cast<std::size_t>(p)].steps.fetch_add(
-        1, std::memory_order_relaxed);
-  }
-
-  std::atomic<bool> cancel{false};
-  std::vector<WorkerProgress> progress;
-};
-
-// HwPlatform plus the robustness hooks: a cancellation checkpoint and a
-// progress tick on every shared-memory op and toss, and (when a plan is
-// installed) the fault injector in front of the memory. Worker bodies
-// therefore observe watchdog cancellation and crash-stops as exceptions
-// at step boundaries — a body that loops without ever taking a step
-// cannot be cancelled (nothing can preempt a native thread), which is
-// why tests keep a ctest-level timeout as backstop.
-class MonitoredHwPlatform final : public Platform {
- public:
-  MonitoredHwPlatform(HwMemory* memory,
-                      std::shared_ptr<const TossAssignment> tosses,
-                      FaultInjector* injector, RunMonitor* monitor,
-                      std::uint32_t stall_unit_ns)
-      : memory_(memory),
-        tosses_(std::move(tosses)),
-        injector_(injector),
-        monitor_(monitor),
-        stall_unit_ns_(stall_unit_ns) {}
-
-  bool synchronous() const override { return true; }
-
-  OpResult apply(ProcId p, const PendingOp& op) override {
-    monitor_->check_cancel(p);
-    OpResult result;
-    if (injector_ != nullptr) {
-      if (injector_->crash_pending(p)) {
-        injector_->note_crash(p);
-        throw CrashStopSignal{};
-      }
-      result = injector_->apply(
-          p, op, [&](const PendingOp& o) { return memory_->apply(p, o); },
-          [&](std::uint32_t units) { stall(p, units); });
-    } else {
-      result = memory_->apply(p, op);
-    }
-    monitor_->note_step(p);
-    return result;
-  }
-
-  std::uint64_t toss(ProcId p, std::uint64_t j) override {
-    monitor_->check_cancel(p);
-    monitor_->note_step(p);
-    return tosses_->outcome(p, j);
-  }
-
-  std::string name() const override { return "hw"; }
-
- private:
-  // Injected delay: sleep unit by unit with a cancellation checkpoint per
-  // unit, so a stalled worker still honours the watchdog promptly.
-  void stall(ProcId p, std::uint32_t units) {
-    for (std::uint32_t u = 0; u < units; ++u) {
-      monitor_->check_cancel(p);
-      std::this_thread::sleep_for(std::chrono::nanoseconds(stall_unit_ns_));
-    }
-  }
-
-  HwMemory* memory_;
-  std::shared_ptr<const TossAssignment> tosses_;
-  FaultInjector* injector_;
-  RunMonitor* monitor_;
-  std::uint32_t stall_unit_ns_;
-};
 
 double seconds_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
@@ -325,64 +232,21 @@ HwRunResult HwExecutor::run(int n, const ProcBody& body) {
   gate.store(1, std::memory_order_release);
   gate.notify_all();
 
-  // Watchdog: polls the deadline and the per-worker progress counters,
-  // and flips the cancel flag when the run is out of budget or wedged.
-  const std::uint64_t deadline_ms =
-      options_.timeout_ms ? *options_.timeout_ms : default_hw_timeout_ms();
-  std::mutex watchdog_mutex;
-  std::condition_variable watchdog_cv;
-  bool run_finished = false;
-  std::thread watchdog;
-  if (deadline_ms > 0 || options_.progress_timeout_ms > 0) {
-    watchdog = std::thread([&] {
-      const auto poll =
-          std::chrono::milliseconds(std::max<std::uint64_t>(
-              1, options_.watchdog_poll_ms));
-      std::uint64_t last_sum = ~0ull;
-      int last_finished = -1;
-      Clock::time_point last_change = Clock::now();
-      std::unique_lock<std::mutex> lock(watchdog_mutex);
-      for (;;) {
-        if (watchdog_cv.wait_for(lock, poll, [&] { return run_finished; })) {
-          return;
-        }
-        const Clock::time_point now = Clock::now();
-        if (deadline_ms > 0 &&
-            now - t0 >= std::chrono::milliseconds(deadline_ms)) {
-          monitor.cancel.store(true, std::memory_order_relaxed);
-          continue;  // keep waiting for run_finished
-        }
-        if (options_.progress_timeout_ms > 0) {
-          std::uint64_t sum = 0;
-          int finished = 0;
-          for (const WorkerProgress& w : monitor.progress) {
-            sum += w.steps.load(std::memory_order_relaxed);
-            finished += w.finished.load(std::memory_order_relaxed) ? 1 : 0;
-          }
-          if (sum != last_sum || finished != last_finished) {
-            last_sum = sum;
-            last_finished = finished;
-            last_change = now;
-          } else if (finished < n &&
-                     now - last_change >= std::chrono::milliseconds(
-                                              options_.progress_timeout_ms)) {
-            monitor.cancel.store(true, std::memory_order_relaxed);
-          }
-        }
-      }
-    });
-  }
+  // Watchdog (hw/run_support.h): deadline + progress stagnation, oversub
+  // factor 1 — every logical process owns a thread here.
+  Watchdog watchdog(
+      &monitor,
+      Watchdog::Config{
+          .deadline_ms = options_.timeout_ms ? *options_.timeout_ms
+                                             : default_hw_timeout_ms(),
+          .progress_timeout_ms = options_.progress_timeout_ms,
+          .poll_ms = options_.watchdog_poll_ms,
+          .oversub_factor = 1},
+      t0);
 
   join_all();
   const Clock::time_point t1 = Clock::now();
-  if (watchdog.joinable()) {
-    {
-      std::lock_guard<std::mutex> lock(watchdog_mutex);
-      run_finished = true;
-    }
-    watchdog_cv.notify_all();
-    watchdog.join();
-  }
+  watchdog.stop();
   for (auto& e : errors) {
     if (e) std::rethrow_exception(e);
   }

@@ -35,6 +35,7 @@
 
 #include "hw/fault.h"
 #include "hw/hw_memory.h"
+#include "hw/latency_histogram.h"
 #include "hw/platform.h"
 #include "runtime/process.h"
 #include "runtime/toss.h"
@@ -101,6 +102,18 @@ struct HwRunOptions {
   std::vector<RegisterGroup> register_groups;
 };
 
+// Scheduler counters of one oversubscribed run (hw/oversub_executor.h);
+// all-zero on the 1:1 HwExecutor, which has no scheduler.
+struct HwSchedStats {
+  int num_threads = 0;       // carrier threads (N); 0 on a 1:1 run
+  int num_procs = 0;         // logical processes (M); 0 on a 1:1 run
+  std::uint64_t resumes = 0;     // coroutine start/resume edges
+  std::uint64_t yields = 0;      // coroutines re-queued at a yield point
+  std::uint64_t steals = 0;      // pops from another worker's shard
+  std::uint64_t idle_parks = 0;  // idle workers parked on the run's spot
+  std::uint64_t idle_park_skips = 0;  // parks cut short by the re-check
+};
+
 // Per-process outcome of one hw run.
 enum class HwProcOutcome : std::uint8_t {
   kDone = 0,     // body ran to completion
@@ -139,6 +152,11 @@ struct HwRunResult {
   // empty on the inline oblivious path. Embed into FaultPlan::trace to
   // replay this run's placement bit-for-bit on either substrate.
   DecisionTrace decision_trace;
+  // Oversubscribed-scheduler counters (zero on a 1:1 run).
+  HwSchedStats sched;
+  // Per-operation enqueue→complete latency, populated only by service-
+  // mode runs (hw/service.h); empty elsewhere.
+  LatencyHistogram latency;
 };
 
 // Process-wide default for HwRunOptions::timeout_ms. Resolution order:

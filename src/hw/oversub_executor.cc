@@ -1,0 +1,399 @@
+#include "hw/oversub_executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "hw/run_support.h"
+#include "util/check.h"
+
+namespace llsc {
+
+namespace {
+
+using hw_internal::CancelledSignal;
+using hw_internal::Clock;
+using hw_internal::CrashStopSignal;
+using hw_internal::MonitoredHwPlatform;
+using hw_internal::RunMonitor;
+using hw_internal::Watchdog;
+
+// The monitored platform plus the yield policy: after an op executed
+// inline, decide whether the coroutine gives its carrier thread back.
+// ops_since_yield_ is indexed by ProcId and only ever touched from the
+// carrier thread currently running that process (a process's steps are
+// serialized by the run queue), so plain integers suffice.
+class OversubPlatform final : public MonitoredHwPlatform {
+ public:
+  OversubPlatform(HwMemory* memory,
+                  std::shared_ptr<const TossAssignment> tosses,
+                  FaultInjector* injector, RunMonitor* monitor,
+                  std::uint32_t stall_unit_ns, YieldPolicy policy,
+                  std::uint32_t every_k, int m)
+      : MonitoredHwPlatform(memory, std::move(tosses), injector, monitor,
+                            stall_unit_ns),
+        policy_(policy),
+        every_k_(std::max<std::uint32_t>(1, every_k)),
+        ops_since_yield_(static_cast<std::size_t>(m), 0) {}
+
+  bool yield_after_op(ProcId p, const PendingOp& op,
+                      const OpResult& result) override {
+    switch (policy_) {
+      case YieldPolicy::kEveryOp:
+        return true;
+      case YieldPolicy::kEveryK: {
+        std::uint32_t& c = ops_since_yield_[static_cast<std::size_t>(p)];
+        if (++c >= every_k_) {
+          c = 0;
+          return true;
+        }
+        return false;
+      }
+      case YieldPolicy::kOnScFailure:
+        return op.kind == OpKind::kSC && !result.flag;
+    }
+    return false;
+  }
+
+  bool yield_now(ProcId p) override {
+    (void)p;
+    return true;
+  }
+
+ private:
+  YieldPolicy policy_;
+  std::uint32_t every_k_;
+  std::vector<std::uint32_t> ops_since_yield_;
+};
+
+// One run-queue shard per carrier thread. A worker pops its own shard
+// from the front (FIFO keeps arrival order, which keeps service-mode
+// latencies honest) and steals from a sibling's back when dry.
+struct alignas(64) Shard {
+  std::mutex mu;
+  std::deque<Process*> q;
+};
+
+// Pool-wide scheduler state. The idle protocol mirrors the register
+// ParkSpot protocol: every push bumps work_epoch and wakes registered
+// waiters; an idle worker snapshots the epoch BEFORE its scan and hands
+// the (word, snapshot) pair to Backoff::on_failure, whose post-register
+// re-check closes the push-after-scan/park-before-wake window exactly
+// like the register-side lost-wakeup fix.
+struct SchedState {
+  SchedState(int num_threads, Waiter* waiter)
+      : shards(static_cast<std::size_t>(num_threads)), waiter(waiter) {}
+
+  void push(int shard_idx, Process* proc) {
+    {
+      Shard& s = shards[static_cast<std::size_t>(shard_idx)];
+      std::lock_guard<std::mutex> lock(s.mu);
+      s.q.push_back(proc);
+    }
+    work_epoch.fetch_add(1, std::memory_order_seq_cst);
+    if (idle_spot.waiters.load(std::memory_order_seq_cst) != 0) {
+      idle_spot.seq.fetch_add(1, std::memory_order_seq_cst);
+      waiter->wake_all(idle_spot.seq);
+    }
+  }
+
+  // Termination / cancellation: wake every idle worker unconditionally.
+  void broadcast() {
+    work_epoch.fetch_add(1, std::memory_order_seq_cst);
+    idle_spot.seq.fetch_add(1, std::memory_order_seq_cst);
+    waiter->wake_all(idle_spot.seq);
+  }
+
+  Process* pop(int w, std::uint64_t* steals) {
+    {
+      Shard& own = shards[static_cast<std::size_t>(w)];
+      std::lock_guard<std::mutex> lock(own.mu);
+      if (!own.q.empty()) {
+        Process* proc = own.q.front();
+        own.q.pop_front();
+        return proc;
+      }
+    }
+    const int n = static_cast<int>(shards.size());
+    for (int d = 1; d < n; ++d) {
+      Shard& victim = shards[static_cast<std::size_t>((w + d) % n)];
+      std::lock_guard<std::mutex> lock(victim.mu);
+      if (!victim.q.empty()) {
+        Process* proc = victim.q.back();
+        victim.q.pop_back();
+        ++*steals;
+        return proc;
+      }
+    }
+    return nullptr;
+  }
+
+  std::vector<Shard> shards;
+  Waiter* waiter;
+  std::atomic<std::uint64_t> work_epoch{0};
+  ParkSpot idle_spot;
+  std::atomic<int> remaining{0};
+};
+
+}  // namespace
+
+const char* to_string(YieldPolicy policy) {
+  switch (policy) {
+    case YieldPolicy::kEveryOp:
+      return "every-op";
+    case YieldPolicy::kEveryK:
+      return "every-k";
+    case YieldPolicy::kOnScFailure:
+      return "on-sc-failure";
+  }
+  LLSC_UNREACHABLE("bad YieldPolicy");
+}
+
+OversubscribedExecutor::OversubscribedExecutor(OversubRunOptions options)
+    : options_(std::move(options)) {}
+
+HwRunResult OversubscribedExecutor::run(int m, const ProcBody& body) {
+  LLSC_EXPECTS(m >= 1, "an execution needs at least one process");
+  int num_threads = options_.num_threads > 0
+                        ? options_.num_threads
+                        : static_cast<int>(std::thread::hardware_concurrency());
+  if (num_threads < 1) num_threads = 1;
+  // More carriers than processes is pure overhead: the extras would only
+  // ever spin on empty shards.
+  num_threads = std::min(num_threads, m);
+
+  // M per-process contexts: links, epochs, and backoff state are keyed by
+  // ProcId, which is what makes a coroutine's migration between carrier
+  // threads invisible to the memory (see the header's contract).
+  HwMemory memory(options_.num_registers, m, options_.backoff,
+                  options_.storage);
+  if (!options_.register_groups.empty()) {
+    memory.set_register_groups(options_.register_groups);
+  }
+  std::shared_ptr<const TossAssignment> tosses = options_.tosses;
+  if (!tosses) {
+    tosses = std::make_shared<SeededTossAssignment>(options_.seed);
+  }
+  const bool inject =
+      options_.fault != nullptr && options_.fault->enabled();
+  std::optional<FaultInjector> injector;
+  if (inject) injector.emplace(*options_.fault, m);
+  RunMonitor monitor(m);
+  OversubPlatform platform(
+      &memory, tosses, injector ? &*injector : nullptr, &monitor,
+      inject ? options_.fault->stall_unit_ns : 0, options_.yield_policy,
+      options_.yield_every_k, m);
+
+  std::vector<std::unique_ptr<Process>> procs;
+  procs.reserve(static_cast<std::size_t>(m));
+  for (ProcId i = 0; i < m; ++i) {
+    auto proc = std::make_unique<Process>(i, m);
+    proc->set_platform(&platform);
+    proc->attach(body(ProcCtx(proc.get()), i, m));
+    procs.push_back(std::move(proc));
+  }
+
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(m));
+  std::vector<HwProcOutcome> outcome(static_cast<std::size_t>(m),
+                                     HwProcOutcome::kDone);
+
+  Waiter* waiter = options_.backoff.waiter != nullptr
+                       ? options_.backoff.waiter
+                       : &Waiter::system();
+  SchedState sched(num_threads, waiter);
+  sched.remaining.store(m, std::memory_order_relaxed);
+  // Initial placement p mod N, filled before any worker exists — no
+  // signals needed yet.
+  for (ProcId i = 0; i < m; ++i) {
+    sched.shards[static_cast<std::size_t>(i % num_threads)].q.push_back(
+        procs[static_cast<std::size_t>(i)].get());
+  }
+
+  // Idle-worker backoff: always the parking tier (that is the point of a
+  // pool), whatever the memory-side policy is; the waiter is shared so
+  // tests can stub both sides at once.
+  BackoffOptions idle_options;
+  idle_options.policy = BackoffPolicy::kAdaptiveParking;
+  idle_options.park_threshold = 2;
+  idle_options.waiter = waiter;
+
+  std::mutex stats_mutex;
+  HwSchedStats sched_stats;
+  sched_stats.num_threads = num_threads;
+  sched_stats.num_procs = m;
+
+  const auto worker_fn = [&](int w) {
+    Backoff idle(idle_options);
+    std::uint64_t resumes = 0;
+    std::uint64_t yields = 0;
+    std::uint64_t steals = 0;
+    for (;;) {
+      if (sched.remaining.load(std::memory_order_acquire) == 0) break;
+      if (monitor.cancel.load(std::memory_order_relaxed)) break;
+      // Epoch snapshot precedes the scan: a push landing mid-scan moves
+      // the epoch, and the park's re-check sees it.
+      const std::uint64_t epoch =
+          sched.work_epoch.load(std::memory_order_seq_cst);
+      Process* proc = sched.pop(w, &steals);
+      if (proc == nullptr) {
+        idle.on_failure(&sched.idle_spot, &sched.work_epoch, epoch);
+        continue;
+      }
+      idle.on_success();
+      const ProcId pid = proc->id();
+      const std::size_t s = static_cast<std::size_t>(pid);
+      monitor.note_sched(pid);
+      ++resumes;
+      bool finished = false;
+      try {
+        if (proc->step_kind() == StepKind::kNotStarted) {
+          proc->start();
+        } else {
+          proc->resume_yielded();
+        }
+        if (proc->step_kind() == StepKind::kYielded) {
+          ++yields;
+          sched.push(w, proc);  // locality: back on this worker's shard
+        } else {
+          finished = true;
+        }
+      } catch (const CrashStopSignal&) {
+        outcome[s] = HwProcOutcome::kCrashed;
+        finished = true;
+      } catch (const CancelledSignal&) {
+        outcome[s] = HwProcOutcome::kHung;
+        finished = true;
+      } catch (...) {
+        errors[s] = std::current_exception();
+        outcome[s] = HwProcOutcome::kHung;
+        // A failed body must not leave its peers running toward a result
+        // the rethrow below will discard.
+        monitor.cancel.store(true, std::memory_order_relaxed);
+        finished = true;
+      }
+      if (finished) {
+        monitor.progress[s].finished.store(true, std::memory_order_release);
+        if (sched.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          sched.broadcast();  // the last finisher wakes every idle worker
+        }
+      }
+    }
+    // Cancellation path: hasten peers that are riding out a park timeout.
+    sched.broadcast();
+    const BackoffStats& b = idle.stats();
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    sched_stats.resumes += resumes;
+    sched_stats.yields += yields;
+    sched_stats.steals += steals;
+    sched_stats.idle_parks += b.parks;
+    sched_stats.idle_park_skips += b.park_skips;
+  };
+
+  // Same start-gate pattern as HwExecutor: workers check in on `ready`
+  // and hold on `gate` so the wall clock starts with the pool poised, and
+  // a partial spawn failure can abort (-1) and join instead of wedging.
+  std::atomic<int> ready{0};
+  std::atomic<int> gate{0};  // 0 = hold, 1 = run, -1 = abort
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_threads));
+  const auto join_all = [&] {
+    for (auto& t : threads) {
+      if (t.joinable()) t.join();
+    }
+  };
+  try {
+    for (int w = 0; w < num_threads; ++w) {
+      threads.emplace_back([&, w] {
+        ready.fetch_add(1, std::memory_order_release);
+        ready.notify_one();
+        gate.wait(0, std::memory_order_acquire);
+        if (gate.load(std::memory_order_acquire) < 0) return;
+        worker_fn(w);
+      });
+    }
+  } catch (...) {
+    gate.store(-1, std::memory_order_release);
+    gate.notify_all();
+    join_all();
+    throw;
+  }
+  for (int seen = ready.load(std::memory_order_acquire); seen < num_threads;
+       seen = ready.load(std::memory_order_acquire)) {
+    ready.wait(seen, std::memory_order_acquire);
+  }
+  const Clock::time_point t0 = Clock::now();
+  gate.store(1, std::memory_order_release);
+  gate.notify_all();
+
+  Watchdog watchdog(
+      &monitor,
+      Watchdog::Config{
+          .deadline_ms = options_.timeout_ms ? *options_.timeout_ms
+                                             : default_hw_timeout_ms(),
+          .progress_timeout_ms = options_.progress_timeout_ms,
+          .poll_ms = options_.watchdog_poll_ms,
+          .oversub_factor = static_cast<std::uint64_t>(
+              (m + num_threads - 1) / num_threads)},
+      t0);
+
+  join_all();
+  const Clock::time_point t1 = Clock::now();
+  watchdog.stop();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  HwRunResult out;
+  out.n = m;
+  out.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  out.cancelled = monitor.cancel.load(std::memory_order_relaxed);
+  out.proc_status = outcome;
+  out.results.resize(static_cast<std::size_t>(m));
+  out.shared_ops.reserve(static_cast<std::size_t>(m));
+  out.num_tosses.reserve(static_cast<std::size_t>(m));
+  for (ProcId i = 0; i < m; ++i) {
+    const auto& proc = procs[static_cast<std::size_t>(i)];
+    const std::size_t s = static_cast<std::size_t>(i);
+    if (outcome[s] == HwProcOutcome::kCrashed) {
+      ++out.crashed_procs;
+    } else if (outcome[s] == HwProcOutcome::kDone && proc->done()) {
+      out.results[s] = proc->result();
+    } else {
+      // Includes coroutines still parked on a shard when the run was
+      // cancelled: they are never resumed (destroying a suspended frame
+      // is fine) and report as hung.
+      out.proc_status[s] = HwProcOutcome::kHung;
+      ++out.hung_procs;
+    }
+    out.shared_ops.push_back(proc->shared_ops());
+    out.num_tosses.push_back(proc->num_tosses());
+    out.max_shared_ops = std::max(out.max_shared_ops, proc->shared_ops());
+    out.total_shared_ops += proc->shared_ops();
+  }
+  out.status = out.crashed_procs > 0
+                   ? RunStatus::kCrashed
+                   : (out.hung_procs > 0 ? RunStatus::kHung
+                                         : RunStatus::kClean);
+  out.ok = out.status == RunStatus::kClean;
+  LLSC_CHECK(out.ok || inject || out.cancelled,
+             "a process failed to run to completion on the pool");
+  out.reclaim = memory.reclaim_stats();
+  out.backoff = memory.backoff_stats();
+  out.width = memory.width_stats();
+  if (injector) {
+    out.fault = injector->stats();
+    out.decision_trace = injector->trace();
+  }
+  out.sched = sched_stats;
+  return out;
+}
+
+}  // namespace llsc

@@ -159,6 +159,7 @@ HwBackoffStats RegisterStorage::backoff_stats() const {
     s.spin_pauses += b.spin_pauses;
     s.yields += b.yields;
     s.parks += b.parks;
+    s.park_skips += b.park_skips;
     s.wakes += c->wakes;
   }
   return s;
@@ -254,7 +255,7 @@ Value BoxedStorage::install(ThreadCtx& c, RegId r, Value v) {
                                 std::memory_order_acquire)) {
       break;
     }
-    c.backoff.on_failure(&spot);
+    c.backoff.on_failure(&spot, &h, curw);
   }
   c.backoff.on_success();
   wake_waiters(c, r);
@@ -308,7 +309,7 @@ Value BoxedStorage::rmw(ProcId p, RegId r, const RmwFunction& f) {
     }
     delete fresh;
     --c.allocated;
-    c.backoff.on_failure(&spot);
+    c.backoff.on_failure(&spot, &h, curw);
   }
 }
 
@@ -441,7 +442,7 @@ Value InlineStorage::install(ThreadCtx& c, RegId r, const Value& v) {
         break;
       }
     }
-    c.backoff.on_failure(&spot);
+    c.backoff.on_failure(&spot, &h, cur);
   }
   if (fresh != nullptr) {  // defensive: allocated but won another path
     delete fresh;
@@ -493,7 +494,7 @@ Value InlineStorage::rmw(ProcId p, RegId r, const RmwFunction& f) {
         c.link[static_cast<std::size_t>(r)] = 0;
         return curv;
       }
-      c.backoff.on_failure(&spot);
+      c.backoff.on_failure(&spot, &h, cur);
       continue;
     }
     if (!fits && strict_) throw_overflow(r, next);
@@ -513,7 +514,7 @@ Value InlineStorage::rmw(ProcId p, RegId r, const RmwFunction& f) {
     }
     delete fresh;
     --c.allocated;
-    c.backoff.on_failure(&spot);
+    c.backoff.on_failure(&spot, &h, cur);
   }
 }
 

@@ -71,6 +71,7 @@ struct HwBackoffStats {
   std::uint64_t spin_pauses = 0;
   std::uint64_t yields = 0;
   std::uint64_t parks = 0;
+  std::uint64_t park_skips = 0;  // parks cut short by the word re-check
   std::uint64_t wakes = 0;
 
   double failure_rate() const {

@@ -15,6 +15,8 @@ const char* step_kind_name(StepKind kind) {
       return "op";
     case StepKind::kDone:
       return "done";
+    case StepKind::kYielded:
+      return "yielded";
   }
   LLSC_UNREACHABLE("bad StepKind");
 }
@@ -43,12 +45,28 @@ std::uint64_t Process::pending_toss_range() const {
 bool Process::submit_op(PendingOp op, std::coroutine_handle<> frame) {
   if (platform_ != nullptr && platform_->synchronous()) {
     // Synchronous platform (hw backend): the step happens now, on this
-    // thread, and the coroutine continues without suspending.
+    // thread, and the coroutine usually continues without suspending. An
+    // oversubscribed platform may ask the coroutine to give back its
+    // carrier thread AFTER the op executed — the result is latched in
+    // op_result_, the frame suspends as kYielded, and the awaitable's
+    // await_resume reads the result when the scheduler resumes it.
     op_result_ = platform_->apply(id_, op);
     ++shared_ops_;
+    if (platform_->yield_after_op(id_, op, op_result_)) {
+      kind_ = StepKind::kYielded;
+      resume_handle_ = frame;
+      return true;
+    }
     return false;
   }
   set_pending_op(std::move(op), frame);
+  return true;
+}
+
+bool Process::submit_yield(std::coroutine_handle<> frame) {
+  if (platform_ == nullptr || !platform_->yield_now(id_)) return false;
+  kind_ = StepKind::kYielded;
+  resume_handle_ = frame;
   return true;
 }
 
@@ -80,6 +98,12 @@ void Process::deliver_toss(std::uint64_t raw_outcome) {
 
 void Process::start() {
   LLSC_EXPECTS(kind_ == StepKind::kNotStarted, "process already started");
+  resume();
+}
+
+void Process::resume_yielded() {
+  LLSC_EXPECTS(kind_ == StepKind::kYielded,
+               "resume_yielded() requires a cooperatively yielded process");
   resume();
 }
 

@@ -40,6 +40,11 @@ enum class StepKind : std::uint8_t {
   kToss,
   kOp,
   kDone,
+  // Suspended at a cooperative yield point on an oversubscribed
+  // synchronous platform (hw/oversub_executor.h): the last op's result is
+  // already latched in the process block and resume_yielded() continues
+  // the body. Never observed on the simulator or a 1:1 hw run.
+  kYielded,
 };
 
 const char* step_kind_name(StepKind kind);
@@ -68,6 +73,7 @@ struct SwapAwaitable;
 struct MoveAwaitable;
 struct RmwAwaitable;
 struct TossAwaitable;
+struct YieldAwaitable;
 }  // namespace internal
 
 // Handle through which a coroutine body talks to its control block. Cheap
@@ -103,6 +109,14 @@ class ProcCtx {
   // yields the raw 64-bit outcome. Either way this consumes exactly one
   // outcome of the toss assignment.
   internal::TossAwaitable toss(std::uint64_t range) const;
+
+  // Cooperative yield point — NOT a step of the paper's model (no shared
+  // op, no toss, no counter changes). On an oversubscribed platform the
+  // coroutine gives its carrier thread back to the scheduler; everywhere
+  // else (simulator, 1:1 hw) it is a no-op that never suspends. Lets
+  // open-loop service bodies wait for an arrival time without pinning a
+  // thread (hw/service.h).
+  internal::YieldAwaitable yield() const;
 
  private:
   Process* proc_;
@@ -159,6 +173,10 @@ class Process {
   // Run the coroutine to its first suspension point.
   // Precondition: kind == kNotStarted.
   void start();
+  // Continue a coroutine suspended at a cooperative yield point (the
+  // oversubscribed scheduler's resume edge). Precondition: kind ==
+  // kYielded. Runs until the next yield suspension or completion.
+  void resume_yielded();
 
   // Return value of the coroutine. Precondition: done().
   const Value& result() const;
@@ -174,6 +192,7 @@ class Process {
   friend class ProcCtx;
   friend struct internal::OpAwaitableBase;
   friend struct internal::TossAwaitable;
+  friend struct internal::YieldAwaitable;
 
   // Called from awaitables: route one step through the platform. Returns
   // true when the coroutine must stay suspended (deferred platform — a
@@ -183,6 +202,9 @@ class Process {
   // in the deferred case deliver/resume must resume exactly that frame.
   bool submit_op(PendingOp op, std::coroutine_handle<> frame);
   bool submit_toss(std::uint64_t range, std::coroutine_handle<> frame);
+  // ctx.yield(): true = suspend as kYielded (oversubscribed platform),
+  // false = continue inline (everywhere else).
+  bool submit_yield(std::coroutine_handle<> frame);
 
   void set_pending_op(PendingOp op, std::coroutine_handle<> frame) {
     pending_op_ = std::move(op);
@@ -284,6 +306,16 @@ struct TossAwaitable {
   }
 };
 
+struct YieldAwaitable {
+  Process* proc;
+
+  bool await_ready() const noexcept { return false; }
+  bool await_suspend(std::coroutine_handle<> frame) {
+    return proc->submit_yield(frame);
+  }
+  void await_resume() {}
+};
+
 }  // namespace internal
 
 inline internal::LlAwaitable ProcCtx::ll(RegId r) const {
@@ -329,6 +361,8 @@ inline internal::RmwAwaitable ProcCtx::rmw(
 inline internal::TossAwaitable ProcCtx::toss(std::uint64_t range) const {
   return {proc_, range};
 }
+
+inline internal::YieldAwaitable ProcCtx::yield() const { return {proc_}; }
 
 }  // namespace llsc
 

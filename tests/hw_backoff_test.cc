@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
 #include <vector>
 
 #include "hw/hw_memory.h"
@@ -124,6 +126,61 @@ TEST(HwBackoffTest, ParkingEngagesOnlyAfterSaturatedStreak) {
   b.on_failure(&spot);
   EXPECT_EQ(waiter.waits, 2);
   // The waiters count must be balanced after every park.
+  EXPECT_EQ(spot.waiters.load(), 0u);
+}
+
+// The lost-wakeup window (the service-mode latency cliff): the parker
+// fails its CAS seeing `observed`, then a writer installs a new value
+// and — correctly, per the writer protocol — skips the seq bump and wake
+// because `waiters` is still 0, and only then does the parker park. The
+// writer runs on its own thread and completes (join) before the park, so
+// this is exactly the interleaving the old ordering lost: it would call
+// Waiter::wait and sleep out the full timeout. The fixed park re-checks
+// the word after registering in `waiters` and must skip the wait.
+TEST(HwBackoffTest, ParkRechecksWordSoAWakelessWriterIsNeverMissed) {
+  StubWaiter waiter;  // records waits: a recorded wait IS the lost wakeup
+  BackoffOptions o = spin_only(BackoffPolicy::kAdaptiveParking, 4, 4);
+  o.park_threshold = 0;  // window starts saturated: first failure parks
+  o.waiter = &waiter;
+  Backoff b(o);
+  ParkSpot spot;
+  std::atomic<std::uint64_t> word{7};
+  const std::uint64_t observed =
+      word.load(std::memory_order_seq_cst);  // the failed CAS's snapshot
+  b.begin_op();
+  std::thread writer([&] {
+    word.store(8, std::memory_order_seq_cst);  // install a new value
+    // Writer-side wake protocol (RegisterStorage::wake_waiters): no
+    // registered waiters, so no seq bump and no wake — legal, and the
+    // half of the race the parker's re-check exists to cover.
+    if (spot.waiters.load(std::memory_order_seq_cst) != 0) {
+      spot.seq.fetch_add(1, std::memory_order_seq_cst);
+      waiter.wake_all(spot.seq);
+    }
+  });
+  writer.join();  // the write and skipped wake land before the park
+  b.on_failure(&spot, &word, observed);
+  EXPECT_EQ(waiter.waits, 0);  // old ordering: 1 (slept on a stale word)
+  EXPECT_EQ(b.stats().parks, 1u);
+  EXPECT_EQ(b.stats().park_skips, 1u);
+  EXPECT_EQ(spot.waiters.load(), 0u);  // balanced on the skip path too
+}
+
+// The complement: when the word has NOT moved, the re-check must not turn
+// parking into a spin loop — the parker registers and waits as before.
+TEST(HwBackoffTest, ParkStillWaitsWhenWordIsUnchanged) {
+  StubWaiter waiter;
+  BackoffOptions o = spin_only(BackoffPolicy::kAdaptiveParking, 4, 4);
+  o.park_threshold = 0;
+  o.waiter = &waiter;
+  Backoff b(o);
+  ParkSpot spot;
+  std::atomic<std::uint64_t> word{7};
+  b.begin_op();
+  b.on_failure(&spot, &word, word.load());
+  EXPECT_EQ(waiter.waits, 1);
+  EXPECT_EQ(b.stats().parks, 1u);
+  EXPECT_EQ(b.stats().park_skips, 0u);
   EXPECT_EQ(spot.waiters.load(), 0u);
 }
 

@@ -18,6 +18,13 @@
 // construction's announce/toggle/install protocol. uc_combining triples
 // ALWAYS go through the record/replay path, so combining replays
 // bit-for-bit from recorded DecisionTraces on both substrates.
+//
+// Every triple additionally runs an OVERSUBSCRIBED leg: the same n
+// processes multiplexed as coroutines on a two-thread pool
+// (hw/oversub_executor.h) must reproduce the identical observable
+// contract — including bit-for-bit DecisionTrace replays — because fault
+// decisions and toss streams are keyed by (proc, op-index), never by
+// carrier thread.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -28,6 +35,7 @@
 #include "hw/fault.h"
 #include "hw/fault_scenarios.h"
 #include "hw/hw_executor.h"
+#include "hw/oversub_executor.h"
 #include "memory/storage_policy.h"
 #include "util/rng.h"
 
@@ -74,23 +82,16 @@ Observed observe_sim(const ProcBody& body, int n, std::uint64_t toss_seed,
   return obs;
 }
 
-Observed observe_hw(const ProcBody& body, int n, std::uint64_t toss_seed,
-                    const FaultPlan& plan, StoragePolicy storage) {
-  HwRunOptions options;
-  options.seed = toss_seed;
-  options.storage = storage;
-  options.fault = plan.enabled() ? &plan : nullptr;
-  HwExecutor exec(options);
-  const HwRunResult run = exec.run(n, body);
+// The executor has no spec checker; apply the winner scan the
+// Monte-Carlo classification (core/lower_bound.cc) uses so the
+// taxonomies are comparable. Like the simulator's classifier, the scan
+// only applies to fully-terminated runs — a crashed/hung sample
+// reports no winner there either.
+Observed observe_from_run(const HwRunResult& run, int n) {
   Observed obs;
   obs.status = run.status;
   obs.proc_ops = run.shared_ops;
   obs.trace = run.decision_trace;
-  // The executor has no spec checker; apply the winner scan the
-  // Monte-Carlo classification (core/lower_bound.cc) uses so the
-  // taxonomies are comparable. Like the simulator's classifier, the scan
-  // only applies to fully-terminated runs — a crashed/hung sample
-  // reports no winner there either.
   if (run.status == RunStatus::kClean) {
     for (ProcId p = 0; p < n; ++p) {
       if (run.proc_status[p] == HwProcOutcome::kDone &&
@@ -103,6 +104,33 @@ Observed observe_hw(const ProcBody& body, int n, std::uint64_t toss_seed,
     }
   }
   return obs;
+}
+
+Observed observe_hw(const ProcBody& body, int n, std::uint64_t toss_seed,
+                    const FaultPlan& plan, StoragePolicy storage) {
+  HwRunOptions options;
+  options.seed = toss_seed;
+  options.storage = storage;
+  options.fault = plan.enabled() ? &plan : nullptr;
+  HwExecutor exec(options);
+  return observe_from_run(exec.run(n, body), n);
+}
+
+// The oversubscribed leg: the same n processes as coroutines on a
+// two-thread pool (n = 2..7, so every triple is genuinely multiplexed).
+// Fault decisions pure in (proc, op-index) — and trace replays keyed the
+// same way — must be invisible to HOW the processes are scheduled, so
+// the observable contract must match the 1:1 substrates bit-for-bit.
+Observed observe_oversub(const ProcBody& body, int n,
+                         std::uint64_t toss_seed, const FaultPlan& plan,
+                         StoragePolicy storage) {
+  OversubRunOptions options;
+  options.seed = toss_seed;
+  options.storage = storage;
+  options.fault = plan.enabled() ? &plan : nullptr;
+  options.num_threads = 2;
+  OversubscribedExecutor exec(options);
+  return observe_from_run(exec.run(n, body), n);
 }
 
 std::string describe(int t, const std::string& scenario, int n,
@@ -179,12 +207,18 @@ TEST_P(HwFaultDiffTest, RandomTriplesAgreeAcrossSubstrates) {
       EXPECT_EQ(sim.trace, recorded.trace) << what;
       const Observed hw = observe_hw(body, n, toss_seed, replay_plan, storage);
       expect_equal(recorded, hw, what + " [hw replay]");
+      const Observed over =
+          observe_oversub(body, n, toss_seed, replay_plan, storage);
+      expect_equal(recorded, over, what + " [oversub replay]");
       if (strategy == 1 && !recorded.trace.empty()) ++adaptive_with_decisions;
     } else {
       const Observed sim = observe_sim(body, n, toss_seed, plan, storage);
       const Observed hw = observe_hw(body, n, toss_seed, plan, storage);
       expect_equal(sim, hw, what);
       EXPECT_EQ(sim.trace, hw.trace) << what;
+      const Observed over = observe_oversub(body, n, toss_seed, plan, storage);
+      expect_equal(sim, over, what + " [oversub]");
+      EXPECT_EQ(sim.trace, over.trace) << what << " [oversub]";
     }
     if (HasFatalFailure()) return;
   }

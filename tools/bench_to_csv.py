@@ -39,8 +39,16 @@ storage-policy comparison) must carry n_threads, policy_id (0 boxed /
 overflow_events count. BM_E15_* rows (the flat-combining universal-
 construction comparison) must carry n_threads, policy_id, and a
 non-negative uc_ops_per_sec; BM_E15_Combining* rows must additionally
-carry a mean_batch_size >= 1 and a batches count >= 1 (every run
-installs at least one batch, every batch holds at least one operation).
+carry a non-negative batches count; a row with batches >= 1 must also
+carry mean_batch_size >= 1, while a zero-batch row (every op adopted, or
+crash-stop before the first winner install) must OMIT mean_batch_size —
+reporting a mean over zero batches is the div-by-zero shape this check
+rejects. BM_E16_* rows (the open-loop service-mode sweep,
+bench/bench_service_mode.cc) must carry the pool fingerprint (n_threads,
+m_procs, oversub_factor, with m_procs = n_threads * oversub_factor), the
+offered/served accounting (arrival_rate_hz > 0, served_ops <=
+offered_ops, non-negative throughput_ops_per_sec), and monotone latency
+percentiles latency_p50_ns <= p90 <= p99 <= p999.
 Use it in CI to fail fast on truncated benchmark artifacts.
 """
 import argparse
@@ -110,8 +118,25 @@ E14_POLICY_IDS = {0.0, 1.0, 2.0}  # boxed, inline, inline-strict
 E15_ROW_PREFIX = "BM_E15"
 E15_COMBINING_PREFIX = "BM_E15_Combining"
 E15_REQUIRED = ["n_threads", "policy_id", "uc_ops_per_sec"]
-E15_COMBINING_REQUIRED = ["mean_batch_size", "batches"]
+E15_COMBINING_REQUIRED = ["batches"]
 E15_POLICY_IDS = {0.0, 1.0, 2.0}  # boxed, inline, inline-strict
+
+# The E16 service-mode rows (BM_E16_* in bench/bench_service_mode.cc)
+# report the open-loop experiment: M = oversub_factor * N logical
+# processes on N carrier threads under Poisson arrivals. The fingerprint
+# is the pool shape plus the offered/served accounting plus the latency
+# quartet; the percentiles must be monotone or the histogram is corrupt.
+E16_ROW_PREFIX = "BM_E16"
+E16_REQUIRED = [
+    "n_threads", "m_procs", "oversub_factor", "arrival_rate_hz",
+    "offered_ops", "served_ops", "throughput_ops_per_sec",
+    "latency_p50_ns", "latency_p90_ns", "latency_p99_ns",
+    "latency_p999_ns",
+]
+E16_PERCENTILES = [
+    "latency_p50_ns", "latency_p90_ns", "latency_p99_ns",
+    "latency_p999_ns",
+]
 
 
 class MalformedInput(Exception):
@@ -302,14 +327,62 @@ def validate(rows):
                         f"benchmark {row['name']}/{row['arg']}: combining "
                         f"row missing batching field(s): "
                         f"{', '.join(missing)}")
-                if row["batches"] < 1:
+                if row["batches"] < 0:
                     raise MalformedInput(
-                        f"benchmark {row['name']}/{row['arg']}: a combining "
-                        f"run must install at least one batch")
-                if row["mean_batch_size"] < 1:
+                        f"benchmark {row['name']}/{row['arg']}: negative "
+                        f"batches count")
+                if row["batches"] == 0:
+                    # Zero-batch runs (every op adopted, or crash-stop
+                    # before the first winner install) have no meaningful
+                    # mean; the bench omits the counter, and a present
+                    # value would be the div-by-zero artifact.
+                    if "mean_batch_size" in row:
+                        raise MalformedInput(
+                            f"benchmark {row['name']}/{row['arg']}: "
+                            f"mean_batch_size reported over zero batches")
+                else:
+                    if "mean_batch_size" not in row:
+                        raise MalformedInput(
+                            f"benchmark {row['name']}/{row['arg']}: "
+                            f"combining row with batches installed is "
+                            f"missing mean_batch_size")
+                    if row["mean_batch_size"] < 1:
+                        raise MalformedInput(
+                            f"benchmark {row['name']}/{row['arg']}: "
+                            f"mean_batch_size below 1")
+        if row["name"].startswith(E16_ROW_PREFIX):
+            missing = [f for f in E16_REQUIRED if f not in row]
+            if missing:
+                raise MalformedInput(
+                    f"benchmark {row['name']}/{row['arg']}: service-mode "
+                    f"row missing field(s): {', '.join(missing)}")
+            if row["arrival_rate_hz"] <= 0:
+                raise MalformedInput(
+                    f"benchmark {row['name']}/{row['arg']}: "
+                    f"non-positive arrival_rate_hz")
+            if (row["n_threads"] < 1 or row["oversub_factor"] < 1
+                    or row["m_procs"] != row["n_threads"]
+                    * row["oversub_factor"]):
+                raise MalformedInput(
+                    f"benchmark {row['name']}/{row['arg']}: pool shape "
+                    f"m_procs != n_threads * oversub_factor")
+            if row["served_ops"] < 0 or row["offered_ops"] < 0:
+                raise MalformedInput(
+                    f"benchmark {row['name']}/{row['arg']}: negative "
+                    f"offered/served accounting")
+            if row["served_ops"] > row["offered_ops"]:
+                raise MalformedInput(
+                    f"benchmark {row['name']}/{row['arg']}: served more "
+                    f"ops than were offered")
+            if row["throughput_ops_per_sec"] < 0:
+                raise MalformedInput(
+                    f"benchmark {row['name']}/{row['arg']}: negative "
+                    f"throughput_ops_per_sec")
+            for lo, hi in zip(E16_PERCENTILES, E16_PERCENTILES[1:]):
+                if row[lo] > row[hi]:
                     raise MalformedInput(
-                        f"benchmark {row['name']}/{row['arg']}: "
-                        f"mean_batch_size below 1")
+                        f"benchmark {row['name']}/{row['arg']}: latency "
+                        f"percentiles not monotone ({lo} > {hi})")
 
 
 def write_csv(rows, out):

@@ -6,7 +6,9 @@ Covers the contracts CI depends on:
     malformed input and rows missing the per-experiment schema fields
     (E10/E11 backoff fingerprint, E12 taxonomy, E13 adversarial-placement
     accounting, E14 storage-policy fingerprint, E15 combining batching
-    fingerprint) with a nonzero exit;
+    fingerprint including the zero-batch mean-omitted contract, E16
+    service-mode pool shape / offered-served accounting / monotone
+    latency percentiles) with a nonzero exit;
   * bench_to_csv.py conversion — emits the expected CSV columns;
   * replay_fault.py — exit codes for missing binaries/keys, the
     custom-scenario and --strategy skip paths, and pass/fail propagation
@@ -65,6 +67,11 @@ E14_GOOD = dict(n_threads=4, policy_id=1, hw_ops_per_sec=2.5e6,
 E15_GOOD = dict(n_threads=8, policy_id=0, uc_ops_per_sec=5.4e5)
 
 E15_COMBINING_GOOD = dict(E15_GOOD, mean_batch_size=3.3, batches=619)
+E16_GOOD = dict(n_threads=2, m_procs=32, oversub_factor=16,
+                arrival_rate_hz=100000.0, offered_ops=256, served_ops=256,
+                throughput_ops_per_sec=9.1e4, latency_p50_ns=4.2e3,
+                latency_p90_ns=1.8e4, latency_p99_ns=2.1e5,
+                latency_p999_ns=1.3e6)
 
 
 class BenchToCsvCheckTest(unittest.TestCase):
@@ -205,12 +212,57 @@ class BenchToCsvCheckTest(unittest.TestCase):
         self.assertEqual(proc.returncode, 1)
         self.assertIn("mean_batch_size", proc.stderr)
 
-    def test_e15_combining_zero_batches_rejected(self):
+    def test_e15_combining_mean_over_zero_batches_rejected(self):
+        # batches == 0 with mean_batch_size still present is the
+        # div-by-zero artifact the zero-batch contract exists to catch.
         row = bench_row("BM_E15_Combining_Boxed/8/256",
                         **dict(E15_COMBINING_GOOD, batches=0))
         proc = run_bench_to_csv(bench_doc(row), "--check")
         self.assertEqual(proc.returncode, 1)
         self.assertIn("batch", proc.stderr)
+
+    def test_e15_combining_zero_batches_without_mean_passes(self):
+        # A run where every op was adopted installs no batches; the bench
+        # omits mean_batch_size and the row is valid.
+        counters = dict(E15_COMBINING_GOOD, batches=0)
+        del counters["mean_batch_size"]
+        row = bench_row("BM_E15_Combining_Boxed/8/256", **counters)
+        proc = run_bench_to_csv(bench_doc(row), "--check")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_e16_row_passes(self):
+        row = bench_row("BM_E16_FetchInc/16/100000", **E16_GOOD)
+        proc = run_bench_to_csv(bench_doc(row), "--check")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_e16_row_missing_percentile_rejected(self):
+        counters = dict(E16_GOOD)
+        del counters["latency_p999_ns"]
+        row = bench_row("BM_E16_Wakeup/16/100000", **counters)
+        proc = run_bench_to_csv(bench_doc(row), "--check")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("latency_p999_ns", proc.stderr)
+
+    def test_e16_non_monotone_percentiles_rejected(self):
+        row = bench_row("BM_E16_FetchInc/16/100000",
+                        **dict(E16_GOOD, latency_p50_ns=9e6))
+        proc = run_bench_to_csv(bench_doc(row), "--check")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("monotone", proc.stderr)
+
+    def test_e16_served_above_offered_rejected(self):
+        row = bench_row("BM_E16_Combining/16/100000",
+                        **dict(E16_GOOD, served_ops=512))
+        proc = run_bench_to_csv(bench_doc(row), "--check")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("served", proc.stderr)
+
+    def test_e16_pool_shape_mismatch_rejected(self):
+        row = bench_row("BM_E16_FetchInc/16/100000",
+                        **dict(E16_GOOD, m_procs=31))
+        proc = run_bench_to_csv(bench_doc(row), "--check")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("pool shape", proc.stderr)
 
 
 class BenchToCsvConvertTest(unittest.TestCase):
