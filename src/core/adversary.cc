@@ -59,9 +59,13 @@ RunLog run_adversary(System& sys, const AdversaryOptions& options) {
 
     // Phase 1: local coin tosses until termination or a pending op. A
     // process whose crash point is reached halts here, before its op is
-    // partitioned (crashes happen only at op boundaries).
+    // partitioned (crashes happen only at op boundaries). A crashed
+    // process whose RecoverySpec still owes it a restart rejoins at the
+    // top of the round — the earliest op boundary after its crash, which
+    // is also where the hw workers respawn it.
     for (ProcId p = 0; p < n; ++p) {
       Process& proc = sys.process(p);
+      if (proc.crashed() && !sys.maybe_recover(p)) continue;
       if (proc.halted()) continue;
       const bool was_live = true;
       sys.advance_through_tosses(p);

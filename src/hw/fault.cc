@@ -257,29 +257,106 @@ class Parser {
   std::size_t pos_ = 0;
 };
 
+const char* kind_name(JsonValue::Kind kind) {
+  switch (kind) {
+    case JsonValue::Kind::kNull:
+      return "null";
+    case JsonValue::Kind::kBool:
+      return "a boolean";
+    case JsonValue::Kind::kNumber:
+      return "a number";
+    case JsonValue::Kind::kString:
+      return "a string";
+    case JsonValue::Kind::kArray:
+      return "an array";
+    case JsonValue::Kind::kObject:
+      return "an object";
+  }
+  return "an unknown value";
+}
+
+// Field-level diagnostics: every failure names the offending key and the
+// expected type/range, so a malformed artifact fails with something a
+// human can act on instead of a generic "missing field".
+bool field_error(std::string* error, const std::string& key,
+                 const std::string& what) {
+  if (error != nullptr && error->empty()) {
+    *error = "field '" + key + "': " + what;
+  }
+  return false;
+}
+
 bool get_u64(const JsonValue& obj, const std::string& key, std::uint64_t* out,
              std::string* error) {
   const JsonValue* v = obj.find(key);
-  if (v == nullptr || v->kind != JsonValue::Kind::kNumber || !v->has_uint) {
-    if (error != nullptr && error->empty()) {
-      *error = "missing or non-integer field '" + key + "'";
-    }
-    return false;
+  if (v == nullptr) {
+    return field_error(error, key, "missing (expected an unsigned integer)");
+  }
+  if (v->kind != JsonValue::Kind::kNumber) {
+    return field_error(error, key, std::string("expected an unsigned "
+                                               "integer, got ") +
+                                       kind_name(v->kind));
+  }
+  if (!v->has_uint) {
+    return field_error(error, key,
+                       "expected an unsigned 64-bit integer, got " +
+                           double_repr(v->number));
   }
   *out = v->uint_value;
+  return true;
+}
+
+bool get_u32(const JsonValue& obj, const std::string& key, std::uint32_t* out,
+             std::string* error) {
+  std::uint64_t u = 0;
+  if (!get_u64(obj, key, &u, error)) return false;
+  if (u > 0xFFFFFFFFull) {
+    return field_error(error, key,
+                       "expected an integer in [0, 4294967295], got " +
+                           std::to_string(u));
+  }
+  *out = static_cast<std::uint32_t>(u);
   return true;
 }
 
 bool get_double(const JsonValue& obj, const std::string& key, double* out,
                 std::string* error) {
   const JsonValue* v = obj.find(key);
-  if (v == nullptr || v->kind != JsonValue::Kind::kNumber) {
-    if (error != nullptr && error->empty()) {
-      *error = "missing or non-number field '" + key + "'";
-    }
-    return false;
+  if (v == nullptr) {
+    return field_error(error, key, "missing (expected a number)");
+  }
+  if (v->kind != JsonValue::Kind::kNumber) {
+    return field_error(error, key, std::string("expected a number, got ") +
+                                       kind_name(v->kind));
   }
   *out = v->number;
+  return true;
+}
+
+// Probability fields must land in [0, 1] — a rate of 7 is a corrupt
+// artifact, not a very unlucky run.
+bool get_rate(const JsonValue& obj, const std::string& key, double* out,
+              std::string* error) {
+  if (!get_double(obj, key, out, error)) return false;
+  if (std::isnan(*out) || *out < 0.0 || *out > 1.0) {
+    return field_error(error, key, "expected a probability in [0, 1], got " +
+                                       double_repr(*out));
+  }
+  return true;
+}
+
+bool get_bool(const JsonValue& obj, const std::string& key, bool* out,
+              std::string* error) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) {
+    return field_error(error, key, "missing (expected true or false)");
+  }
+  if (v->kind != JsonValue::Kind::kBool) {
+    return field_error(error, key,
+                       std::string("expected true or false, got ") +
+                           kind_name(v->kind));
+  }
+  *out = v->bool_value;
   return true;
 }
 
@@ -289,35 +366,39 @@ bool plan_from_value(const JsonValue& obj, FaultPlan* out, std::string* error) {
     return false;
   }
   FaultPlan plan;
-  std::uint64_t u = 0;
   if (!get_u64(obj, "seed", &plan.seed, error)) return false;
-  if (!get_double(obj, "sc_fail_rate", &plan.sc_fail_rate, error)) return false;
-  if (!get_double(obj, "vl_fail_rate", &plan.vl_fail_rate, error)) return false;
-  if (!get_double(obj, "stall_rate", &plan.stall_rate, error)) return false;
-  if (!get_u64(obj, "max_stall_units", &u, error)) return false;
-  plan.max_stall_units = static_cast<std::uint32_t>(u);
-  if (!get_u64(obj, "stall_unit_ns", &u, error)) return false;
-  plan.stall_unit_ns = static_cast<std::uint32_t>(u);
+  if (!get_rate(obj, "sc_fail_rate", &plan.sc_fail_rate, error)) return false;
+  if (!get_rate(obj, "vl_fail_rate", &plan.vl_fail_rate, error)) return false;
+  if (!get_rate(obj, "stall_rate", &plan.stall_rate, error)) return false;
+  if (!get_u32(obj, "max_stall_units", &plan.max_stall_units, error)) {
+    return false;
+  }
+  if (!get_u32(obj, "stall_unit_ns", &plan.stall_unit_ns, error)) return false;
   // Adversarial-placement fields are optional: oblivious plans (PR 3 and
   // earlier producers) omit them entirely and parse to the defaults.
   const JsonValue* strategy = obj.find("strategy");
   if (strategy != nullptr) {
-    if (strategy->kind != JsonValue::Kind::kString ||
-        !fault_strategy_from_string(strategy->string_value, &plan.strategy)) {
-      if (error != nullptr) *error = "unknown 'strategy'";
-      return false;
+    if (strategy->kind != JsonValue::Kind::kString) {
+      return field_error(error, "strategy",
+                         std::string("expected one of \"oblivious\", "
+                                     "\"adaptive\", \"burst\", got ") +
+                             kind_name(strategy->kind));
+    }
+    if (!fault_strategy_from_string(strategy->string_value, &plan.strategy)) {
+      return field_error(error, "strategy",
+                         "expected one of \"oblivious\", \"adaptive\", "
+                         "\"burst\", got \"" +
+                             strategy->string_value + "\"");
     }
   }
   if (obj.find("fault_budget") != nullptr) {
     if (!get_u64(obj, "fault_budget", &plan.fault_budget, error)) return false;
   }
   if (obj.find("burst_len") != nullptr) {
-    if (!get_u64(obj, "burst_len", &u, error)) return false;
-    plan.burst_len = static_cast<std::uint32_t>(u);
+    if (!get_u32(obj, "burst_len", &plan.burst_len, error)) return false;
   }
   if (obj.find("burst_period") != nullptr) {
-    if (!get_u64(obj, "burst_period", &u, error)) return false;
-    plan.burst_period = static_cast<std::uint32_t>(u);
+    if (!get_u32(obj, "burst_period", &plan.burst_period, error)) return false;
   }
   const JsonValue* trace = obj.find("trace");
   if (trace != nullptr) {
@@ -346,20 +427,51 @@ bool plan_from_value(const JsonValue& obj, FaultPlan* out, std::string* error) {
     }
   }
   const JsonValue* crashes = obj.find("crashes");
-  if (crashes == nullptr || crashes->kind != JsonValue::Kind::kArray) {
-    if (error != nullptr) *error = "missing 'crashes' array";
-    return false;
+  if (crashes == nullptr) {
+    return field_error(error, "crashes",
+                       "missing (expected an array of crash entries)");
+  }
+  if (crashes->kind != JsonValue::Kind::kArray) {
+    return field_error(error, "crashes",
+                       std::string("expected an array, got ") +
+                           kind_name(crashes->kind));
   }
   for (const JsonValue& c : crashes->items) {
     if (c.kind != JsonValue::Kind::kObject) {
-      if (error != nullptr) *error = "crash entry is not an object";
-      return false;
+      return field_error(error, "crashes",
+                         std::string("expected entries of the form "
+                                     "{\"proc\", \"after_ops\"}, got ") +
+                             kind_name(c.kind));
     }
     CrashSpec spec;
     std::uint64_t proc = 0;
     if (!get_u64(c, "proc", &proc, error)) return false;
     spec.proc = static_cast<ProcId>(proc);
     if (!get_u64(c, "after_ops", &spec.after_ops, error)) return false;
+    // Optional recovery directive; pre-recovery artifacts omit it and
+    // parse to the crash-stop default.
+    const JsonValue* recovery = c.find("recovery");
+    if (recovery != nullptr) {
+      if (recovery->kind != JsonValue::Kind::kObject) {
+        return field_error(error, "recovery",
+                           std::string("expected an object "
+                                       "{\"delay_units\", \"max_restarts\", "
+                                       "\"amnesia\"}, got ") +
+                               kind_name(recovery->kind));
+      }
+      if (!get_u32(*recovery, "delay_units", &spec.recovery.delay_units,
+                   error)) {
+        return false;
+      }
+      if (!get_u32(*recovery, "max_restarts", &spec.recovery.max_restarts,
+                   error)) {
+        return false;
+      }
+      if (recovery->find("amnesia") != nullptr &&
+          !get_bool(*recovery, "amnesia", &spec.recovery.amnesia, error)) {
+        return false;
+      }
+    }
     plan.crashes.push_back(spec);
   }
   *out = plan;
@@ -406,10 +518,20 @@ void plan_to_stream(const FaultPlan& plan, std::ostringstream& out,
   }
   out << indent << "  \"crashes\": [";
   for (std::size_t i = 0; i < plan.crashes.size(); ++i) {
+    const CrashSpec& c = plan.crashes[i];
     if (i != 0) out << ",";
     out << "\n"
-        << indent << "    {\"proc\": " << plan.crashes[i].proc
-        << ", \"after_ops\": " << plan.crashes[i].after_ops << "}";
+        << indent << "    {\"proc\": " << c.proc
+        << ", \"after_ops\": " << c.after_ops;
+    // Crash-stop entries keep the pre-recovery schema byte for byte; the
+    // recovery object appears only when the entry actually recovers.
+    if (c.recovery.enabled()) {
+      out << ", \"recovery\": {\"delay_units\": " << c.recovery.delay_units
+          << ", \"max_restarts\": " << c.recovery.max_restarts
+          << ", \"amnesia\": " << (c.recovery.amnesia ? "true" : "false")
+          << "}";
+    }
+    out << "}";
   }
   if (!plan.crashes.empty()) out << "\n" << indent << "  ";
   out << "]\n" << indent << "}";

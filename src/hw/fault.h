@@ -24,6 +24,16 @@
 //     `after_ops` (0-based), i.e. after executing exactly `after_ops`
 //     ops. Crashes happen only at op boundaries, so no register is ever
 //     left torn.
+//   * crash-RECOVERY — a crash entry may carry a RecoverySpec: after a
+//     hash-decided delay of 1..delay_units stall units the process
+//     rejoins, either resuming its suspended coroutine frame
+//     (amnesia=false, a long pause) or restarting the body from scratch
+//     with all private coroutine state lost (amnesia=true — the restarted
+//     incarnation keeps its cumulative op/toss counters so the decision
+//     and toss streams continue where the dead incarnation left off, and
+//     its LL reservations are invalidated, never adopted). Every recovery
+//     decision is pure in (plan.seed, p, incarnation), so crash→rejoin
+//     schedules replay bit-for-bit across substrates.
 //
 // Every *oblivious* decision is a pure function of (plan.seed, p, k)
 // where k counts p's *executed* shared-memory ops — never of wall-clock
@@ -56,6 +66,7 @@
 #ifndef LLSC_HW_FAULT_H_
 #define LLSC_HW_FAULT_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -65,6 +76,7 @@
 
 #include "memory/op.h"
 #include "memory/storage_policy.h"
+#include "util/check.h"
 #include "util/rng.h"
 
 namespace llsc {
@@ -161,15 +173,45 @@ struct DecisionTrace {
   }
 };
 
+// Recovery directive attached to a crash. Defaults mean "no recovery"
+// (PR 3 crash-stop), and a default spec is omitted from the JSON so old
+// plans round-trip byte for byte.
+struct RecoverySpec {
+  // Upper bound of the hash-decided rejoin delay, in stall units of
+  // `stall_unit_ns` wall-clock on the hw backend (the simulator counts
+  // the units in FaultStats; schedule time there belongs to the
+  // adversary). 0 means rejoin immediately.
+  std::uint32_t delay_units = 0;
+  // Total restarts the process may take across the whole run; 0 disables
+  // recovery for this crash entry.
+  std::uint32_t max_restarts = 0;
+  // true: the coroutine frame is discarded and the body restarts from
+  // scratch (private state lost, LL reservations invalidated). false: the
+  // suspended frame resumes where it crashed — a pause, not a rebirth.
+  bool amnesia = true;
+
+  bool enabled() const { return max_restarts > 0; }
+
+  friend bool operator==(const RecoverySpec& a, const RecoverySpec& b) {
+    return a.delay_units == b.delay_units &&
+           a.max_restarts == b.max_restarts && a.amnesia == b.amnesia;
+  }
+};
+
 // Crash-stop directive: `proc` halts when about to execute its
 // `after_ops`-th shared-memory operation (0-based), i.e. it executes
-// exactly `after_ops` ops and then freezes forever.
+// exactly `after_ops` ops and then freezes — forever, unless `recovery`
+// allows it to rejoin. Successive entries for one process are the crash
+// points of successive incarnations (after_ops always counts cumulative
+// executed ops).
 struct CrashSpec {
   ProcId proc = 0;
   std::uint64_t after_ops = 0;
+  RecoverySpec recovery;
 
   friend bool operator==(const CrashSpec& a, const CrashSpec& b) {
-    return a.proc == b.proc && a.after_ops == b.after_ops;
+    return a.proc == b.proc && a.after_ops == b.after_ops &&
+           a.recovery == b.recovery;
   }
 };
 
@@ -205,6 +247,13 @@ struct FaultPlan {
   DecisionTrace trace;
 
   bool has_trace() const { return !trace.empty(); }
+  // True when at least one crash entry allows the process to rejoin.
+  bool has_recovery() const {
+    for (const CrashSpec& c : crashes) {
+      if (c.recovery.enabled()) return true;
+    }
+    return false;
+  }
   // True when the injector must consult a FaultStrategy object instead of
   // the inline oblivious hash roll.
   bool uses_strategy() const {
@@ -257,6 +306,10 @@ struct FaultStats {
   std::uint64_t stalls = 0;
   std::uint64_t stall_units = 0;
   std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+  // Injected rejoin delay, in stall units (wall time on hw; counted only
+  // on the simulator — same convention as stall_units).
+  std::uint64_t recovery_units = 0;
 };
 
 // Decision-hash machinery, at namespace scope so the strategy
@@ -267,6 +320,7 @@ inline constexpr std::uint64_t kFaultFailSalt = 0xC2B2AE3D27D4EB4Full;
 inline constexpr std::uint64_t kFaultStallSalt = 0x9E3779B97F4A7C15ull;
 inline constexpr std::uint64_t kFaultStallLenSalt = 0x165667B19E3779F9ull;
 inline constexpr std::uint64_t kFaultStallPosSalt = 0x27D4EB2F165667C5ull;
+inline constexpr std::uint64_t kFaultRecoverySalt = 0x85EBCA77C2B2AE63ull;
 
 // Pure decision hash for p's k-th executed op under `seed`.
 inline std::uint64_t fault_op_hash(std::uint64_t seed, ProcId p,
@@ -311,6 +365,15 @@ class FaultStrategy {
     (void)result;
   }
 
+  // p rejoined after a crash. Amnesia restarts lose all private state, so
+  // a knowledge-tracking adversary (hw/fault_adversary.cc) resets what it
+  // credits p with knowing — the restarted-process asymmetry the paper's
+  // Fig. 2 adversary exploits. Default: ignore.
+  virtual void on_recovery(ProcId p, bool amnesia) {
+    (void)p;
+    (void)amnesia;
+  }
+
   // Snapshot the decisions recorded so far, sorted by (proc, op_index).
   virtual void snapshot_trace(DecisionTrace* out) const = 0;
 };
@@ -329,11 +392,18 @@ class FaultInjector {
     for (int p = 0; p < num_processes; ++p) {
       lanes_.push_back(std::make_unique<Lane>());
     }
+    // Per-process crash specs, sorted by after_ops: entry i is the crash
+    // point of incarnation i (a lane cursor advances on recovery).
+    // Without recovery only the first — the minimum — ever fires, which
+    // is exactly the pre-recovery behavior.
     for (const CrashSpec& c : plan_.crashes) {
-      const auto it = crash_at_.find(c.proc);
-      if (it == crash_at_.end() || c.after_ops < it->second) {
-        crash_at_[c.proc] = c.after_ops;
-      }
+      crash_specs_[c.proc].push_back(c);
+    }
+    for (auto& [p, specs] : crash_specs_) {
+      std::stable_sort(specs.begin(), specs.end(),
+                       [](const CrashSpec& a, const CrashSpec& b) {
+                         return a.after_ops < b.after_ops;
+                       });
     }
     if (plan_.uses_strategy()) {
       strategy_ = make_fault_strategy(plan_, num_processes);
@@ -344,10 +414,13 @@ class FaultInjector {
   int num_processes() const { return static_cast<int>(lanes_.size()); }
 
   // True when p, having executed `ops_done` shared-memory ops, must
-  // crash-stop instead of executing the next one.
+  // crash-stop instead of executing the next one. The lane's crash cursor
+  // points at the next unconsumed CrashSpec; a spec is consumed only by
+  // note_recovery, so the cumulative op count cannot re-fire a crash the
+  // process already took and recovered from.
   bool crash_pending(ProcId p, std::uint64_t ops_done) const {
-    const auto it = crash_at_.find(p);
-    return it != crash_at_.end() && ops_done >= it->second;
+    const CrashSpec* spec = current_crash_spec(p);
+    return spec != nullptr && ops_done >= spec->after_ops;
   }
   // Overload using the injector's own executed-op count for p (the hw
   // platform wrapper has no Process to ask).
@@ -361,6 +434,63 @@ class FaultInjector {
       ++l.stats.crashes;
     }
   }
+
+  // Recovery directive of the crash that is pending or just fired for p
+  // (the lane cursor's spec). Returns false — crash-stop is final — when
+  // the spec carries no recovery or p exhausted its restart allowance.
+  bool recovery_spec(ProcId p, RecoverySpec* out) const {
+    const CrashSpec* spec = current_crash_spec(p);
+    if (spec == nullptr || !spec->recovery.enabled()) return false;
+    if (lane(p).restarts >= spec->recovery.max_restarts) return false;
+    *out = spec->recovery;
+    return true;
+  }
+
+  // True when p crashed and is allowed to rejoin (the simulator's
+  // System::all_halted treats such a process as still runnable).
+  bool recovery_pending(ProcId p) const {
+    RecoverySpec spec;
+    return lane(p).crashed && recovery_spec(p, &spec);
+  }
+
+  // Hash-decided rejoin delay for p's NEXT recovery, pure in
+  // (plan.seed, p, incarnation): 1..delay_units stall units (0 when the
+  // spec asks for no delay).
+  std::uint32_t recovery_delay_units(ProcId p) const {
+    RecoverySpec spec;
+    if (!recovery_spec(p, &spec) || spec.delay_units == 0) return 0;
+    const std::uint64_t h =
+        fault_op_hash(plan_.seed, p, lane(p).incarnation) ^
+        kFaultRecoverySalt;
+    return 1 + static_cast<std::uint32_t>(mix64(h) % spec.delay_units);
+  }
+
+  // Consume the pending crash and rejoin p: advances the crash cursor (so
+  // the cumulative op count cannot re-fire the consumed spec), bumps the
+  // incarnation, and accounts the hash-decided delay. Returns the delay
+  // in stall units — the hw substrates sleep it, the simulator only
+  // counts it (the adversary owns schedule time there). Amnesia clears
+  // the lane's spuriously-dead links: the new incarnation holds no
+  // reservations at all, dead or alive.
+  std::uint32_t note_recovery(ProcId p) {
+    Lane& l = lane(p);
+    RecoverySpec spec;
+    LLSC_EXPECTS(recovery_spec(p, &spec),
+                 "note_recovery without a pending recoverable crash");
+    const std::uint32_t units = recovery_delay_units(p);
+    l.crashed = false;
+    ++l.crash_idx;
+    ++l.restarts;
+    ++l.incarnation;
+    ++l.stats.recoveries;
+    l.stats.recovery_units += units;
+    if (spec.amnesia) l.dead_links.clear();
+    if (strategy_ != nullptr) strategy_->on_recovery(p, spec.amnesia);
+    return units;
+  }
+
+  // Incarnation counter of p's lane: 0 until the first recovery.
+  std::uint32_t incarnation(ProcId p) const { return lane(p).incarnation; }
 
   // Execute p's next shared-memory op with faults applied. `exec` performs
   // a (possibly substituted) op against the real memory; `stall(units)` is
@@ -477,6 +607,8 @@ class FaultInjector {
       s.stalls += l->stats.stalls;
       s.stall_units += l->stats.stall_units;
       s.crashes += l->stats.crashes;
+      s.recoveries += l->stats.recoveries;
+      s.recovery_units += l->stats.recovery_units;
     }
     return s;
   }
@@ -485,6 +617,11 @@ class FaultInjector {
   struct alignas(64) Lane {
     std::uint64_t ops = 0;
     bool crashed = false;
+    // Cursor into the process's sorted CrashSpec list: the next
+    // unconsumed crash. Advanced by note_recovery only.
+    std::uint32_t crash_idx = 0;
+    std::uint32_t restarts = 0;
+    std::uint32_t incarnation = 0;
     // Registers whose reservation was spuriously lost and not yet
     // refreshed by an LL ("link dead" in the injected model).
     std::unordered_set<RegId> dead_links;
@@ -496,6 +633,15 @@ class FaultInjector {
     return *lanes_[static_cast<std::size_t>(p)];
   }
 
+  // The CrashSpec p's lane cursor points at, nullptr when exhausted.
+  const CrashSpec* current_crash_spec(ProcId p) const {
+    const auto it = crash_specs_.find(p);
+    if (it == crash_specs_.end()) return nullptr;
+    const Lane& l = lane(p);
+    if (l.crash_idx >= it->second.size()) return nullptr;
+    return &it->second[l.crash_idx];
+  }
+
   // Pure decision hash for p's k-th executed op.
   std::uint64_t op_hash(ProcId p, std::uint64_t k) const {
     return fault_op_hash(plan_.seed, p, k);
@@ -503,7 +649,7 @@ class FaultInjector {
 
   FaultPlan plan_;
   std::vector<std::unique_ptr<Lane>> lanes_;
-  std::unordered_map<ProcId, std::uint64_t> crash_at_;
+  std::unordered_map<ProcId, std::vector<CrashSpec>> crash_specs_;
   std::unique_ptr<FaultStrategy> strategy_;
 };
 

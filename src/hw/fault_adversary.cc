@@ -200,6 +200,15 @@ void AdaptiveStrategy::observe(ProcId p, std::uint64_t k, const PendingOp& op,
   }
 }
 
+void AdaptiveStrategy::on_recovery(ProcId p, bool amnesia) {
+  if (p < 0 || p >= n_ || !amnesia) return;
+  std::lock_guard<std::mutex> guard(mu_);
+  know_[static_cast<std::size_t>(p)] = ProcSet::singleton(n_, p);
+  live_links_[static_cast<std::size_t>(p)].clear();
+  // The sticky target may now point at a process that forgot everything;
+  // the next decide() re-picks the argmax.
+}
+
 std::size_t AdaptiveStrategy::knowledge(ProcId p) const {
   std::lock_guard<std::mutex> guard(mu_);
   LLSC_EXPECTS(p >= 0 && p < n_, "process id out of range");

@@ -124,6 +124,11 @@ class AdaptiveStrategy final : public RecordingFaultStrategy {
               std::uint64_t h) override;
   void observe(ProcId p, std::uint64_t k, const PendingOp& op,
                const OpResult& result) override;
+  // An amnesiac rejoin resets the knowledge bookkeeping for p: the new
+  // incarnation knows only itself and holds no live links (its dead
+  // predecessor's reservations were invalidated, not adopted). A
+  // pause-and-resume recovery keeps both — the frame survived.
+  void on_recovery(ProcId p, bool amnesia) override;
 
   // Test introspection (quiescent use).
   std::size_t knowledge(ProcId p) const;

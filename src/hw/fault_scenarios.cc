@@ -70,9 +70,13 @@ ProcBody uc_scenario(bool combining) {
   // marks a run boundary and rebuilding there gives every run (including
   // the record and replay legs of one differential triple) a fresh,
   // identical starting state.
+  // The incarnation guard keeps a crash-recovery restart of process 0
+  // from rebuilding the construction mid-run: only incarnation 0's
+  // instantiation marks a run boundary (the shared object survives a
+  // crash; only the dead incarnation's private frame is lost).
   auto state = std::make_shared<UcScenarioState>();
   return [state, combining](ProcCtx ctx, ProcId i, int n) {
-    if (i == 0) {
+    if (i == 0 && ctx.incarnation() == 0) {
       ObjectFactory factory = [] {
         return std::make_unique<FetchAddObject>(64, 0);
       };

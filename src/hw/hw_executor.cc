@@ -193,24 +193,50 @@ HwRunResult HwExecutor::run(int n, const ProcBody& body) {
         gate.wait(0, std::memory_order_acquire);
         if (gate.load(std::memory_order_acquire) < 0) return;
         const std::size_t s = static_cast<std::size_t>(i);
-        try {
-          // Synchronous platform: this runs the whole body to completion.
-          procs[s]->start();
-        } catch (const CrashStopSignal&) {
-          // The signal unwound the coroutine (an await_suspend exception
-          // is re-thrown inside the frame), so the Process block reads as
-          // done-with-no-result; outcome[] is the source of truth here.
-          outcome[s] = HwProcOutcome::kCrashed;
-        } catch (const CancelledSignal&) {
-          outcome[s] = HwProcOutcome::kHung;
-        } catch (...) {
-          errors[s] = std::current_exception();
-          outcome[s] = HwProcOutcome::kHung;
-          // A failed body must not leave its peers running to a result
-          // that will be discarded by the rethrow below — and with a
-          // plan that crashes those peers' SC partners they might never
-          // finish at all.
-          monitor.cancel.store(true, std::memory_order_relaxed);
+        for (;;) {
+          try {
+            // Synchronous platform: this runs the whole body (or, after a
+            // restart, the new incarnation's body) to completion.
+            procs[s]->start();
+            break;
+          } catch (const CrashStopSignal&) {
+            // The signal unwound the coroutine (an await_suspend exception
+            // is re-thrown inside the frame), so the Process block reads as
+            // done-with-no-result; outcome[] is the source of truth here.
+            // A pause-and-resume (amnesia=false) recovery never reaches
+            // this catch — the platform serves it inline without
+            // unwinding — so a recoverable crash here is an amnesiac
+            // restart: serve the delay, drop the dead incarnation's
+            // reservations, and respawn the body on this same thread.
+            RecoverySpec rspec;
+            if (injector && injector->recovery_spec(i, &rspec)) {
+              const std::uint32_t units = injector->note_recovery(i);
+              try {
+                platform.recovery_wait(i, units);
+              } catch (const CancelledSignal&) {
+                outcome[s] = HwProcOutcome::kHung;
+                break;
+              }
+              memory.invalidate_links(i);
+              monitor.note_restart(i);
+              procs[s]->restart(body);
+              continue;
+            }
+            outcome[s] = HwProcOutcome::kCrashed;
+            break;
+          } catch (const CancelledSignal&) {
+            outcome[s] = HwProcOutcome::kHung;
+            break;
+          } catch (...) {
+            errors[s] = std::current_exception();
+            outcome[s] = HwProcOutcome::kHung;
+            // A failed body must not leave its peers running to a result
+            // that will be discarded by the rethrow below — and with a
+            // plan that crashes those peers' SC partners they might never
+            // finish at all.
+            monitor.cancel.store(true, std::memory_order_relaxed);
+            break;
+          }
         }
         monitor.progress[s].finished.store(true, std::memory_order_release);
       });

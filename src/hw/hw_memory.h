@@ -106,6 +106,10 @@ class HwMemory {
     storage_->set_register_groups(std::move(groups));
   }
 
+  // Crash-recovery: drop every link p holds (hw/register_storage.h). Call
+  // from the carrier thread restarting p.
+  void invalidate_links(ProcId p) { storage_->invalidate_links(p); }
+
  private:
   std::unique_ptr<RegisterStorage> storage_;
 };

@@ -266,8 +266,30 @@ HwRunResult OversubscribedExecutor::run(int m, const ProcBody& body) {
           finished = true;
         }
       } catch (const CrashStopSignal&) {
-        outcome[s] = HwProcOutcome::kCrashed;
-        finished = true;
+        // Only amnesiac (or unrecoverable) crashes unwind to here — a
+        // pause-and-resume recovery is served inline by the platform. If
+        // the plan owes this process a restart, serve the rejoin delay on
+        // this carrier, drop the dead incarnation's reservations, respawn
+        // the coroutine, and re-queue it on this worker's shard; it is
+        // neither finished (remaining stays put) nor hung.
+        bool restarted = false;
+        RecoverySpec rspec;
+        if (injector && injector->recovery_spec(pid, &rspec)) {
+          const std::uint32_t units = injector->note_recovery(pid);
+          try {
+            platform.recovery_wait(pid, units);
+            memory.invalidate_links(pid);
+            monitor.note_restart(pid);
+            proc->restart(body);
+            sched.push(w, proc);
+            restarted = true;
+          } catch (const CancelledSignal&) {
+            outcome[s] = HwProcOutcome::kHung;
+          }
+        } else {
+          outcome[s] = HwProcOutcome::kCrashed;
+        }
+        finished = !restarted;
       } catch (const CancelledSignal&) {
         outcome[s] = HwProcOutcome::kHung;
         finished = true;

@@ -1,5 +1,6 @@
 #include "hw/register_storage.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/check.h"
@@ -49,6 +50,13 @@ RegisterStorage::ThreadCtx& RegisterStorage::ctx(ProcId p) {
   LLSC_EXPECTS(p >= 0 && static_cast<std::size_t>(p) < ctxs_.size(),
                "process id outside this memory's thread slots");
   return *ctxs_[static_cast<std::size_t>(p)];
+}
+
+void RegisterStorage::invalidate_links(ProcId p) {
+  // Owner-thread private data (see header): a zero link word means "no
+  // live link", so every SC/VL of the new incarnation fails until it LLs.
+  ThreadCtx& c = ctx(p);
+  std::fill(c.link.begin(), c.link.end(), 0);
 }
 
 std::atomic<std::uint64_t>& RegisterStorage::word(RegId r) {

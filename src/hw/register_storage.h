@@ -103,6 +103,13 @@ class RegisterStorage {
   std::size_t num_registers() const { return regs_.size(); }
   int num_threads() const { return static_cast<int>(ctxs_.size()); }
 
+  // Crash-recovery support (hw/fault.h): drop every link p holds, so a
+  // restarted incarnation cannot adopt a reservation its dead predecessor
+  // took. Links are owner-thread private; call this from the carrier
+  // thread performing p's restart — the same thread-contract every
+  // operation for p already obeys.
+  void invalidate_links(ProcId p);
+
   // --- quiescent observation (tests / post-run accounting only) ---
   virtual Value peek_value(RegId r) const = 0;
   // For a boxed register this is the node's version; for an inline one it

@@ -51,9 +51,17 @@ struct CrashStopSignal {};
 struct CancelledSignal {};
 
 // Per-logical-process progress state, padded so the watchdog's reads
-// don't share lines with the workers' increments.
+// don't share lines with the workers' increments. Incarnations and
+// recovery waits feed the watchdog's stagnation signature alongside raw
+// steps: a process serving its recovery delay takes no shared steps, and
+// a freshly restarted one may re-execute the same step count — neither
+// must read as a wedged run, and neither must count double as progress
+// (the signature sums all three, so each restart/wait-unit moves it
+// exactly once).
 struct alignas(64) WorkerProgress {
   std::atomic<std::uint64_t> steps{0};
+  std::atomic<std::uint32_t> incarnations{0};
+  std::atomic<std::uint64_t> recovery_waits{0};
   std::atomic<bool> finished{false};
 };
 
@@ -77,6 +85,16 @@ struct RunMonitor {
   // for its arrival time yields in a loop without taking shared steps,
   // and must not read as stagnant while the scheduler is cycling it.
   void note_sched(ProcId p) { note_step(p); }
+  // A crash-recovery restart of p (new incarnation about to run).
+  void note_restart(ProcId p) {
+    progress[static_cast<std::size_t>(p)].incarnations.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  // One served unit of p's recovery delay.
+  void note_recovery_wait(ProcId p) {
+    progress[static_cast<std::size_t>(p)].recovery_waits.fetch_add(
+        1, std::memory_order_relaxed);
+  }
 
   std::atomic<bool> cancel{false};
   std::vector<WorkerProgress> progress;
@@ -112,7 +130,17 @@ class MonitoredHwPlatform : public Platform {
     if (injector_ != nullptr) {
       if (injector_->crash_pending(p)) {
         injector_->note_crash(p);
-        throw CrashStopSignal{};
+        RecoverySpec rspec;
+        if (injector_->recovery_spec(p, &rspec) && !rspec.amnesia) {
+          // Pause-and-resume recovery needs no frame teardown: consume
+          // the crash, serve the delay in place, and fall through to the
+          // op the process was about to take. Amnesiac recovery must
+          // unwind the coroutine, so it throws to the worker loop.
+          const std::uint32_t units = injector_->note_recovery(p);
+          recovery_wait(p, units);
+        } else {
+          throw CrashStopSignal{};
+        }
       }
       result = injector_->apply(
           p, op, [&](const PendingOp& o) { return memory_->apply(p, o); },
@@ -131,6 +159,20 @@ class MonitoredHwPlatform : public Platform {
   }
 
   std::string name() const override { return "hw"; }
+
+  // Serve p's recovery delay: like stall(), but each unit also ticks the
+  // monitor's recovery_waits so the watchdog sees the wait as progress.
+  // Public because the executors' worker loops serve the delay for the
+  // amnesiac (thrown) path before respawning the coroutine. A cancel
+  // during the wait still throws CancelledSignal — a watchdog-cancelled
+  // recovery reads as kHung, not as a clean restart.
+  void recovery_wait(ProcId p, std::uint32_t units) {
+    for (std::uint32_t u = 0; u < units; ++u) {
+      monitor_->check_cancel(p);
+      monitor_->note_recovery_wait(p);
+      std::this_thread::sleep_for(std::chrono::nanoseconds(stall_unit_ns_));
+    }
+  }
 
  protected:
   RunMonitor* monitor() const { return monitor_; }
@@ -214,10 +256,15 @@ class Watchdog {
         continue;  // keep waiting for run_finished
       }
       if (config_.progress_timeout_ms > 0) {
+        // The change signature folds in restarts and recovery-delay units
+        // so a recovering process is not declared hung mid-rejoin. (steps
+        // can only grow, so summing the three cannot mask a stall.)
         std::uint64_t sum = 0;
         int finished = 0;
         for (const WorkerProgress& w : monitor_->progress) {
           sum += w.steps.load(std::memory_order_relaxed);
+          sum += w.incarnations.load(std::memory_order_relaxed);
+          sum += w.recovery_waits.load(std::memory_order_relaxed);
           finished += w.finished.load(std::memory_order_relaxed) ? 1 : 0;
         }
         if (sum != last_sum || finished != last_finished) {

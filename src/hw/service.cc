@@ -1,11 +1,13 @@
 #include "hw/service.h"
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <memory>
 #include <utility>
 #include <vector>
 
+#include "hw/run_support.h"
 #include "memory/rmw.h"
 #include "objects/arith.h"
 #include "universal/combining.h"
@@ -54,36 +56,49 @@ std::vector<std::uint64_t> arrival_schedule(std::uint64_t seed, ProcId p,
 // arrival. A free function taking pointers, per the GCC 12 coroutine
 // notes in runtime/sim_task.h; the co_await sits in the loop BODY, never
 // in a condition (see Process::resume()).
+//
+// Crash-recovery: the latency histogram is the journal — its count is the
+// number of COMPLETED requests, so a restarted incarnation resumes the
+// arrival schedule at k = latency->count() and the request a crash caught
+// mid-op is re-served (its recorded latency then spans the crash and the
+// rejoin delay, the honest open-loop cost). A crash between arrival and
+// completion bumps *in_flight before rethrowing, so the availability
+// accounting can explain every served/offered gap; the crashed attempt
+// itself never records a latency and never counts as served.
 SimTask client_body(ProcCtx ctx, const ServiceShared* shared,
                     const std::vector<std::uint64_t>* arrivals,
-                    LatencyHistogram* latency) {
-  std::uint64_t served = 0;
-  for (std::size_t k = 0; k < arrivals->size(); ++k) {
+                    LatencyHistogram* latency,
+                    std::atomic<std::uint64_t>* in_flight) {
+  for (std::size_t k = latency->count(); k < arrivals->size(); ++k) {
     const Clock::time_point due =
         shared->epoch + std::chrono::nanoseconds((*arrivals)[k]);
     while (Clock::now() < due) {
       co_await ctx.yield();
     }
-    if (shared->workload == ServiceWorkload::kFetchInc) {
-      (void)co_await ctx.rmw(0, shared->inc);
-    } else if (shared->workload == ServiceWorkload::kWakeup) {
-      for (;;) {
-        const Value cur = co_await ctx.ll(0);
-        const std::uint64_t base = cur.is_nil() ? 0 : cur.as_u64();
-        const ScResult sc = co_await ctx.sc(0, Value::of_u64(base + 1));
-        if (sc.ok) break;
+    try {
+      if (shared->workload == ServiceWorkload::kFetchInc) {
+        (void)co_await ctx.rmw(0, shared->inc);
+      } else if (shared->workload == ServiceWorkload::kWakeup) {
+        for (;;) {
+          const Value cur = co_await ctx.ll(0);
+          const std::uint64_t base = cur.is_nil() ? 0 : cur.as_u64();
+          const ScResult sc = co_await ctx.sc(0, Value::of_u64(base + 1));
+          if (sc.ok) break;
+        }
+      } else {
+        ObjOp op{"fetch&increment", {}};
+        (void)co_await shared->uc->execute(ctx, std::move(op));
       }
-    } else {
-      ObjOp op{"fetch&increment", {}};
-      (void)co_await shared->uc->execute(ctx, std::move(op));
+    } catch (const hw_internal::CrashStopSignal&) {
+      in_flight->fetch_add(1, std::memory_order_relaxed);
+      throw;
     }
     const Clock::time_point done = Clock::now();
     latency->record(static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(done - due)
             .count()));
-    ++served;
   }
-  co_return Value::of_u64(served);
+  co_return Value::of_u64(latency->count());
 }
 
 }  // namespace
@@ -133,11 +148,14 @@ ServiceResult run_service(const ServiceOptions& options) {
   run_options.num_threads = options.threads;
   run_options.yield_policy = options.yield_policy;
   run_options.yield_every_k = options.yield_every_k;
+  run_options.fault = options.fault;
   if (shared.uc) run_options.register_groups = shared.uc->register_groups();
 
+  std::atomic<std::uint64_t> in_flight_at_crash{0};
   const ProcBody body = [&](ProcCtx ctx, ProcId i, int) {
     return client_body(ctx, &shared, &arrivals[static_cast<std::size_t>(i)],
-                       &latency[static_cast<std::size_t>(i)]);
+                       &latency[static_cast<std::size_t>(i)],
+                       &in_flight_at_crash);
   };
 
   // The arrival clock starts a hair before the pool's start gate opens
@@ -159,6 +177,19 @@ ServiceResult run_service(const ServiceOptions& options) {
       out.run.wall_seconds > 0
           ? static_cast<double>(out.served_ops) / out.run.wall_seconds
           : 0.0;
+  out.in_flight_at_crash = in_flight_at_crash.load(std::memory_order_relaxed);
+  out.crashes = out.run.fault.crashes;
+  out.recoveries = out.run.fault.recoveries;
+  if (out.recoveries > 0 && options.fault != nullptr) {
+    out.mttr_ms = static_cast<double>(out.run.fault.recovery_units) *
+                  static_cast<double>(options.fault->stall_unit_ns) /
+                  static_cast<double>(out.recoveries) / 1e6;
+  }
+  out.availability =
+      out.offered_ops > 0
+          ? static_cast<double>(out.served_ops) /
+                static_cast<double>(out.offered_ops)
+          : 1.0;
   return out;
 }
 

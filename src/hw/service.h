@@ -54,6 +54,14 @@ struct ServiceOptions {
   StoragePolicy storage = default_storage_policy();
   std::optional<std::uint64_t> timeout_ms;
   std::uint64_t progress_timeout_ms = 0;
+  // Fault plan for the run (hw/fault.h), nullptr = no injection. Crash
+  // entries with a RecoverySpec model a crash-storm with repair: a client
+  // crashed mid-request does NOT count as served (its latency is never
+  // recorded — see ServiceResult::in_flight_at_crash), and an amnesiac
+  // rejoin resumes the arrival schedule at the first unserved request
+  // (completed requests are journaled in the latency histogram's count).
+  // Caller keeps the plan alive for the run.
+  const FaultPlan* fault = nullptr;
 };
 
 struct ServiceResult {
@@ -65,6 +73,20 @@ struct ServiceResult {
   std::uint64_t offered_ops = 0;  // procs × ops_per_proc
   std::uint64_t served_ops = 0;   // completed (latency-recorded) ops
   double throughput_ops_per_sec = 0.0;  // served / wall
+  // --- availability accounting (zero without a fault plan) ---
+  // Requests a crash caught between arrival and completion. Each such
+  // request is not served (no latency recorded); under recovery the new
+  // incarnation re-serves the same arrival, so one request can be counted
+  // here once per crash it absorbed. served <= offered always holds;
+  // served == offered on a fully-recovered run.
+  std::uint64_t in_flight_at_crash = 0;
+  std::uint64_t crashes = 0;     // injected crash-stops (FaultStats)
+  std::uint64_t recoveries = 0;  // rejoins consumed (FaultStats)
+  // Mean time to repair: average injected rejoin delay, wall-clock
+  // (recovery_units × stall_unit_ns / recoveries). 0 with no recoveries.
+  double mttr_ms = 0.0;
+  // served / offered in [0, 1]; 1.0 when offered == 0.
+  double availability = 1.0;
 };
 
 // Runs one open-loop service experiment. The offered/served accounting

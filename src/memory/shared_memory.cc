@@ -112,6 +112,10 @@ OpResult SharedMemory::apply(ProcId p, const PendingOp& op) {
   LLSC_UNREACHABLE("bad OpKind");
 }
 
+void SharedMemory::invalidate_links(ProcId p) {
+  for (auto& [r, R] : regs_) R.pset.erase(p);
+}
+
 const Value& SharedMemory::peek_value(RegId r) const {
   static const Value kNil;
   const Register* R = find(r);

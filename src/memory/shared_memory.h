@@ -76,6 +76,12 @@ class SharedMemory {
   // single entry point schedulers use, so counting and tracing are uniform.
   OpResult apply(ProcId p, const PendingOp& op);
 
+  // Crash-recovery support (hw/fault.h): remove p from every register's
+  // Pset, so a restarted incarnation cannot adopt a reservation its dead
+  // predecessor took. Mirrors HwMemory::invalidate_links bit for bit: a
+  // dropped link makes exactly the SC/VLs fail that would fail on hw.
+  void invalidate_links(ProcId p);
+
   // Observation (not shared-memory operations; used by checkers/tests only).
   const Value& peek_value(RegId r) const;
   bool peek_pset_contains(RegId r, ProcId p) const;

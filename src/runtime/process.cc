@@ -23,6 +23,7 @@ const char* step_kind_name(StepKind kind) {
 
 ProcId ProcCtx::id() const { return proc_->id(); }
 int ProcCtx::num_processes() const { return proc_->num_processes(); }
+std::uint32_t ProcCtx::incarnation() const { return proc_->incarnation(); }
 
 void Process::attach(SimTask task) {
   LLSC_EXPECTS(!task_.valid(), "process already has a coroutine attached");
@@ -111,6 +112,29 @@ void Process::mark_crashed() {
   LLSC_EXPECTS(kind_ != StepKind::kDone,
                "cannot crash a terminated process");
   crashed_ = true;
+}
+
+void Process::mark_recovered() {
+  LLSC_EXPECTS(crashed_, "mark_recovered() requires a crashed process");
+  crashed_ = false;
+}
+
+void Process::restart(const ProcBody& body) {
+  // Bump the incarnation BEFORE building the new body: builders read
+  // ProcCtx::incarnation() at invocation time to guard one-time shared
+  // construction against re-running.
+  ++incarnation_;
+  crashed_ = false;
+  kind_ = StepKind::kNotStarted;
+  resume_handle_ = {};
+  op_result_ = OpResult{};
+  toss_range_ = 0;
+  // Destroying the old SimTask tears down the suspended (or exception-
+  // unwound) frame stack; shared_ops_/num_tosses_ survive so the new
+  // incarnation's fault and toss streams continue the cumulative count.
+  SimTask task = body(ProcCtx(this), id_, n_);
+  LLSC_EXPECTS(task.valid(), "restart body built an empty SimTask");
+  task_ = std::move(task);
 }
 
 const Value& Process::result() const {

@@ -84,6 +84,10 @@ class ProcCtx {
 
   ProcId id() const;
   int num_processes() const;
+  // Restart count of the owning process: 0 for the original body, +1 per
+  // amnesia recovery (hw/fault.h). Lets a shared-state builder guard
+  // one-time construction against re-running when its body restarts.
+  std::uint32_t incarnation() const;
 
   // --- awaitables (each is one step of the paper's model) ---
 
@@ -159,6 +163,20 @@ class Process {
   bool halted() const { return done() || crashed_; }
   // Freeze the process permanently. Precondition: !done(). Idempotent.
   void mark_crashed();
+  // Crash-recovery without amnesia: lift the crash flag and leave the
+  // suspended frame exactly where it froze — the pending step executes
+  // next, a pause rather than a rebirth. Precondition: crashed().
+  void mark_recovered();
+  // Crash-recovery WITH amnesia: drop the suspended coroutine frame (all
+  // private state is lost), bump incarnation(), and attach a fresh body
+  // built by `body` — which observes the NEW incarnation via
+  // ProcCtx::incarnation(). Cumulative counters (shared_ops, num_tosses)
+  // are preserved so the fault-decision and toss streams continue where
+  // the dead incarnation left off. Also usable on an unwound hw process
+  // (whose frame completed by exception), so no crashed() precondition.
+  void restart(const ProcBody& body);
+  // Amnesia restarts taken so far (0 = original incarnation).
+  std::uint32_t incarnation() const { return incarnation_; }
   // Pending shared-memory operation. Precondition: step_kind() == kOp.
   const PendingOp& pending_op() const;
   // Range of the pending toss (0 = raw u64). Precondition: kind == kToss.
@@ -235,6 +253,7 @@ class Process {
   std::uint64_t toss_result_ = 0;  // result slot read by the toss awaitable
   std::uint64_t shared_ops_ = 0;
   std::uint64_t num_tosses_ = 0;
+  std::uint32_t incarnation_ = 0;
   bool crashed_ = false;
 };
 

@@ -19,7 +19,8 @@ OpResult SimPlatform::apply(ProcId p, const PendingOp& op) {
 
 System::System(int n, const ProcBody& body,
                std::shared_ptr<const TossAssignment> tosses)
-    : tosses_(tosses ? std::move(tosses)
+    : body_(body),
+      tosses_(tosses ? std::move(tosses)
                      : std::make_shared<ZeroTossAssignment>()),
       platform_(&memory_, tosses_.get()) {
   LLSC_EXPECTS(n >= 1, "a system needs at least one process");
@@ -46,6 +47,11 @@ const Process& System::process(ProcId p) const {
 
 void System::step(ProcId p) {
   Process& proc = process(p);
+  if (proc.crashed()) {
+    LLSC_EXPECTS(maybe_recover(p), "cannot step a crashed process");
+    // An amnesiac restart leaves kNotStarted and falls into the start
+    // branch below; a resumed frame continues at its suspension point.
+  }
   LLSC_EXPECTS(!proc.halted(), "cannot step a halted process");
   if (proc.step_kind() == StepKind::kNotStarted) {
     proc.start();
@@ -110,14 +116,40 @@ bool System::maybe_crash(ProcId p) {
   return true;
 }
 
+bool System::maybe_recover(ProcId p) {
+  Process& proc = process(p);
+  if (!proc.crashed() || fault_ == nullptr) return false;
+  RecoverySpec spec;
+  if (!fault_->recovery_spec(p, &spec)) return false;
+  // Pure accounting: the delay is charged to FaultStats::recovery_units;
+  // on the deferred platform the adversary owns schedule time, so the
+  // rejoin takes effect at whatever point the scheduler called us.
+  fault_->note_recovery(p);
+  if (spec.amnesia) {
+    memory_.invalidate_links(p);
+    proc.restart(body_);
+  } else {
+    proc.mark_recovered();
+  }
+  return true;
+}
+
+bool System::runnable(ProcId p) const {
+  const Process& proc = process(p);
+  if (!proc.halted()) return true;
+  return proc.crashed() && fault_ != nullptr && fault_->recovery_pending(p);
+}
+
 bool System::all_done() const {
   return std::all_of(procs_.begin(), procs_.end(),
                      [](const auto& p) { return p->done(); });
 }
 
 bool System::all_halted() const {
-  return std::all_of(procs_.begin(), procs_.end(),
-                     [](const auto& p) { return p->halted(); });
+  for (ProcId p = 0; p < num_processes(); ++p) {
+    if (runnable(p)) return false;
+  }
+  return true;
 }
 
 int System::num_done() const {

@@ -94,11 +94,24 @@ class System {
   // If the installed plan crash-stops p at its current op count, freeze p
   // now. Returns true when p is (now or already) crashed.
   bool maybe_crash(ProcId p);
+  // If p is crashed and the plan's RecoverySpec allows it to rejoin,
+  // recover it now: the injector consumes the crash (pure delay/cursor
+  // accounting — hw sleeps the delay; here the adversary owns schedule
+  // time) and p either resumes its suspended frame (amnesia=false) or
+  // restarts its body from scratch with links invalidated (amnesia=true).
+  // Returns true when p was recovered by this call.
+  bool maybe_recover(ProcId p);
+  // True when p can take a step now — not halted, or crashed with a
+  // recovery still owed. Schedulers loop on this instead of !halted() so
+  // a recoverable process is neither skipped forever nor spun on.
+  bool runnable(ProcId p) const;
 
   // --- run state ---
 
   bool all_done() const;
-  // True when every process is done or crashed — no further steps exist.
+  // True when no process will ever take another step: every process is
+  // done, or crashed with no recovery owed. A crashed process the fault
+  // plan will revive does NOT halt the run.
   bool all_halted() const;
   // Number of processes that have terminated.
   int num_done() const;
@@ -129,6 +142,9 @@ class System {
  private:
   SharedMemory memory_;
   std::vector<std::unique_ptr<Process>> procs_;
+  // Kept so maybe_recover can rebuild an amnesiac process's coroutine; the
+  // new frame reads ProcCtx::incarnation() to skip one-time construction.
+  ProcBody body_;
   std::shared_ptr<const TossAssignment> tosses_;
   // Declared after memory_ and tosses_ (it points into both).
   SimPlatform platform_;

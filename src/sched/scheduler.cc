@@ -14,14 +14,15 @@ RunOutcome finish(const System& sys, std::uint64_t steps) {
 
 }  // namespace
 
-// Schedulers skip halted() (done-or-crashed) processes: a crash-stopped
-// process takes no further steps, and looping on done() alone would spin
-// forever on a run with an injected crash.
+// Schedulers skip non-runnable() processes: a crash-stopped process takes
+// no further steps (looping on done() alone would spin forever on a run
+// with an injected crash), while a crashed process whose RecoverySpec owes
+// it a restart still counts as schedulable — step() revives it first.
 RunOutcome RoundRobinScheduler::run(System& sys, std::uint64_t max_steps) {
   std::uint64_t steps = 0;
   while (!sys.all_halted() && steps < max_steps) {
     for (ProcId p = 0; p < sys.num_processes() && steps < max_steps; ++p) {
-      if (!sys.process(p).halted()) {
+      if (sys.runnable(p)) {
         sys.step(p);
         ++steps;
       }
@@ -36,7 +37,7 @@ RunOutcome RandomScheduler::run(System& sys, std::uint64_t max_steps) {
   while (steps < max_steps) {
     live.clear();
     for (ProcId p = 0; p < sys.num_processes(); ++p) {
-      if (!sys.process(p).halted()) live.push_back(p);
+      if (sys.runnable(p)) live.push_back(p);
     }
     if (live.empty()) break;
     const ProcId p = live[rng_.next_below(live.size())];
@@ -49,7 +50,7 @@ RunOutcome RandomScheduler::run(System& sys, std::uint64_t max_steps) {
 RunOutcome SequentialScheduler::run(System& sys, std::uint64_t max_steps) {
   std::uint64_t steps = 0;
   for (ProcId p = 0; p < sys.num_processes(); ++p) {
-    while (!sys.process(p).halted() && steps < max_steps) {
+    while (sys.runnable(p) && steps < max_steps) {
       sys.step(p);
       ++steps;
     }
@@ -63,7 +64,7 @@ RunOutcome ScriptedScheduler::run(System& sys, std::uint64_t max_steps) {
     if (steps >= max_steps || sys.all_halted()) break;
     LLSC_EXPECTS(p >= 0 && p < sys.num_processes(),
                  "scripted process id out of range");
-    if (!sys.process(p).halted()) {
+    if (sys.runnable(p)) {
       sys.step(p);
       ++steps;
     }

@@ -173,11 +173,18 @@ SubTask<Value> CombiningUniversal::execute(ProcCtx ctx, ObjOp op) {
     // Collect the pending announcements: processes whose toggle differs
     // from the value the installed state recorded (or every process under
     // scan_all), confirmed by sequence number so a stale toggle can never
-    // double-apply.
+    // double-apply. My own announce is read unconditionally: an amnesiac
+    // restart (hw/fault.h recovery) re-announces and re-flips, and the
+    // even number of flips across the crash can cancel out — leaving the
+    // toggle-diff predicate blind to my own pending op. Helpers can stay
+    // blind to it (a restarted op merely loses the two-install helping
+    // guarantee and completes through my own install, still lock-free);
+    // my own combine must not be, or a successful install would violate
+    // the every-installer-applies-its-own-op invariant below.
     std::vector<std::pair<ProcId, CombineCell>> batch;
     for (ProcId q = 0; q < n_; ++q) {
       const std::size_t sq = static_cast<std::size_t>(q);
-      if (!options_.scan_all) {
+      if (!options_.scan_all && q != p) {
         const std::size_t w = sq / kToggleBitsPerWord;
         const std::uint64_t bit = std::uint64_t{1}
                                   << (sq % kToggleBitsPerWord);

@@ -68,4 +68,19 @@ WakeupCheckResult check_wakeup_run(const System& sys) {
   return res;
 }
 
+RecoverableWakeupCheckResult check_recoverable_wakeup_run(const System& sys) {
+  RecoverableWakeupCheckResult res;
+  static_cast<WakeupCheckResult&>(res) = check_wakeup_run(sys);
+  const int n = sys.num_processes();
+  for (ProcId p = 0; p < n; ++p) {
+    if (sys.process(p).crashed()) {
+      res.ok = false;
+      res.violations.push_back("p" + std::to_string(p) +
+                               " is still crashed (recovery never fired)");
+    }
+    res.num_restarts += sys.process(p).incarnation();
+  }
+  return res;
+}
+
 }  // namespace llsc

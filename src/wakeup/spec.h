@@ -34,6 +34,21 @@ struct WakeupCheckResult {
 // to a step cap — non-termination is reported as a violation of (1)).
 WakeupCheckResult check_wakeup_run(const System& sys);
 
+// Recoverable wakeup (crash-recovery extension, hw/fault.h): the base
+// conditions plus (4) no process is left crashed — every crash the fault
+// plan injected was recovered and the rejoined process ran to a 0/1
+// return. num_restarts sums the injector's incarnation counters, so a
+// checker can assert the crash→rejoin schedule actually exercised
+// recovery. Conditions (2)/(3) are inherited unchanged: a rejoined
+// process re-participates, and exactly-one-winner algorithms must still
+// produce a winner (the dead incarnation's announce slots and LL
+// reservations were invalidated, never adopted).
+struct RecoverableWakeupCheckResult : WakeupCheckResult {
+  std::uint64_t num_restarts = 0;
+};
+
+RecoverableWakeupCheckResult check_recoverable_wakeup_run(const System& sys);
+
 }  // namespace llsc
 
 #endif  // LLSC_WAKEUP_SPEC_H_

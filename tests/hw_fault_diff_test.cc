@@ -177,11 +177,23 @@ TEST_P(HwFaultDiffTest, RandomTriplesAgreeAcrossSubstrates) {
           plan.burst_len + 1 + static_cast<std::uint32_t>(rng.next_below(5));
     }
     // Every fifth triple crash-stops one process partway through its
-    // fixed op stream.
+    // fixed op stream; half of those let it rejoin. Recovery decisions
+    // are pure in (plan.seed, proc, incarnation) and the fixed bodies
+    // are schedule-independent, so a recovered run's observables — an
+    // amnesiac restart replays the whole body on top of the after_ops
+    // already charged; a resumed frame just finishes it — must agree
+    // across all three substrates like any other plan. The draws are
+    // independent of the t % 4 scenario cycle and the t % 3 strategy
+    // cycle, so recovery crosses every (scenario, strategy) pair.
     if (t % 5 == 0) {
       CrashSpec crash;
       crash.proc = static_cast<ProcId>(rng.next_below(n));
       crash.after_ops = 1 + rng.next_below(12);
+      if (rng.next_below(2) == 0) {
+        crash.recovery.max_restarts = 1;
+        crash.recovery.delay_units = 1 + rng.next_below(3);
+        crash.recovery.amnesia = rng.next_below(4) != 0;
+      }
       plan.crashes.push_back(crash);
     }
     const std::string what = describe(t, scenario, n, toss_seed, plan);

@@ -14,6 +14,7 @@
 #include "core/lower_bound.h"
 #include "hw/fault_scenarios.h"
 #include "hw/hw_executor.h"
+#include "hw/oversub_executor.h"
 #include "memory/rmw.h"
 #include "runtime/system.h"
 
@@ -155,6 +156,142 @@ TEST(HwFaultTest, CrashStopLeavesNoTornRegisterState) {
   EXPECT_EQ(sys.memory().peek_value(0).as_u64(), executed);
 }
 
+// Crash-stop is a terminal outcome the executor can classify the moment
+// the last worker unwinds: when EVERY process crash-stops, the run must
+// report kCrashed promptly from the per-process outcomes, not sit out the
+// watchdog's stagnation window and come back kHung. The progress timeout
+// here is deliberately enormous — if the taxonomy leaned on it, the test
+// would stall for minutes instead of finishing in milliseconds.
+TEST(HwFaultTest, AllProcessesCrashStopReportsCrashedNotHungOnHw) {
+  const int n = 4;
+  const ProcBody algo = fault_scenario("fixed_ll_sc");
+  FaultPlan plan;
+  for (ProcId p = 0; p < n; ++p) {
+    plan.crashes.push_back(CrashSpec{.proc = p, .after_ops = 2});
+  }
+  HwRunOptions options;
+  options.fault = &plan;
+  options.progress_timeout_ms = 600'000;
+  HwExecutor exec(options);
+  const HwRunResult r = exec.run(n, algo);
+  EXPECT_EQ(r.status, RunStatus::kCrashed);
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.cancelled);
+  EXPECT_EQ(r.crashed_procs, n);
+  EXPECT_EQ(r.hung_procs, 0);
+  for (ProcId p = 0; p < n; ++p) {
+    EXPECT_EQ(r.proc_status[static_cast<std::size_t>(p)],
+              HwProcOutcome::kCrashed);
+    EXPECT_EQ(r.shared_ops[static_cast<std::size_t>(p)], 2u);
+  }
+  EXPECT_EQ(r.fault.crashes, static_cast<std::uint64_t>(n));
+}
+
+// Same contract on the oversubscribed pool: a worker whose every resident
+// coroutine crash-stopped drains its shard and exits; nothing waits for
+// the watchdog.
+TEST(HwFaultTest, AllProcessesCrashStopReportsCrashedNotHungOnOversub) {
+  const int n = 6;
+  const ProcBody algo = fault_scenario("fixed_ll_sc");
+  FaultPlan plan;
+  for (ProcId p = 0; p < n; ++p) {
+    plan.crashes.push_back(CrashSpec{.proc = p, .after_ops = 3});
+  }
+  OversubRunOptions options;
+  options.fault = &plan;
+  options.progress_timeout_ms = 600'000;
+  options.num_threads = 2;
+  OversubscribedExecutor exec(options);
+  const HwRunResult r = exec.run(n, algo);
+  EXPECT_EQ(r.status, RunStatus::kCrashed);
+  EXPECT_FALSE(r.cancelled);
+  EXPECT_EQ(r.crashed_procs, n);
+  EXPECT_EQ(r.hung_procs, 0);
+  for (ProcId p = 0; p < n; ++p) {
+    EXPECT_EQ(r.shared_ops[static_cast<std::size_t>(p)], 3u);
+  }
+}
+
+// --- crash recovery ------------------------------------------------------
+
+// An amnesiac rejoin: the victim loses its coroutine frame, restarts the
+// body from scratch (next incarnation), and the run finishes CLEAN — the
+// crash is visible only in the FaultStats. The per-process op counter is
+// cumulative across incarnations, so the victim's total is after_ops plus
+// one full replay of the 16-op fixed body.
+TEST(HwFaultTest, AmnesiacRecoveryRejoinsAndRunsClean) {
+  const int n = 4;
+  const ProcBody algo = fault_scenario("fixed_ll_sc");  // 16 ops/process
+  FaultPlan plan;
+  plan.stall_unit_ns = 1;  // keep the rejoin delay fast
+  CrashSpec crash{.proc = 1, .after_ops = 5};
+  crash.recovery.delay_units = 3;
+  crash.recovery.max_restarts = 1;
+  crash.recovery.amnesia = true;
+  plan.crashes.push_back(crash);
+  HwRunOptions options;
+  options.fault = &plan;
+  HwExecutor exec(options);
+  const HwRunResult r = exec.run(n, algo);
+  EXPECT_EQ(r.status, RunStatus::kClean);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.proc_status[1], HwProcOutcome::kDone);
+  EXPECT_EQ(r.shared_ops[1], 5u + 16u);
+  EXPECT_EQ(r.fault.crashes, 1u);
+  EXPECT_EQ(r.fault.recoveries, 1u);
+  EXPECT_GT(r.fault.recovery_units, 0u);
+}
+
+// Pause-and-resume (amnesia = false): the frame survives, the victim
+// finishes its remaining ops in place — 16 total, not after_ops + 16 —
+// and the run is clean.
+TEST(HwFaultTest, PauseAndResumeRecoveryFinishesInPlace) {
+  const int n = 4;
+  const ProcBody algo = fault_scenario("fixed_ll_sc");
+  FaultPlan plan;
+  plan.stall_unit_ns = 1;
+  CrashSpec crash{.proc = 2, .after_ops = 7};
+  crash.recovery.delay_units = 2;
+  crash.recovery.max_restarts = 1;
+  crash.recovery.amnesia = false;
+  plan.crashes.push_back(crash);
+  HwRunOptions options;
+  options.fault = &plan;
+  HwExecutor exec(options);
+  const HwRunResult r = exec.run(n, algo);
+  EXPECT_EQ(r.status, RunStatus::kClean);
+  EXPECT_EQ(r.proc_status[2], HwProcOutcome::kDone);
+  EXPECT_EQ(r.shared_ops[2], 16u);
+  EXPECT_EQ(r.fault.crashes, 1u);
+  EXPECT_EQ(r.fault.recoveries, 1u);
+}
+
+// Exhausted restarts stay terminal: with max_restarts = 1 the second
+// crash of the same process has no recovery left, so the run reports
+// kCrashed like any crash-stop.
+TEST(HwFaultTest, ExhaustedRestartsReportCrashed) {
+  const int n = 3;
+  const ProcBody algo = fault_scenario("fixed_ll_sc");
+  FaultPlan plan;
+  plan.stall_unit_ns = 1;
+  CrashSpec first{.proc = 0, .after_ops = 2};
+  first.recovery.delay_units = 2;
+  first.recovery.max_restarts = 1;
+  first.recovery.amnesia = true;
+  CrashSpec second{.proc = 0, .after_ops = 6};  // crash-stop, no recovery
+  plan.crashes.push_back(first);
+  plan.crashes.push_back(second);
+  HwRunOptions options;
+  options.fault = &plan;
+  HwExecutor exec(options);
+  const HwRunResult r = exec.run(n, algo);
+  EXPECT_EQ(r.status, RunStatus::kCrashed);
+  EXPECT_EQ(r.proc_status[0], HwProcOutcome::kCrashed);
+  EXPECT_EQ(r.shared_ops[0], 6u);
+  EXPECT_EQ(r.fault.crashes, 2u);
+  EXPECT_EQ(r.fault.recoveries, 1u);
+}
+
 // --- cross-substrate replay ----------------------------------------------
 
 // The acceptance criterion in miniature: one plan, one toss seed, both
@@ -294,6 +431,76 @@ TEST(HwFaultTest, FaultArtifactJsonRoundTripsExactly) {
   EXPECT_EQ(parsed.status, artifact.status);
   EXPECT_EQ(parsed.proc_ops, artifact.proc_ops);
   EXPECT_EQ(parsed.plan, artifact.plan);
+}
+
+TEST(HwFaultTest, RecoverySpecJsonRoundTripsExactly) {
+  FaultPlan plan;
+  plan.seed = 11;
+  CrashSpec rejoins{.proc = 0, .after_ops = 4};
+  rejoins.recovery.delay_units = 7;
+  rejoins.recovery.max_restarts = 2;
+  rejoins.recovery.amnesia = true;
+  CrashSpec stays_down{.proc = 2, .after_ops = 9};
+  plan.crashes.push_back(rejoins);
+  plan.crashes.push_back(stays_down);
+  FaultPlan parsed;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::from_json(plan.to_json(), &parsed, &error)) << error;
+  EXPECT_EQ(parsed, plan);
+}
+
+// Old artifacts predate the optional "recovery" object. A plan whose
+// crashes are all crash-stop must serialize to the pre-recovery schema —
+// no "recovery" key at all — and re-serialize byte for byte, so frozen
+// artifacts keep replaying unchanged.
+TEST(HwFaultTest, CrashStopPlansKeepPreRecoverySchemaByteForByte) {
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.sc_fail_rate = 0.25;
+  plan.crashes.push_back(CrashSpec{.proc = 1, .after_ops = 3});
+  const std::string json = plan.to_json();
+  EXPECT_EQ(json.find("recovery"), std::string::npos) << json;
+  FaultPlan parsed;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::from_json(json, &parsed, &error)) << error;
+  EXPECT_EQ(parsed, plan);
+  EXPECT_EQ(parsed.to_json(), json);
+}
+
+// Malformed recovery objects fail with the offending FIELD in the error,
+// not a generic parse failure — the replay tooling surfaces these
+// verbatim (tools/replay_fault.py).
+TEST(HwFaultTest, MalformedRecoveryJsonNamesTheOffendingField) {
+  // Splice a broken crash entry into an otherwise-valid serialized plan,
+  // so the parse fails on the recovery field under test and nothing else.
+  const auto plan_with_crash_entry = [](const std::string& entry) {
+    FaultPlan valid;
+    std::string json = valid.to_json();
+    const std::string empty = "\"crashes\": []";
+    const std::string::size_type at = json.find(empty);
+    EXPECT_NE(at, std::string::npos) << json;
+    return json.replace(at, empty.size(), "\"crashes\": [" + entry + "]");
+  };
+  FaultPlan plan;
+  std::string error;
+  EXPECT_FALSE(FaultPlan::from_json(
+      plan_with_crash_entry(
+          "{\"proc\": 0, \"after_ops\": 1, \"recovery\": 5}"),
+      &plan, &error));
+  EXPECT_NE(error.find("recovery"), std::string::npos) << error;
+  error.clear();
+  EXPECT_FALSE(FaultPlan::from_json(
+      plan_with_crash_entry("{\"proc\": 0, \"after_ops\": 1, "
+                            "\"recovery\": {\"max_restarts\": 1}}"),
+      &plan, &error));
+  EXPECT_NE(error.find("delay_units"), std::string::npos) << error;
+  error.clear();
+  EXPECT_FALSE(FaultPlan::from_json(
+      plan_with_crash_entry("{\"proc\": 0, \"after_ops\": 1, "
+                            "\"recovery\": {\"delay_units\": 2, "
+                            "\"max_restarts\": 1, \"amnesia\": 7}}"),
+      &plan, &error));
+  EXPECT_NE(error.find("amnesia"), std::string::npos) << error;
 }
 
 TEST(HwFaultTest, MalformedJsonIsRejectedWithAnError) {

@@ -48,7 +48,13 @@ bench/bench_service_mode.cc) must carry the pool fingerprint (n_threads,
 m_procs, oversub_factor, with m_procs = n_threads * oversub_factor), the
 offered/served accounting (arrival_rate_hz > 0, served_ops <=
 offered_ops, non-negative throughput_ops_per_sec), and monotone latency
-percentiles latency_p50_ns <= p90 <= p99 <= p999.
+percentiles latency_p50_ns <= p90 <= p99 <= p999. BM_E17_* rows (the
+crash-storm availability sweep, same bench binary) must carry the storm
+fingerprint (recover in {0, 1}, storm >= 0, crashes / recoveries /
+in_flight_at_crash with recoveries <= crashes and in_flight_at_crash <=
+crashes), the availability accounting (availability in [0, 1] and equal
+to served/offered, mttr_ms >= 0, zero when nothing recovered), the
+served <= offered bound, and the same monotone latency percentiles.
 Use it in CI to fail fast on truncated benchmark artifacts.
 """
 import argparse
@@ -134,6 +140,22 @@ E16_REQUIRED = [
     "latency_p999_ns",
 ]
 E16_PERCENTILES = [
+    "latency_p50_ns", "latency_p90_ns", "latency_p99_ns",
+    "latency_p999_ns",
+]
+
+# The E17 crash-storm rows (BM_E17_* in bench/bench_service_mode.cc)
+# report availability under injected crash-stops with and without
+# recovery. The fingerprint is the storm shape plus the crash/recovery
+# accounting; the invariants (served <= offered, recoveries <= crashes,
+# in_flight_at_crash <= crashes, availability == served/offered) are what
+# keeps the availability claim honest — a benchmark that counted a
+# crashed-mid-request client as served would fail here.
+E17_ROW_PREFIX = "BM_E17"
+E17_REQUIRED = [
+    "n_threads", "m_procs", "recover", "storm", "arrival_rate_hz",
+    "offered_ops", "served_ops", "throughput_ops_per_sec", "availability",
+    "mttr_ms", "crashes", "recoveries", "in_flight_at_crash",
     "latency_p50_ns", "latency_p90_ns", "latency_p99_ns",
     "latency_p999_ns",
 ]
@@ -378,6 +400,58 @@ def validate(rows):
                 raise MalformedInput(
                     f"benchmark {row['name']}/{row['arg']}: negative "
                     f"throughput_ops_per_sec")
+            for lo, hi in zip(E16_PERCENTILES, E16_PERCENTILES[1:]):
+                if row[lo] > row[hi]:
+                    raise MalformedInput(
+                        f"benchmark {row['name']}/{row['arg']}: latency "
+                        f"percentiles not monotone ({lo} > {hi})")
+        if row["name"].startswith(E17_ROW_PREFIX):
+            missing = [f for f in E17_REQUIRED if f not in row]
+            if missing:
+                raise MalformedInput(
+                    f"benchmark {row['name']}/{row['arg']}: crash-storm "
+                    f"row missing field(s): {', '.join(missing)}")
+            if row["recover"] not in (0.0, 1.0):
+                raise MalformedInput(
+                    f"benchmark {row['name']}/{row['arg']}: recover flag "
+                    f"must be 0 or 1")
+            if row["storm"] < 0 or row["storm"] > row["m_procs"]:
+                raise MalformedInput(
+                    f"benchmark {row['name']}/{row['arg']}: storm size "
+                    f"outside [0, m_procs]")
+            if row["served_ops"] < 0 or row["offered_ops"] <= 0:
+                raise MalformedInput(
+                    f"benchmark {row['name']}/{row['arg']}: bad "
+                    f"offered/served accounting")
+            if row["served_ops"] > row["offered_ops"]:
+                raise MalformedInput(
+                    f"benchmark {row['name']}/{row['arg']}: served more "
+                    f"ops than were offered")
+            if row["recoveries"] > row["crashes"]:
+                raise MalformedInput(
+                    f"benchmark {row['name']}/{row['arg']}: more "
+                    f"recoveries than crashes")
+            if row["in_flight_at_crash"] > row["crashes"]:
+                raise MalformedInput(
+                    f"benchmark {row['name']}/{row['arg']}: "
+                    f"in_flight_at_crash exceeds crashes")
+            if row["availability"] < 0 or row["availability"] > 1:
+                raise MalformedInput(
+                    f"benchmark {row['name']}/{row['arg']}: availability "
+                    f"outside [0, 1]")
+            expected = row["served_ops"] / row["offered_ops"]
+            if abs(row["availability"] - expected) > 1e-3:
+                raise MalformedInput(
+                    f"benchmark {row['name']}/{row['arg']}: availability "
+                    f"!= served/offered")
+            if row["mttr_ms"] < 0:
+                raise MalformedInput(
+                    f"benchmark {row['name']}/{row['arg']}: negative "
+                    f"mttr_ms")
+            if row["recoveries"] == 0 and row["mttr_ms"] != 0:
+                raise MalformedInput(
+                    f"benchmark {row['name']}/{row['arg']}: mttr_ms "
+                    f"reported with zero recoveries")
             for lo, hi in zip(E16_PERCENTILES, E16_PERCENTILES[1:]):
                 if row[lo] > row[hi]:
                     raise MalformedInput(

@@ -48,12 +48,56 @@ def collect_artifacts(paths):
 
 
 def check_artifact(path):
-    """Light schema validation; the binary re-parses authoritatively."""
+    """Light schema validation; the binary re-parses authoritatively.
+
+    Raises ValueError with the offending key and the expected shape, so a
+    malformed or truncated artifact fails with a readable message instead
+    of a KeyError/TypeError deeper in the replay loop. Pre-recovery
+    artifacts (crash entries without the optional "recovery" object) pass
+    untouched — their schema is a strict subset.
+    """
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
+    if not isinstance(doc, dict):
+        raise ValueError("artifact root: expected a JSON object, got "
+                         f"{type(doc).__name__}")
     missing = [k for k in REQUIRED_KEYS if k not in doc]
     if missing:
         raise ValueError(f"missing key(s): {', '.join(missing)}")
+    for key, want in (("scenario", str), ("status", str), ("n", int)):
+        if not isinstance(doc[key], want):
+            raise ValueError(f"field '{key}': expected {want.__name__}, "
+                             f"got {type(doc[key]).__name__}")
+    if not isinstance(doc["proc_ops"], list):
+        raise ValueError("field 'proc_ops': expected an array, got "
+                         f"{type(doc['proc_ops']).__name__}")
+    if not isinstance(doc["plan"], dict):
+        raise ValueError("field 'plan': expected an object, got "
+                         f"{type(doc['plan']).__name__}")
+    crashes = doc["plan"].get("crashes", [])
+    if not isinstance(crashes, list):
+        raise ValueError("field 'plan.crashes': expected an array, got "
+                         f"{type(crashes).__name__}")
+    for i, crash in enumerate(crashes):
+        if not isinstance(crash, dict):
+            raise ValueError(f"field 'plan.crashes[{i}]': expected an "
+                             f"object, got {type(crash).__name__}")
+        recovery = crash.get("recovery")
+        if recovery is None:
+            continue  # pre-recovery schema: crash-stop is final
+        if not isinstance(recovery, dict):
+            raise ValueError(
+                f"field 'plan.crashes[{i}].recovery': expected an object, "
+                f"got {type(recovery).__name__}")
+        for key in ("delay_units", "max_restarts"):
+            if key not in recovery:
+                raise ValueError(
+                    f"field 'plan.crashes[{i}].recovery': missing "
+                    f"'{key}' (expected an unsigned integer)")
+            if not isinstance(recovery[key], int) or recovery[key] < 0:
+                raise ValueError(
+                    f"field 'plan.crashes[{i}].recovery.{key}': expected "
+                    f"an unsigned integer, got {recovery[key]!r}")
     return doc
 
 

@@ -72,6 +72,12 @@ E16_GOOD = dict(n_threads=2, m_procs=32, oversub_factor=16,
                 throughput_ops_per_sec=9.1e4, latency_p50_ns=4.2e3,
                 latency_p90_ns=1.8e4, latency_p99_ns=2.1e5,
                 latency_p999_ns=1.3e6)
+E17_GOOD = dict(n_threads=2, m_procs=16, recover=1, storm=4,
+                arrival_rate_hz=20000.0, offered_ops=128, served_ops=128,
+                throughput_ops_per_sec=1.0e4, availability=1.0,
+                mttr_ms=0.6, crashes=4, recoveries=4, in_flight_at_crash=4,
+                latency_p50_ns=7.5e5, latency_p90_ns=6.5e6,
+                latency_p99_ns=7.7e6, latency_p999_ns=7.9e6)
 
 
 class BenchToCsvCheckTest(unittest.TestCase):
@@ -264,6 +270,62 @@ class BenchToCsvCheckTest(unittest.TestCase):
         self.assertEqual(proc.returncode, 1)
         self.assertIn("pool shape", proc.stderr)
 
+    def test_e17_row_passes(self):
+        row = bench_row("BM_E17_CrashStorm_FetchInc/1/4", **E17_GOOD)
+        proc = run_bench_to_csv(bench_doc(row), "--check")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_e17_crash_stop_row_passes(self):
+        row = bench_row("BM_E17_CrashStorm_Combining/0/12",
+                        **dict(E17_GOOD, recover=0, storm=12, crashes=12,
+                               recoveries=0, in_flight_at_crash=12,
+                               served_ops=80, availability=0.625,
+                               mttr_ms=0.0))
+        proc = run_bench_to_csv(bench_doc(row), "--check")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_e17_row_missing_availability_rejected(self):
+        counters = dict(E17_GOOD)
+        del counters["availability"]
+        row = bench_row("BM_E17_CrashStorm_FetchInc/1/4", **counters)
+        proc = run_bench_to_csv(bench_doc(row), "--check")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("availability", proc.stderr)
+
+    def test_e17_availability_mismatch_rejected(self):
+        # availability must equal served/offered: a row claiming full
+        # availability while dropping ops is the dishonest-accounting
+        # shape the check exists to catch.
+        row = bench_row("BM_E17_CrashStorm_FetchInc/0/4",
+                        **dict(E17_GOOD, recover=0, recoveries=0,
+                               mttr_ms=0.0, served_ops=112,
+                               availability=1.0))
+        proc = run_bench_to_csv(bench_doc(row), "--check")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("availability", proc.stderr)
+
+    def test_e17_more_recoveries_than_crashes_rejected(self):
+        row = bench_row("BM_E17_CrashStorm_FetchInc/1/4",
+                        **dict(E17_GOOD, recoveries=5))
+        proc = run_bench_to_csv(bench_doc(row), "--check")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("recoveries", proc.stderr)
+
+    def test_e17_in_flight_above_crashes_rejected(self):
+        row = bench_row("BM_E17_CrashStorm_FetchInc/1/4",
+                        **dict(E17_GOOD, in_flight_at_crash=5))
+        proc = run_bench_to_csv(bench_doc(row), "--check")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("in_flight_at_crash", proc.stderr)
+
+    def test_e17_mttr_without_recoveries_rejected(self):
+        row = bench_row("BM_E17_CrashStorm_FetchInc/0/4",
+                        **dict(E17_GOOD, recover=0, recoveries=0,
+                               served_ops=112, availability=0.875))
+        proc = run_bench_to_csv(bench_doc(row), "--check")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("mttr_ms", proc.stderr)
+
 
 class BenchToCsvConvertTest(unittest.TestCase):
     def test_csv_has_expected_columns(self):
@@ -369,6 +431,46 @@ class ReplayFaultTest(unittest.TestCase):
         proc = run_replay_fault("--binary", self.write_stub_binary(1), art)
         self.assertEqual(proc.returncode, 1)
         self.assertIn("FAIL", proc.stdout)
+
+    def test_non_object_artifact_fails_readably(self):
+        path = os.path.join(self.tmp.name, "list.json")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write("[1, 2, 3]")
+        proc = run_replay_fault("--binary", self.write_stub_binary(0), path)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("expected a JSON object", proc.stderr)
+
+    def test_wrong_field_type_names_the_field(self):
+        art = self.write_artifact("a.json", artifact(n="four"))
+        proc = run_replay_fault("--binary", self.write_stub_binary(0), art)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("'n'", proc.stderr)
+
+    def test_malformed_recovery_names_the_field(self):
+        # A truncated recovery object must fail with the missing field,
+        # not a KeyError traceback.
+        bad = artifact(plan={"seed": 7, "crashes": [
+            {"proc": 1, "after_ops": 3, "recovery": {"max_restarts": 1}}]})
+        art = self.write_artifact("a.json", bad)
+        proc = run_replay_fault("--binary", self.write_stub_binary(0), art)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("delay_units", proc.stderr)
+
+    def test_pre_recovery_and_recovery_artifacts_replay(self):
+        # Crash entries without the optional "recovery" object (old
+        # schema) and with a complete one must both reach the binary.
+        old = artifact(plan={"seed": 7, "crashes": [
+            {"proc": 1, "after_ops": 3}]})
+        new = artifact(plan={"seed": 7, "crashes": [
+            {"proc": 1, "after_ops": 3,
+             "recovery": {"delay_units": 8, "max_restarts": 1,
+                          "amnesia": True}}]})
+        stub = self.write_stub_binary(0)
+        proc = run_replay_fault("--binary", stub,
+                                self.write_artifact("old.json", old),
+                                self.write_artifact("new.json", new))
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("2/2 artifacts reproduced", proc.stdout)
 
 
 if __name__ == "__main__":
