@@ -84,17 +84,15 @@ bool BurstStrategy::decide(ProcId p, std::uint64_t k, const PendingOp& op,
 }
 
 // ---------------------------------------------------------------------------
-// AdaptiveStrategy
+// KnowledgeModel
 
-AdaptiveStrategy::AdaptiveStrategy(const FaultPlan& plan, int num_processes)
-    : RecordingFaultStrategy(plan, /*budget_required=*/true),
-      n_(num_processes),
-      live_links_(static_cast<std::size_t>(num_processes)) {
+KnowledgeModel::KnowledgeModel(int num_processes)
+    : n_(num_processes), live_links_(static_cast<std::size_t>(num_processes)) {
   know_.reserve(static_cast<std::size_t>(n_));
   for (ProcId p = 0; p < n_; ++p) know_.push_back(ProcSet::singleton(n_, p));
 }
 
-const ProcSet& AdaptiveStrategy::reg_knowledge(RegId reg) {
+const ProcSet& KnowledgeModel::reg_knowledge(RegId reg) {
   auto it = reg_know_.find(reg);
   if (it == reg_know_.end()) {
     it = reg_know_.emplace(reg, ProcSet(n_)).first;
@@ -102,67 +100,72 @@ const ProcSet& AdaptiveStrategy::reg_knowledge(RegId reg) {
   return it->second;
 }
 
-void AdaptiveStrategy::learn_from(ProcId p, RegId reg) {
+void KnowledgeModel::learn_from(ProcId p, RegId reg) {
   know_[static_cast<std::size_t>(p)].unite(reg_knowledge(reg));
 }
 
-void AdaptiveStrategy::publish(ProcId p, RegId reg) {
+void KnowledgeModel::publish(ProcId p, RegId reg) {
   reg_know_[reg] = know_[static_cast<std::size_t>(p)];
 }
 
-void AdaptiveStrategy::invalidate_links(RegId reg) {
+void KnowledgeModel::invalidate_links(RegId reg) {
   for (auto& links : live_links_) links.erase(reg);
 }
 
-void AdaptiveStrategy::retarget() {
+void KnowledgeModel::set_reg_knowledge(RegId reg, ProcSet s) {
+  reg_know_[reg] = std::move(s);
+}
+
+void KnowledgeModel::link(ProcId p, RegId reg) {
+  live_links_[static_cast<std::size_t>(p)].insert(reg);
+}
+
+void KnowledgeModel::unlink(ProcId p, RegId reg) {
+  live_links_[static_cast<std::size_t>(p)].erase(reg);
+}
+
+void KnowledgeModel::on_amnesia(ProcId p) {
+  if (p < 0 || p >= n_) return;
+  know_[static_cast<std::size_t>(p)] = ProcSet::singleton(n_, p);
+  live_links_[static_cast<std::size_t>(p)].clear();
+}
+
+bool KnowledgeModel::has_live_link(ProcId p, RegId reg) const {
+  return live_links_[static_cast<std::size_t>(p)].count(reg) != 0;
+}
+
+std::size_t KnowledgeModel::knowledge(ProcId p) const {
+  LLSC_EXPECTS(p >= 0 && p < n_, "process id out of range");
+  return know_[static_cast<std::size_t>(p)].count();
+}
+
+std::size_t KnowledgeModel::max_knowledge() const {
   std::size_t best = 0;
   for (const ProcSet& s : know_) best = std::max(best, s.count());
-  // Sticky: keep the current target while it remains an argmax, so the
-  // budget starves one victim instead of spraying across ties.
-  if (target_ >= 0 &&
-      know_[static_cast<std::size_t>(target_)].count() == best) {
-    return;
-  }
+  return best;
+}
+
+ProcId KnowledgeModel::argmax_knowledge() const {
+  const std::size_t best = max_knowledge();
   for (ProcId p = 0; p < n_; ++p) {
-    if (know_[static_cast<std::size_t>(p)].count() == best) {
-      target_ = p;
-      return;
-    }
+    if (know_[static_cast<std::size_t>(p)].count() == best) return p;
   }
+  return -1;
 }
 
-bool AdaptiveStrategy::decide(ProcId p, std::uint64_t k, const PendingOp& op,
-                              std::uint64_t h) {
-  (void)h;
-  std::lock_guard<std::mutex> guard(mu_);
-  if (!budget_left()) return false;
-  // Don't waste budget on an SC that fails naturally: only live links.
-  if (live_links_[static_cast<std::size_t>(p)].count(op.reg) == 0) {
-    return false;
-  }
-  retarget();
-  if (p != target_) return false;
-  record(p, k, op.kind == OpKind::kValidate,
-         /*score=*/know_[static_cast<std::size_t>(p)].count());
-  return true;
-}
-
-void AdaptiveStrategy::observe(ProcId p, std::uint64_t k, const PendingOp& op,
-                               const OpResult& result) {
-  (void)k;
+void KnowledgeModel::observe(ProcId p, const PendingOp& op,
+                             const OpResult& result) {
   if (p < 0 || p >= n_) return;
-  std::lock_guard<std::mutex> guard(mu_);
-  auto& links = live_links_[static_cast<std::size_t>(p)];
   switch (op.kind) {
     case OpKind::kLL:
       // Section 5.3 process rule 1: a load observes the register's
       // knowledge; a fresh link supersedes a lost one.
       learn_from(p, op.reg);
-      links.insert(op.reg);
+      link(p, op.reg);
       break;
     case OpKind::kValidate:
       learn_from(p, op.reg);
-      if (!result.flag) links.erase(op.reg);
+      if (!result.flag) unlink(p, op.reg);
       break;
     case OpKind::kSC:
       // A failed SC still reports the current value (learn); a
@@ -173,7 +176,7 @@ void AdaptiveStrategy::observe(ProcId p, std::uint64_t k, const PendingOp& op,
         publish(p, op.reg);
         invalidate_links(op.reg);
       } else {
-        links.erase(op.reg);
+        unlink(p, op.reg);
       }
       break;
     case OpKind::kSwap:
@@ -188,7 +191,7 @@ void AdaptiveStrategy::observe(ProcId p, std::uint64_t k, const PendingOp& op,
       // mover's; process rule 2: the mover itself learns nothing.
       ProcSet influx = reg_knowledge(op.src);
       influx.unite(know_[static_cast<std::size_t>(p)]);
-      reg_know_[op.reg] = std::move(influx);
+      set_reg_knowledge(op.reg, std::move(influx));
       invalidate_links(op.reg);
       break;
     }
@@ -200,19 +203,64 @@ void AdaptiveStrategy::observe(ProcId p, std::uint64_t k, const PendingOp& op,
   }
 }
 
-void AdaptiveStrategy::on_recovery(ProcId p, bool amnesia) {
-  if (p < 0 || p >= n_ || !amnesia) return;
+// ---------------------------------------------------------------------------
+// AdaptiveStrategy
+
+AdaptiveStrategy::AdaptiveStrategy(const FaultPlan& plan, int num_processes)
+    : AdaptiveStrategy(plan, num_processes,
+                       std::make_unique<KnowledgeModel>(num_processes)) {}
+
+AdaptiveStrategy::AdaptiveStrategy(const FaultPlan& plan, int num_processes,
+                                   std::unique_ptr<KnowledgeModel> model)
+    : RecordingFaultStrategy(plan, /*budget_required=*/true),
+      model_(std::move(model)) {
+  LLSC_EXPECTS(model_ != nullptr, "adaptive strategy needs a model");
+  LLSC_EXPECTS(model_->num_processes() == num_processes,
+               "knowledge model sized for a different run");
+}
+
+void AdaptiveStrategy::retarget() {
+  const std::size_t best = model_->max_knowledge();
+  // Sticky: keep the current target while it remains an argmax, so the
+  // budget starves one victim instead of spraying across ties.
+  if (target_ >= 0 && model_->knowledge(target_) == best) {
+    return;
+  }
+  target_ = model_->argmax_knowledge();
+}
+
+bool AdaptiveStrategy::decide(ProcId p, std::uint64_t k, const PendingOp& op,
+                              std::uint64_t h) {
+  (void)h;
   std::lock_guard<std::mutex> guard(mu_);
-  know_[static_cast<std::size_t>(p)] = ProcSet::singleton(n_, p);
-  live_links_[static_cast<std::size_t>(p)].clear();
+  if (!budget_left()) return false;
+  // Don't waste budget on an SC that fails naturally: only live links.
+  if (!model_->has_live_link(p, op.reg)) return false;
+  retarget();
+  if (p != target_) return false;
+  record(p, k, op.kind == OpKind::kValidate,
+         /*score=*/model_->knowledge(p));
+  return true;
+}
+
+void AdaptiveStrategy::observe(ProcId p, std::uint64_t k, const PendingOp& op,
+                               const OpResult& result) {
+  (void)k;
+  std::lock_guard<std::mutex> guard(mu_);
+  model_->observe(p, op, result);
+}
+
+void AdaptiveStrategy::on_recovery(ProcId p, bool amnesia) {
+  if (!amnesia) return;
+  std::lock_guard<std::mutex> guard(mu_);
+  model_->on_amnesia(p);
   // The sticky target may now point at a process that forgot everything;
   // the next decide() re-picks the argmax.
 }
 
 std::size_t AdaptiveStrategy::knowledge(ProcId p) const {
   std::lock_guard<std::mutex> guard(mu_);
-  LLSC_EXPECTS(p >= 0 && p < n_, "process id out of range");
-  return know_[static_cast<std::size_t>(p)].count();
+  return model_->knowledge(p);
 }
 
 ProcId AdaptiveStrategy::current_target() const {

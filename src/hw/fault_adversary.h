@@ -115,19 +115,74 @@ class BurstStrategy final : public RecordingFaultStrategy {
   std::uint32_t period_;
 };
 
+// Section 5.3 knowledge bookkeeping behind its own seam: know(p) per
+// process, know(r) per register, unions on LL/SC/swap/move exactly as in
+// core/up_tracker, plus which LL links are live. The model is OBJECT-
+// AGNOSTIC — it sees raw shared-memory ops, so the same instance accounts
+// for a wakeup run, a TAS run, or a leader-election run identically; that
+// is what keeps the adaptive adversary's budget accounting uniform across
+// workloads. observe() is virtual — the per-object knowledge hook: a
+// workload whose object semantics leak more information than the raw op
+// stream (say, a response that names another process) can subclass and
+// teach the adversary that extra knowledge, while the budget/targeting
+// logic in AdaptiveStrategy stays untouched.
+//
+// Not internally synchronized: the owning strategy's mutex guards it (the
+// strategy serializes decide/observe anyway, see the file comment).
+class KnowledgeModel {
+ public:
+  explicit KnowledgeModel(int num_processes);
+  virtual ~KnowledgeModel() = default;
+
+  // The hook point: fold one executed op into the knowledge state.
+  // Default = the Section 5.3 register/process rules for all six op kinds.
+  virtual void observe(ProcId p, const PendingOp& op, const OpResult& result);
+
+  // An amnesiac rejoin: p knows only itself and holds no live links (its
+  // dead predecessor's reservations were invalidated, not adopted).
+  void on_amnesia(ProcId p);
+
+  int num_processes() const { return n_; }
+  bool has_live_link(ProcId p, RegId reg) const;
+  std::size_t knowledge(ProcId p) const;  // |know(p)|
+  std::size_t max_knowledge() const;
+  // Lowest process id attaining max_knowledge().
+  ProcId argmax_knowledge() const;
+
+ protected:
+  // Building blocks for subclass hooks.
+  const ProcSet& reg_knowledge(RegId reg);
+  void learn_from(ProcId p, RegId reg);  // know(p) |= know(reg)
+  void publish(ProcId p, RegId reg);     // know(reg) = know(p)
+  void invalidate_links(RegId reg);      // everyone's link on reg dies
+  void set_reg_knowledge(RegId reg, ProcSet s);
+  void link(ProcId p, RegId reg);
+  void unlink(ProcId p, RegId reg);
+
+ private:
+  const int n_;
+  std::vector<ProcSet> know_;                    // know(p), Section 5.3
+  std::unordered_map<RegId, ProcSet> reg_know_;  // know(r)
+  std::vector<std::unordered_set<RegId>> live_links_;
+};
+
 // The online Fig. 2-style adversary: fail the most knowledgeable process.
 class AdaptiveStrategy final : public RecordingFaultStrategy {
  public:
   AdaptiveStrategy(const FaultPlan& plan, int num_processes);
+  // Injects a custom knowledge model (the per-object hook). The default
+  // constructor — and make_fault_strategy — install the object-agnostic
+  // base model, whose decisions are byte-stable with the pre-seam
+  // implementation (pinned by the E13 trace regression test).
+  AdaptiveStrategy(const FaultPlan& plan, int num_processes,
+                   std::unique_ptr<KnowledgeModel> model);
 
   bool decide(ProcId p, std::uint64_t k, const PendingOp& op,
               std::uint64_t h) override;
   void observe(ProcId p, std::uint64_t k, const PendingOp& op,
                const OpResult& result) override;
-  // An amnesiac rejoin resets the knowledge bookkeeping for p: the new
-  // incarnation knows only itself and holds no live links (its dead
-  // predecessor's reservations were invalidated, not adopted). A
-  // pause-and-resume recovery keeps both — the frame survived.
+  // Amnesia resets p's knowledge via KnowledgeModel::on_amnesia; a
+  // pause-and-resume recovery keeps everything — the frame survived.
   void on_recovery(ProcId p, bool amnesia) override;
 
   // Test introspection (quiescent use).
@@ -135,17 +190,9 @@ class AdaptiveStrategy final : public RecordingFaultStrategy {
   ProcId current_target() const;
 
  private:
-  // Callers hold mu_.
-  const ProcSet& reg_knowledge(RegId reg);
-  void learn_from(ProcId p, RegId reg);       // know(p) |= know(reg)
-  void publish(ProcId p, RegId reg);          // know(reg) = know(p)
-  void invalidate_links(RegId reg);           // everyone's link on reg dies
-  void retarget();                            // sticky argmax |know(p)|
+  void retarget();  // sticky argmax |know(p)|; callers hold mu_.
 
-  const int n_;
-  std::vector<ProcSet> know_;                      // know(p), Section 5.3
-  std::unordered_map<RegId, ProcSet> reg_know_;    // know(r)
-  std::vector<std::unordered_set<RegId>> live_links_;
+  std::unique_ptr<KnowledgeModel> model_;
   ProcId target_ = -1;
 };
 

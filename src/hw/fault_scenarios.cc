@@ -4,6 +4,8 @@
 
 #include "memory/value.h"
 #include "objects/arith.h"
+#include "objects/leader.h"
+#include "objects/tas.h"
 #include "universal/combining.h"
 #include "universal/single_register.h"
 #include "wakeup/algorithms.h"
@@ -103,13 +105,24 @@ ProcBody fault_scenario(const std::string& name) {
   if (name == "fixed_ll_sc") return &fixed_ll_sc_body;
   if (name == "uc_single_register") return uc_scenario(/*combining=*/false);
   if (name == "uc_combining") return uc_scenario(/*combining=*/true);
+  // Fixed-shape TAS / leader election (objects/tas.h, objects/leader.h):
+  // schedule-independent op counts, nil-preserving claim SCs, winnerless
+  // completed runs allowed under forced-failure plans — the differential
+  // sweep's record/replay contract applies verbatim.
+  if (name == "tas_fixed") return fixed_shape_tas_body();
+  if (name == "leader_fixed") return fixed_shape_leader_body();
+  // Strict protocols: schedule-dependent op counts but deterministic
+  // safety; registered so shrunk fuzzer artifacts replay by name.
+  if (name == "tas_strict") return randomized_tas_body();
+  if (name == "leader_strict") return leader_election_body();
   return {};
 }
 
 std::vector<std::string> fault_scenario_names() {
   return {"tournament",  "randomized_tournament", "counter",
           "fixed_swap",  "fixed_ll_sc",           "uc_single_register",
-          "uc_combining"};
+          "uc_combining", "tas_fixed",            "leader_fixed",
+          "tas_strict",   "leader_strict"};
 }
 
 }  // namespace llsc

@@ -32,6 +32,17 @@ namespace llsc {
 //                             fixed-shape SingleRegisterUC
 //   "uc_combining"          — 2 fetch&increments per process through
 //                             CombiningUniversal's fixed two-attempt mode
+//   "tas_fixed"             — fixed-shape randomized test-and-set
+//                             (objects/tas.h): splitter chain + tournament
+//                             + nil-preserving claim SCs, schedule-
+//                             independent op count
+//   "leader_fixed"          — tas_fixed plus one read of the claim
+//                             register (objects/leader.h)
+//   "tas_strict"            — the strict randomized TAS protocol
+//                             (randomized_tas_body): deterministic safety,
+//                             schedule-dependent op counts
+//   "leader_strict"         — strict leader election on top of it
+//                             (leader_election_body)
 ProcBody fault_scenario(const std::string& name);
 
 // Names accepted by fault_scenario, for CLI help text.

@@ -1,0 +1,183 @@
+#include "objects/leader.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace llsc {
+
+namespace {
+
+// Winner: announce own id (one swap; an amnesiac re-run re-announces the
+// same id). Loser: one read of the write-once claim register, non-nil by
+// the TAS loser postcondition. Glue beyond the TAS: at most one shared op.
+SubTask<Value> elect(ProcCtx ctx, TasOptions options) {
+  const TasLayout layout = TasLayout::make(ctx.num_processes(), options.base);
+  const Value won = co_await tas_subtask(ctx, options);
+  if (won.holds_u64() && won.as_u64() == 1) {
+    const Value me = Value::of_u64(static_cast<std::uint64_t>(ctx.id()));
+    (void)co_await ctx.swap(layout.announce, me);
+    co_return me;
+  }
+  const Value leader = co_await ctx.read(layout.claim);
+  co_return leader;
+}
+
+SimTask leader_ids_run(ProcCtx ctx, TasOptions options) {
+  Value leader = co_await elect(ctx, options);
+  co_return leader;
+}
+
+SimTask leader_flag_run(ProcCtx ctx, TasOptions options) {
+  const Value leader = co_await elect(ctx, options);
+  const bool mine = leader.holds_u64() &&
+                    leader.as_u64() == static_cast<std::uint64_t>(ctx.id());
+  co_return Value::of_u64(mine ? 1 : 0);
+}
+
+SimTask fixed_leader_run(ProcCtx ctx, ProcId i, int n, TasOptions options) {
+  const TasLayout layout = TasLayout::make(n, options.base);
+  (void)co_await fixed_tas_subtask(ctx, options);
+  // One extra read keeps the shape: a process that reads its own id out of
+  // the claim register is the leader. Early readers may still see nil when
+  // every claim SC was forced to fail — then nobody reports leadership,
+  // the fixed-mode analogue of combining's nil-by-contract.
+  const Value claim = co_await ctx.read(layout.claim);
+  const bool mine = claim.holds_u64() &&
+                    claim.as_u64() == static_cast<std::uint64_t>(i);
+  co_return Value::of_u64(mine ? 1 : 0);
+}
+
+}  // namespace
+
+SubTask<Value> leader_subtask(ProcCtx ctx, TasOptions options) {
+  Value leader = co_await elect(ctx, options);
+  co_return leader;
+}
+
+ProcBody leader_election_body(TasOptions options) {
+  return [options](ProcCtx ctx, ProcId, int) {
+    return leader_ids_run(ctx, options);
+  };
+}
+
+ProcBody leader_winner_flag_body(TasOptions options) {
+  return [options](ProcCtx ctx, ProcId, int) {
+    return leader_flag_run(ctx, options);
+  };
+}
+
+ProcBody fixed_shape_leader_body(TasOptions options) {
+  return [options](ProcCtx ctx, ProcId i, int n) {
+    return fixed_leader_run(ctx, i, n, options);
+  };
+}
+
+std::uint64_t fixed_shape_leader_ops(int n) {
+  return fixed_shape_tas_ops(n) + 1;
+}
+
+// ---------------------------------------------------------------------------
+// Run checkers
+
+namespace {
+
+void violate(LeaderCheckResult* res, const std::string& what) {
+  res->ok = false;
+  res->violations.push_back(what);
+}
+
+void check_leader_conditions(const System& sys,
+                             const LeaderCheckOptions& options,
+                             LeaderCheckResult* res) {
+  const int n = sys.num_processes();
+  const TasLayout layout = TasLayout::make(n, options.tas.base);
+  bool agreed = true;
+  for (ProcId p = 0; p < n; ++p) {
+    const Process& proc = sys.process(p);
+    if (!proc.done()) continue;
+    ++res->num_reporters;
+    const Value& r = proc.result();
+    if (!r.holds_u64() || r.as_u64() >= static_cast<std::uint64_t>(n)) {
+      violate(res, "(1) process " + std::to_string(p) +
+                       " reported a non-id: " + r.to_string());
+      agreed = false;
+      continue;
+    }
+    const ProcId id = static_cast<ProcId>(r.as_u64());
+    if (res->leader == -1) {
+      res->leader = id;
+    } else if (res->leader != id) {
+      violate(res, "(2) process " + std::to_string(p) + " reported leader " +
+                       std::to_string(id) + ", earlier reporters said " +
+                       std::to_string(res->leader));
+      agreed = false;
+    }
+  }
+  if (agreed && res->leader != -1) {
+    for (ProcId p = 0; p < n; ++p) {
+      const Process& proc = sys.process(p);
+      if (!proc.done()) continue;
+      const bool says_self =
+          proc.result().holds_u64() &&
+          proc.result().as_u64() == static_cast<std::uint64_t>(p);
+      if (says_self && p != res->leader) {
+        violate(res, "(3) process " + std::to_string(p) +
+                         " claims leadership but " +
+                         std::to_string(res->leader) + " was elected");
+      }
+    }
+  }
+  if (res->leader != -1) {
+    const Value& claim = sys.memory().peek_value(layout.claim);
+    if (!claim.holds_u64() ||
+        claim.as_u64() != static_cast<std::uint64_t>(res->leader)) {
+      violate(res, "(4) claim register holds " + claim.to_string() +
+                       ", reporters agreed on " + std::to_string(res->leader));
+    }
+    const Value& announce = sys.memory().peek_value(layout.announce);
+    if (!announce.is_nil() &&
+        (!announce.holds_u64() ||
+         announce.as_u64() != static_cast<std::uint64_t>(res->leader))) {
+      violate(res, "(4) announce register holds " + announce.to_string() +
+                       ", reporters agreed on " + std::to_string(res->leader));
+    }
+  }
+}
+
+}  // namespace
+
+std::string LeaderCheckResult::summary() const {
+  if (ok) {
+    return "leader ok: leader=" + std::to_string(leader) +
+           " reporters=" + std::to_string(num_reporters);
+  }
+  std::string out = "leader VIOLATED:";
+  for (const std::string& v : violations) out += " [" + v + "]";
+  return out;
+}
+
+LeaderCheckResult check_leader_run(const System& sys,
+                                   const LeaderCheckOptions& options) {
+  LeaderCheckResult res;
+  check_leader_conditions(sys, options, &res);
+  return res;
+}
+
+RecoverableLeaderCheckResult check_recoverable_leader_run(
+    const System& sys, const LeaderCheckOptions& options) {
+  RecoverableLeaderCheckResult res;
+  check_leader_conditions(sys, options, &res);
+  for (ProcId p = 0; p < sys.num_processes(); ++p) {
+    const Process& proc = sys.process(p);
+    if (proc.crashed()) {
+      res.ok = false;
+      res.violations.push_back("(5) process " + std::to_string(p) +
+                               " still crashed at end of run");
+    }
+    res.num_restarts += proc.incarnation();
+  }
+  return res;
+}
+
+}  // namespace llsc

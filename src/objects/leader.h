@@ -1,0 +1,90 @@
+// One-shot leader election built on the randomized test-and-set.
+//
+// The reduction is one shared op per process beyond the TAS (the
+// constant-op direction of wakeup ⇄ TAS ⇄ leader, wakeup/reductions.h):
+// the TAS claim register is write-once and non-nil before any loser
+// returns (objects/tas.h postconditions), so the claim register IS the
+// election — the winner returns its own id after swapping it into the
+// announce register, and a loser learns the leader with a single read of
+// the claim. Agreement is deterministic: every process reports the one
+// frozen claim value.
+//
+// Amnesia (Alistarh–Gelashvili–Nadiradze's leader-election setting under
+// the repo's crash+recover fault model, arXiv:2108.02802): a restarted
+// incarnation of the winner re-runs the body, reads claim == self inside
+// the TAS, wins again, and re-announces the same id — the write-once claim
+// means an amnesiac restart can never elect a second leader, which
+// check_leader_run verifies and tests/recovery_test.cc exercises.
+#ifndef LLSC_OBJECTS_LEADER_H_
+#define LLSC_OBJECTS_LEADER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "objects/tas.h"
+#include "runtime/process.h"
+#include "runtime/sub_task.h"
+#include "runtime/system.h"
+
+namespace llsc {
+
+// Nestable subroutine: elects and returns the leader's id (a u64 in
+// [0, n)). co_await from composed bodies (wakeup/reductions.h).
+SubTask<Value> leader_subtask(ProcCtx ctx, TasOptions options);
+
+// Run body returning the elected leader's id from every process —
+// check_leader_run's subject.
+ProcBody leader_election_body(TasOptions options = {});
+
+// Run body returning 1 iff the caller was elected, 0 otherwise, so the
+// wakeup-style winner scans (Monte-Carlo estimator, executors, E18)
+// apply unchanged.
+ProcBody leader_winner_flag_body(TasOptions options = {});
+
+// Fixed-shape differential variant over fixed_shape_tas_body: exactly
+// fixed_shape_leader_ops(n) shared ops per process under any schedule and
+// fault plan (short of a crash), returning the winner flag. A run whose
+// claim SCs were all forced to fail completes with no leader elected —
+// every process returns 0 — mirroring the fixed TAS contract.
+ProcBody fixed_shape_leader_body(TasOptions options = {});
+std::uint64_t fixed_shape_leader_ops(int n);
+
+// --- run checkers, in the style of wakeup/spec.h ------------------------
+//
+// For a System whose processes ran leader_election_body:
+//   (1) every terminated process returned a u64 id in [0, n);
+//   (2) agreement: all terminated processes returned the same id;
+//   (3) self-consistency: if the elected process terminated, it returned
+//       its own id, and no other process returned its own id;
+//   (4) the claim register holds the elected id, and the announce
+//       register, once written, agrees with it.
+struct LeaderCheckResult {
+  bool ok = true;
+  std::vector<std::string> violations;
+  ProcId leader = -1;   // the agreed id, -1 when no process terminated
+  int num_reporters = 0;  // terminated processes
+
+  std::string summary() const;
+};
+
+struct LeaderCheckOptions {
+  TasOptions tas;
+};
+
+LeaderCheckResult check_leader_run(const System& sys,
+                                   const LeaderCheckOptions& options = {});
+
+// Recoverable extension: (1)-(4) plus (5) no process left crashed —
+// agreement must hold across amnesiac restarts (the write-once claim
+// register survives the crash; only private state is lost).
+struct RecoverableLeaderCheckResult : LeaderCheckResult {
+  std::uint64_t num_restarts = 0;
+};
+
+RecoverableLeaderCheckResult check_recoverable_leader_run(
+    const System& sys, const LeaderCheckOptions& options = {});
+
+}  // namespace llsc
+
+#endif  // LLSC_OBJECTS_LEADER_H_

@@ -1,0 +1,357 @@
+#include "objects/tas.h"
+
+#include <utility>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace llsc {
+
+namespace {
+
+// Smallest power of two >= n (tournament leaf count).
+int pow2_leaves(int n) {
+  int m = 1;
+  while (m < n) m *= 2;
+  return m;
+}
+
+int tree_depth(int leaves) {
+  int d = 0;
+  for (int m = leaves; m > 1; m /= 2) ++d;
+  return d;
+}
+
+constexpr int kFixedClaimAttempts = 2;
+
+}  // namespace
+
+TasLayout TasLayout::make(int n, RegId base) {
+  LLSC_EXPECTS(n >= 1, "need at least one process");
+  TasLayout layout;
+  layout.claim = base;
+  layout.announce = base + 1;
+  layout.splitters = static_cast<int>(ceil_log2(static_cast<std::size_t>(n))) + 1;
+  layout.splitter0 = base + 2;
+  layout.leaves = pow2_leaves(n);
+  layout.node0 = layout.splitter0 + 2 * layout.splitters;
+  return layout;
+}
+
+RegId TasLayout::registers_used() const {
+  // claim + announce + K (X, door) pairs + m-1 internal tournament nodes.
+  return 2 + 2 * splitters + (leaves - 1);
+}
+
+namespace {
+
+// The claim handshake shared by both candidate paths. The claim register
+// is write-once: a candidate SCs its id only from nil, gives up on any
+// foreign value, and recognizes its own (the amnesiac-restart re-entry).
+// Loops only across spurious SC failures: in a fault-free run a failed SC
+// means another SC succeeded, so the next LL observes a foreign claim.
+SubTask<Value> claim_phase(ProcCtx ctx, RegId claim) {
+  const Value me = Value::of_u64(static_cast<std::uint64_t>(ctx.id()));
+  for (;;) {
+    const Value v = co_await ctx.ll(claim);
+    if (!v.is_nil()) {
+      co_return Value::of_u64(v == me ? 1 : 0);
+    }
+    const ScResult r = co_await ctx.sc(claim, me);
+    if (r.ok) co_return Value::of_u64(1);
+  }
+}
+
+// A loser may return only once the winner's identity is published: spin on
+// the claim register until it is non-nil. Bounded by the winner's few
+// remaining steps under any schedule that keeps scheduling the winner; a
+// winnerless partial run keeps the loser spinning, which the run taxonomy
+// reports as kHung rather than as a silent spec violation.
+SubTask<Value> await_claimed(ProcCtx ctx, RegId claim) {
+  for (;;) {
+    const Value v = co_await ctx.read(claim);
+    if (!v.is_nil()) co_return Value::of_u64(0);
+  }
+}
+
+SubTask<Value> strict_tas(ProcCtx ctx, TasLayout layout) {
+  const ProcId i = ctx.id();
+  const Value me = Value::of_u64(static_cast<std::uint64_t>(i));
+  const Value closed = Value::of_u64(1);
+
+  // Fast path: sift down the splitter chain. Each splitter admits at most
+  // one process (write X; door still open; close door; X unchanged); a
+  // coin decides whether a rejected process keeps sifting or drops to the
+  // tournament, so the chain sheds contenders geometrically.
+  bool fast_winner = false;
+  for (int j = 0; j < layout.splitters; ++j) {
+    (void)co_await ctx.swap(layout.splitter_x(j), me);
+    const Value door = co_await ctx.read(layout.splitter_door(j));
+    if (!door.is_nil()) {
+      const std::uint64_t coin = co_await ctx.toss(2);
+      if (coin == 0 && j + 1 < layout.splitters) continue;
+      break;  // diverted to the tournament
+    }
+    (void)co_await ctx.swap(layout.splitter_door(j), closed);
+    const Value x = co_await ctx.read(layout.splitter_x(j));
+    if (x == me) {
+      fast_winner = true;
+      break;
+    }
+    const std::uint64_t coin = co_await ctx.toss(2);
+    if (coin == 1) break;
+  }
+
+  bool candidate = fast_winner;
+  if (!fast_winner) {
+    // RatRace-style fallback: climb the tournament tree from this
+    // process's leaf. The first process to SC an empty node owns it and
+    // climbs on; everyone else stops. At least one process per entered
+    // subtree reaches and owns the root, so a candidate always exists.
+    bool alive = true;
+    int node = (layout.leaves + i) / 2;
+    while (alive && node >= 1) {
+      const Value v = co_await ctx.ll(layout.node(node));
+      if (v == me) {  // amnesiac re-entry: the dead incarnation owns it
+        node /= 2;
+        continue;
+      }
+      if (!v.is_nil()) {
+        alive = false;
+        break;
+      }
+      const ScResult r = co_await ctx.sc(layout.node(node), me);
+      if (r.ok) {
+        node /= 2;
+        continue;
+      }
+      // Lost the SC: either a rival took the node (its value is now
+      // foreign — stop) or the failure was spurious (still nil — retry).
+      const Value now = co_await ctx.read(layout.node(node));
+      if (!now.is_nil() && !(now == me)) alive = false;
+    }
+    candidate = alive;
+  }
+
+  if (candidate) {
+    Value outcome = co_await claim_phase(ctx, layout.claim);
+    co_return outcome;
+  }
+  Value outcome = co_await await_claimed(ctx, layout.claim);
+  co_return outcome;
+}
+
+// Fixed-shape variant: identical op KINDS at identical per-process op
+// indices on every substrate, so fault decisions keyed by (proc, op-index)
+// land on the same operations everywhere. Claim (and tournament-node) SCs
+// are nil-preserving — sc(r, observed.is_nil() ? me : observed) — so a
+// straggler's successful SC rewrites the winner instead of replacing it,
+// and "won" means "my SC succeeded while the register was nil", which at
+// most one process can ever satisfy per register.
+SubTask<Value> fixed_tas(ProcCtx ctx, TasLayout layout) {
+  const ProcId i = ctx.id();
+  const Value me = Value::of_u64(static_cast<std::uint64_t>(i));
+  const Value closed = Value::of_u64(1);
+
+  for (int j = 0; j < layout.splitters; ++j) {
+    (void)co_await ctx.swap(layout.splitter_x(j), me);
+    (void)co_await ctx.read(layout.splitter_door(j));
+    (void)co_await ctx.swap(layout.splitter_door(j), closed);
+    (void)co_await ctx.read(layout.splitter_x(j));
+    (void)co_await ctx.toss(2);  // keep the toss stream shape of the chain
+  }
+
+  int node = (layout.leaves + i) / 2;
+  while (node >= 1) {
+    const Value v = co_await ctx.ll(layout.node(node));
+    const Value arg = v.is_nil() ? me : v;
+    (void)co_await ctx.sc(layout.node(node), arg);
+    (void)co_await ctx.read(layout.node(node));
+    node /= 2;
+  }
+
+  bool won = false;
+  for (int a = 0; a < kFixedClaimAttempts; ++a) {
+    const Value v = co_await ctx.ll(layout.claim);
+    const Value arg = v.is_nil() ? me : v;
+    const ScResult r = co_await ctx.sc(layout.claim, arg);
+    if (r.ok && v.is_nil()) won = true;
+  }
+  (void)co_await ctx.read(layout.claim);
+  co_return Value::of_u64(won ? 1 : 0);
+}
+
+// Top-level bodies are free coroutine functions taking everything by
+// value; the ProcBody lambdas below are NOT coroutines (the registry
+// idiom of wakeup/reductions.cc — captures never outlive a frame).
+SimTask strict_tas_run(ProcCtx ctx, int n, TasOptions options) {
+  TasLayout layout = TasLayout::make(n, options.base);
+  Value outcome = co_await strict_tas(ctx, layout);
+  co_return outcome;
+}
+
+SimTask fixed_tas_run(ProcCtx ctx, int n, TasOptions options) {
+  TasLayout layout = TasLayout::make(n, options.base);
+  Value outcome = co_await fixed_tas(ctx, layout);
+  co_return outcome;
+}
+
+}  // namespace
+
+SubTask<Value> tas_subtask(ProcCtx ctx, TasOptions options) {
+  TasLayout layout = TasLayout::make(ctx.num_processes(), options.base);
+  Value outcome = co_await strict_tas(ctx, layout);
+  co_return outcome;
+}
+
+SubTask<Value> fixed_tas_subtask(ProcCtx ctx, TasOptions options) {
+  TasLayout layout = TasLayout::make(ctx.num_processes(), options.base);
+  Value outcome = co_await fixed_tas(ctx, layout);
+  co_return outcome;
+}
+
+ProcBody randomized_tas_body(TasOptions options) {
+  return [options](ProcCtx ctx, ProcId, int n) {
+    return strict_tas_run(ctx, n, options);
+  };
+}
+
+ProcBody fixed_shape_tas_body(TasOptions options) {
+  return [options](ProcCtx ctx, ProcId, int n) {
+    return fixed_tas_run(ctx, n, options);
+  };
+}
+
+std::uint64_t fixed_shape_tas_ops(int n) {
+  const TasLayout layout = TasLayout::make(n, 0);
+  return 4u * static_cast<std::uint64_t>(layout.splitters) +
+         3u * static_cast<std::uint64_t>(tree_depth(layout.leaves)) +
+         2u * kFixedClaimAttempts + 1u;
+}
+
+std::uint64_t tas_fault_free_max_ops(int n) {
+  const TasLayout layout = TasLayout::make(n, 0);
+  // Splitter chain: 4 shared ops per splitter. Tournament: at most one
+  // natural SC retry per level (LL, SC, re-read, LL, SC = 5) — a failed SC
+  // in a fault-free run means a rival owns the node, which ends the climb,
+  // so 5 bounds every level. Claim handshake: LL+SC, one natural failure,
+  // LL again = 4. Loser wait: the claim is non-nil within the winner's
+  // remaining 4 ops, so a dense schedule bounds the spin by a constant;
+  // budget 8 reads.
+  return 4u * static_cast<std::uint64_t>(layout.splitters) +
+         5u * static_cast<std::uint64_t>(tree_depth(layout.leaves)) + 4u + 8u;
+}
+
+// ---------------------------------------------------------------------------
+// Run checkers
+
+namespace {
+
+void violate(TasCheckResult* res, const std::string& what) {
+  res->ok = false;
+  res->violations.push_back(what);
+}
+
+void check_tas_conditions(const System& sys, const TasCheckOptions& options,
+                          TasCheckResult* res) {
+  const int n = sys.num_processes();
+  const TasLayout layout = TasLayout::make(n, options.tas.base);
+  bool all_done = true;
+  int losers_done = 0;
+  for (ProcId p = 0; p < n; ++p) {
+    const Process& proc = sys.process(p);
+    if (!proc.done()) {
+      all_done = false;
+      continue;
+    }
+    const Value& r = proc.result();
+    if (!r.holds_u64() || r.as_u64() > 1) {
+      violate(res, "(1) process " + std::to_string(p) +
+                       " returned a non-boolean: " + r.to_string());
+      continue;
+    }
+    if (r.as_u64() == 1) {
+      ++res->num_winners;
+      res->winner = p;
+    } else {
+      ++losers_done;
+    }
+  }
+  if (res->num_winners > 1) {
+    violate(res, "(2) " + std::to_string(res->num_winners) +
+                     " processes returned 1 (test-and-set admits one)");
+  }
+  if (all_done && options.require_winner && res->num_winners != 1) {
+    violate(res, "(3) all processes terminated with " +
+                     std::to_string(res->num_winners) + " winners");
+  }
+  const Value& claim = sys.memory().peek_value(layout.claim);
+  if (res->num_winners == 1) {
+    if (!claim.holds_u64() ||
+        claim.as_u64() != static_cast<std::uint64_t>(res->winner)) {
+      violate(res, "(4) claim register holds " + claim.to_string() +
+                       ", winner is " + std::to_string(res->winner));
+    }
+  }
+  if (losers_done > 0 && claim.is_nil()) {
+    violate(res,
+            "(4) a loser returned while the claim register was still nil");
+  }
+}
+
+}  // namespace
+
+std::string TasCheckResult::summary() const {
+  if (ok) {
+    return "tas ok: winner=" + std::to_string(winner) +
+           " num_winners=" + std::to_string(num_winners);
+  }
+  std::string out = "tas VIOLATED:";
+  for (const std::string& v : violations) out += " [" + v + "]";
+  return out;
+}
+
+TasCheckResult check_tas_run(const System& sys,
+                             const TasCheckOptions& options) {
+  TasCheckResult res;
+  check_tas_conditions(sys, options, &res);
+  return res;
+}
+
+RecoverableTasCheckResult check_recoverable_tas_run(
+    const System& sys, const TasCheckOptions& options) {
+  RecoverableTasCheckResult res;
+  check_tas_conditions(sys, options, &res);
+  for (ProcId p = 0; p < sys.num_processes(); ++p) {
+    const Process& proc = sys.process(p);
+    if (proc.crashed()) {
+      res.ok = false;
+      res.violations.push_back("(5) process " + std::to_string(p) +
+                               " still crashed at end of run");
+    }
+    res.num_restarts += proc.incarnation();
+  }
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Sequential specification
+
+Value TasObject::apply(const ObjOp& op) {
+  LLSC_EXPECTS(op.name == "test&set", "TasObject: unknown op " + op.name);
+  const bool old = set_;
+  set_ = true;
+  return Value::of_u64(old ? 1 : 0);
+}
+
+std::unique_ptr<SequentialObject> TasObject::clone() const {
+  auto copy = std::make_unique<TasObject>();
+  copy->set_ = set_;
+  return copy;
+}
+
+std::string TasObject::state_fingerprint() const {
+  return set_ ? "tas:1" : "tas:0";
+}
+
+}  // namespace llsc

@@ -4,6 +4,8 @@
 #include "objects/basic.h"
 #include "objects/bitwise.h"
 #include "objects/containers.h"
+#include "objects/leader.h"
+#include "objects/tas.h"
 #include "util/check.h"
 #include "util/str.h"
 
@@ -117,6 +119,108 @@ SimTask counter_body(ProcCtx ctx, int n, UniversalConstruction* uc) {
   const Value r = co_await uc->execute(ctx, std::move(read));
   co_return Value::of_u64(
       r.as_u64() == static_cast<std::uint64_t>(n) ? 1 : 0);
+}
+
+// --- problem reductions (wakeup ⇄ TAS ⇄ leader) --------------------------
+
+// Raw counter wakeup over the single register `reg`: LL/SC-increment once,
+// then one read; return 1 iff the read saw at least n. Every process
+// increments before it reads, so whichever read is LAST in real time sees
+// all n increments — at least one process returns 1 on any crash-free
+// completed run, and a 1 certifies that every process already took a step
+// (wakeup condition (3)). Crash-free because an amnesiac re-incarnation
+// increments again; the problem reductions are specified for crash-free
+// runs, matching the fault plans the reduction tests drive them with.
+SubTask<Value> counter_wakeup_sub(ProcCtx ctx, int n, RegId reg) {
+  for (;;) {
+    const Value v = co_await ctx.ll(reg);
+    const std::uint64_t cur = v.holds_u64() ? v.as_u64() : 0;
+    const ScResult r = co_await ctx.sc(reg, Value::of_u64(cur + 1));
+    if (r.ok) break;
+  }
+  const Value fin = co_await ctx.read(reg);
+  const bool awake =
+      fin.holds_u64() && fin.as_u64() >= static_cast<std::uint64_t>(n);
+  co_return Value::of_u64(awake ? 1 : 0);
+}
+
+SimTask tas_from_leader_run(ProcCtx ctx, TasOptions options,
+                            std::vector<std::uint64_t>* glue) {
+  // Won iff the elected id is mine: zero shared ops beyond the election.
+  const Value leader = co_await leader_subtask(ctx, options);
+  const bool won = leader.holds_u64() &&
+                   leader.as_u64() == static_cast<std::uint64_t>(ctx.id());
+  if (glue) (*glue)[static_cast<std::size_t>(ctx.id())] = 0;
+  co_return Value::of_u64(won ? 1 : 0);
+}
+
+SimTask leader_from_tas_run(ProcCtx ctx, TasOptions options,
+                            std::vector<std::uint64_t>* glue) {
+  const TasLayout layout = TasLayout::make(ctx.num_processes(), options.base);
+  const Value won = co_await tas_subtask(ctx, options);
+  std::uint64_t g = 0;
+  Value leader;
+  if (won.holds_u64() && won.as_u64() == 1) {
+    const Value me = Value::of_u64(static_cast<std::uint64_t>(ctx.id()));
+    (void)co_await ctx.swap(layout.announce, me);
+    ++g;
+    leader = me;
+  } else {
+    // Non-nil by the TAS loser postcondition: one read elects.
+    leader = co_await ctx.read(layout.claim);
+    ++g;
+  }
+  if (glue) (*glue)[static_cast<std::size_t>(ctx.id())] = g;
+  co_return leader;
+}
+
+SimTask tas_from_wakeup_run(ProcCtx ctx, RegId base,
+                            std::vector<std::uint64_t>* glue) {
+  const int n = ctx.num_processes();
+  const Value me = Value::of_u64(static_cast<std::uint64_t>(ctx.id()));
+  (void)co_await counter_wakeup_sub(ctx, n, base);
+  // Glue: a constant claim handshake on the write-once register base + 1.
+  // Only ever SC'd from nil, so the first success freezes the winner; a
+  // fault-free pass takes at most 3 ops (LL nil, SC beaten, LL non-nil).
+  // Seeing one's own id is the amnesiac-winner re-entry, as in tas.cc.
+  const RegId claim = base + 1;
+  std::uint64_t g = 0;
+  std::uint64_t won = 0;
+  for (;;) {
+    const Value v = co_await ctx.ll(claim);
+    ++g;
+    if (!v.is_nil()) {
+      won = (v == me) ? 1 : 0;
+      break;
+    }
+    const ScResult r = co_await ctx.sc(claim, me);
+    ++g;
+    if (r.ok) {
+      won = 1;
+      break;
+    }
+  }
+  if (glue) (*glue)[static_cast<std::size_t>(ctx.id())] = g;
+  co_return Value::of_u64(won);
+}
+
+SimTask single_winner_wakeup_run(ProcCtx ctx, RegId base,
+                                 std::vector<std::uint64_t>* glue) {
+  const int n = ctx.num_processes();
+  const Value awake = co_await counter_wakeup_sub(ctx, n, base);
+  std::uint64_t result = 0;
+  if (awake.holds_u64() && awake.as_u64() == 1) {
+    // Wakeup winners (at least one exists) compete in a TAS sized for n;
+    // any subset of its processes may enter an instance. The composition
+    // still solves wakeup — a TAS winner saw the counter at n first — but
+    // with EXACTLY one winner, and zero ops outside the two solvers.
+    TasOptions tas;
+    tas.base = base + 1;
+    const Value won = co_await tas_subtask(ctx, tas);
+    result = won.holds_u64() && won.as_u64() == 1 ? 1 : 0;
+  }
+  if (glue) (*glue)[static_cast<std::size_t>(ctx.id())] = 0;
+  co_return Value::of_u64(result);
 }
 
 }  // namespace
@@ -243,6 +347,46 @@ ProcBody reduction_wakeup_body(const std::string& name,
     };
   }
   LLSC_EXPECTS(false, "unknown reduction: " + name);
+  return nullptr;
+}
+
+const std::vector<ProblemReduction>& problem_reductions() {
+  static const std::vector<ProblemReduction> kAll = {
+      {"tas_from_leader", 0},
+      {"leader_from_tas", 1},
+      {"tas_from_wakeup", 4},
+      {"single_winner_wakeup_from_tas", 0},
+  };
+  return kAll;
+}
+
+ProcBody problem_reduction_body(const std::string& name, RegId base,
+                                std::vector<std::uint64_t>* glue_ops) {
+  if (name == "tas_from_leader") {
+    TasOptions options;
+    options.base = base;
+    return [options, glue_ops](ProcCtx ctx, ProcId, int) {
+      return tas_from_leader_run(ctx, options, glue_ops);
+    };
+  }
+  if (name == "leader_from_tas") {
+    TasOptions options;
+    options.base = base;
+    return [options, glue_ops](ProcCtx ctx, ProcId, int) {
+      return leader_from_tas_run(ctx, options, glue_ops);
+    };
+  }
+  if (name == "tas_from_wakeup") {
+    return [base, glue_ops](ProcCtx ctx, ProcId, int) {
+      return tas_from_wakeup_run(ctx, base, glue_ops);
+    };
+  }
+  if (name == "single_winner_wakeup_from_tas") {
+    return [base, glue_ops](ProcCtx ctx, ProcId, int) {
+      return single_winner_wakeup_run(ctx, base, glue_ops);
+    };
+  }
+  LLSC_EXPECTS(false, "unknown problem reduction: " + name);
   return nullptr;
 }
 

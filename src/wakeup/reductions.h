@@ -54,6 +54,55 @@ ObjectFactory reduction_object_factory(const std::string& name, int n);
 ProcBody reduction_wakeup_body(const std::string& name,
                                UniversalConstruction& uc);
 
+// --- constant-op problem reductions: wakeup ⇄ TAS ⇄ leader election -----
+//
+// Each entry solves one problem given a solver for another, with a CLAIMED
+// constant bound on the glue — the per-process shared ops spent outside
+// the underlying solver — in fault-free runs (spurious SC failures can
+// stretch a retry loop; crash-free completed runs under dense schedules
+// respect the bound, which reductions_test.cc measures on both
+// substrates). The chain, with the bound each direction transfers:
+//
+//   tas_from_leader   (glue 0)  leader ⇒ TAS: won iff the elected id is
+//                               mine. Any leader-election lower bound
+//                               (arXiv:2108.02802's Ω(log n)) transfers to
+//                               TAS unchanged.
+//   leader_from_tas   (glue 1)  TAS ⇒ leader: the TAS claim register is
+//                               write-once and non-nil before any loser
+//                               returns, so one swap (winner announce) or
+//                               one read (loser) elects. TAS upper bounds
+//                               (arXiv:1608.06033) transfer to leader
+//                               election plus a constant.
+//   tas_from_wakeup   (glue 4)  wakeup ⇒ TAS: run wakeup as the doorway,
+//                               then a constant LL/SC claim handshake.
+//                               The composed TAS costs the wakeup bound
+//                               plus a constant — the source paper's
+//                               Ω(log n) shape for the suite's new object.
+//   single_winner_wakeup_from_tas (glue 0)
+//                               TAS ⇒ wakeup refinement: wakeup winners
+//                               run the TAS, so the composition still
+//                               solves wakeup but with EXACTLY one winner;
+//                               a sub-log-n TAS would beat Theorem 6.1
+//                               here, which is the reduction-checked
+//                               lower-bound argument E18 sweeps.
+struct ProblemReduction {
+  std::string name;
+  int glue_ops_bound;  // claimed constant overhead (fault-free)
+};
+
+const std::vector<ProblemReduction>& problem_reductions();
+
+// Body for problem reduction `name`; shared state occupies registers
+// [base, base + a TAS layout + 1). tas_from_leader, tas_from_wakeup and
+// single_winner_wakeup_from_tas return 1/0 (winner-scan compatible);
+// leader_from_tas returns the elected leader's id (check_leader_run's
+// subject). When `glue_ops` is non-null it must outlive the run and have
+// size n; entry p receives the glue ops process p's LAST incarnation
+// spent outside the underlying solver.
+ProcBody problem_reduction_body(const std::string& name, RegId base = 0,
+                                std::vector<std::uint64_t>* glue_ops =
+                                    nullptr);
+
 }  // namespace llsc
 
 #endif  // LLSC_WAKEUP_REDUCTIONS_H_

@@ -11,12 +11,17 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/lower_bound.h"
+#include "core/proc_set.h"
 #include "hw/fault.h"
 #include "hw/fault_scenarios.h"
 #include "hw/hw_executor.h"
+#include "memory/storage_policy.h"
 #include "memory/value.h"
 
 namespace llsc {
@@ -237,6 +242,186 @@ TEST(ObliviousStrategyTest, UncappedBudgetedPathMatchesInlinePath) {
   EXPECT_EQ(a.proc_ops, b.proc_ops);
   EXPECT_TRUE(a.decision_trace.empty());   // inline path records nothing
   EXPECT_FALSE(b.decision_trace.empty());  // strategy path records all
+}
+
+// --- KnowledgeModel seam -------------------------------------------------
+
+TEST(KnowledgeModelTest, ObserveFollowsTheSectionFiveRules) {
+  KnowledgeModel m(4);
+  for (ProcId p = 0; p < 4; ++p) {
+    EXPECT_EQ(m.knowledge(p), 1u) << "everyone starts knowing only itself";
+  }
+  const PendingOp ll0 = make_op(OpKind::kLL, 0);
+  const PendingOp sc0 = make_op(OpKind::kSC, 0);
+
+  // LL links and learns (an empty register teaches nothing).
+  m.observe(0, ll0, make_result(true));
+  m.observe(1, ll0, make_result(true));
+  EXPECT_TRUE(m.has_live_link(0, 0));
+  EXPECT_TRUE(m.has_live_link(1, 0));
+  EXPECT_EQ(m.knowledge(0), 1u);
+
+  // p1's successful SC publishes know(p1) = {1} and consumes every
+  // outstanding reservation on the register — including p0's.
+  m.observe(1, sc0, make_result(true));
+  EXPECT_FALSE(m.has_live_link(0, 0));
+  EXPECT_FALSE(m.has_live_link(1, 0));
+
+  // p0 relinks and now learns {1} from the register: knowledge 2.
+  m.observe(0, ll0, make_result(true));
+  EXPECT_EQ(m.knowledge(0), 2u);
+  EXPECT_EQ(m.max_knowledge(), 2u);
+  EXPECT_EQ(m.argmax_knowledge(), 0);
+
+  // A FAILED SC still reports the current value (p2 learns) but only
+  // unlinks the failing process itself.
+  m.observe(2, ll0, make_result(true));
+  m.observe(2, sc0, make_result(false));
+  EXPECT_FALSE(m.has_live_link(2, 0));
+  EXPECT_TRUE(m.has_live_link(0, 0));
+  EXPECT_EQ(m.knowledge(2), 2u);  // {1, 2}
+
+  // A failed validate kills the link; a successful one keeps it.
+  const PendingOp vl0 = make_op(OpKind::kValidate, 0);
+  m.observe(0, vl0, make_result(true));
+  EXPECT_TRUE(m.has_live_link(0, 0));
+  m.observe(0, vl0, make_result(false));
+  EXPECT_FALSE(m.has_live_link(0, 0));
+
+  // Swap: the swapper learns the old knowledge, then determines the
+  // register — afterwards the register teaches know(p3).
+  const PendingOp swap5 = make_op(OpKind::kSwap, 5);
+  m.observe(3, swap5, make_result(true));
+  EXPECT_EQ(m.knowledge(3), 1u);  // empty register taught nothing
+  m.observe(0, make_op(OpKind::kLL, 5), make_result(true));
+  EXPECT_EQ(m.knowledge(0), 3u);  // {0, 1} |= {3}
+
+  // Move: destination gets source knowledge plus the mover's; the mover
+  // itself learns nothing (process rule 2).
+  PendingOp mv = make_op(OpKind::kMove, 6);
+  mv.src = 5;  // know(R5) = {3}
+  const std::size_t before = m.knowledge(2);
+  m.observe(2, mv, make_result(true));
+  EXPECT_EQ(m.knowledge(2), before);
+  m.observe(1, make_op(OpKind::kLL, 6), make_result(true));
+  EXPECT_EQ(m.knowledge(1), 3u);  // {1} |= {3} ∪ {1, 2}
+}
+
+TEST(KnowledgeModelTest, AmnesiaResetsToSingletonAndDropsLinks) {
+  KnowledgeModel m(3);
+  const PendingOp ll0 = make_op(OpKind::kLL, 0);
+  m.observe(1, make_op(OpKind::kSwap, 0), make_result(true));
+  m.observe(0, ll0, make_result(true));
+  ASSERT_EQ(m.knowledge(0), 2u);
+  ASSERT_TRUE(m.has_live_link(0, 0));
+
+  m.on_amnesia(0);
+  EXPECT_EQ(m.knowledge(0), 1u);
+  EXPECT_FALSE(m.has_live_link(0, 0));
+  // Everyone else is untouched.
+  EXPECT_EQ(m.knowledge(1), 1u);
+  EXPECT_EQ(m.argmax_knowledge(), 0);  // all singletons again, lowest id
+}
+
+// The per-object hook: a model that knows the OBJECT's semantics leak more
+// than the raw op stream. Here, any op on register 7 is "the announce
+// register of a leader object whose response names every participant", so
+// the actor learns the full universe. The adversary's budget then chases
+// that process even though the raw Section 5.3 rules would not rank it.
+class LeakyAnnounceModel final : public KnowledgeModel {
+ public:
+  using KnowledgeModel::KnowledgeModel;
+
+  void observe(ProcId p, const PendingOp& op, const OpResult& r) override {
+    KnowledgeModel::observe(p, op, r);
+    if (op.reg == 7) {
+      set_reg_knowledge(7, ProcSet::full(num_processes()));
+      learn_from(p, 7);
+    }
+  }
+};
+
+TEST(KnowledgeModelTest, InjectedModelRedirectsTheAdaptiveBudget) {
+  FaultPlan plan;
+  plan.strategy = FaultStrategyKind::kAdaptive;
+  plan.fault_budget = 2;
+
+  const PendingOp ll0 = make_op(OpKind::kLL, 0);
+  const PendingOp sc0 = make_op(OpKind::kSC, 0);
+  const PendingOp ll7 = make_op(OpKind::kLL, 7);
+
+  // Same observed history through both models: everyone links R0, then
+  // p2 additionally loads the leaky announce register.
+  const auto feed = [&](AdaptiveStrategy& s) {
+    for (ProcId p = 0; p < kN; ++p) s.observe(p, 0, ll0, make_result(true));
+    s.observe(2, 1, ll7, make_result(true));
+  };
+
+  AdaptiveStrategy plain(plan, kN);
+  feed(plain);
+  // Raw rules: R7 was empty, p2 learned nothing, p0 is the argmax.
+  EXPECT_TRUE(plain.decide(0, 1, sc0, 0));
+  EXPECT_FALSE(plain.decide(2, 2, sc0, 0));
+
+  AdaptiveStrategy leaky(plan, kN,
+                         std::make_unique<LeakyAnnounceModel>(kN));
+  feed(leaky);
+  // Object-aware rules: p2 now knows everyone and draws the budget.
+  EXPECT_FALSE(leaky.decide(0, 1, sc0, 0));
+  EXPECT_TRUE(leaky.decide(2, 2, sc0, 0));
+  EXPECT_EQ(leaky.current_target(), 2);
+  EXPECT_EQ(leaky.knowledge(2), static_cast<std::size_t>(kN));
+}
+
+// --- E13 byte-stability regression ---------------------------------------
+
+std::string canon_trace(const DecisionTrace& t) {
+  if (t.empty()) return "<empty>";
+  std::string out;
+  for (const FaultDecision& d : t.decisions) {
+    out += "(" + std::to_string(d.proc) + "," + std::to_string(d.op_index) +
+           "," + std::string(d.is_vl ? "1" : "0") + "," +
+           std::to_string(d.score) + ")";
+  }
+  return out;
+}
+
+// Golden DecisionTraces captured from the E13 adaptive configuration
+// BEFORE the KnowledgeModel seam was extracted from AdaptiveStrategy.
+// The seam is a pure refactor: these bytes pin that claim. If this test
+// fails, the adaptive adversary's schedule drifted and every recorded
+// E13 artifact in EXPERIMENTS.md is silently stale — treat a diff here
+// as an interface break, not a test to update casually.
+TEST(KnowledgeModelGolden, E13AdaptiveDecisionTracesAreByteStable) {
+  struct GoldenCase {
+    const char* scenario;
+    int n;
+    std::uint64_t toss_seed;
+    std::uint64_t budget;
+    const char* canon;  // "(proc,op_index,is_vl,score)" concatenated
+  };
+  const GoldenCase kCases[] = {
+      {"randomized_tournament", 6, 101, 4, "(0,4,0,2)(0,9,0,4)"},
+      {"randomized_tournament", 5, 202, 6, "(0,4,0,2)(0,8,0,2)"},
+      {"tournament", 6, 303, 4, "(0,4,0,2)(0,8,0,2)(0,12,0,4)(0,16,0,4)"},
+      {"fixed_ll_sc", 4, 404, 5,
+       "(0,1,0,1)(0,3,0,2)(0,5,0,2)(0,7,0,2)(0,9,0,2)"},
+      {"counter", 4, 505, 3, "(0,1,0,1)(0,3,0,2)(0,5,0,3)"},
+  };
+  for (const GoldenCase& c : kCases) {
+    FaultPlan plan;
+    plan.seed = 0xE13;
+    plan.strategy = FaultStrategyKind::kAdaptive;
+    plan.fault_budget = c.budget;
+    AdversaryOptions adversary;
+    adversary.max_rounds = 1 << 14;
+    const McSampleOutcome out =
+        run_mc_sample(fault_scenario(c.scenario), c.n, c.toss_seed, adversary,
+                      &plan, StoragePolicy::kBoxed);
+    EXPECT_TRUE(out.terminated) << c.scenario;
+    EXPECT_EQ(canon_trace(out.decision_trace), c.canon)
+        << c.scenario << " n=" << c.n << " toss_seed=" << c.toss_seed;
+  }
 }
 
 TEST(BurstStrategyTest, WindowsAreCorrelatedAndReplayAcrossSubstrates) {

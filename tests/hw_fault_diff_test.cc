@@ -13,11 +13,14 @@
 //
 // The sweep is parameterized over workload, alternating the raw fixed_*
 // register streams with the two fixed-shape universal-construction
-// scenarios (uc_single_register, uc_combining — fault_scenarios.h): the
-// same contract must hold when the contended SCs come from a whole
-// construction's announce/toggle/install protocol. uc_combining triples
-// ALWAYS go through the record/replay path, so combining replays
-// bit-for-bit from recorded DecisionTraces on both substrates.
+// scenarios (uc_single_register, uc_combining — fault_scenarios.h) and
+// the two fixed-shape object protocols (tas_fixed, leader_fixed —
+// objects/tas.h, objects/leader.h): the same contract must hold when the
+// contended SCs come from a whole construction's announce/toggle/install
+// protocol or from a test-and-set's splitter/tournament/claim pipeline.
+// uc_combining, tas_fixed, and leader_fixed triples ALWAYS go through
+// the record/replay path, so those workloads replay bit-for-bit from
+// recorded DecisionTraces on both substrates.
 //
 // Every triple additionally runs an OVERSUBSCRIBED leg: the same n
 // processes multiplexed as coroutines on a two-thread pool
@@ -155,8 +158,10 @@ TEST_P(HwFaultDiffTest, RandomTriplesAgreeAcrossSubstrates) {
   for (int t = 0; t < kTriples; ++t) {
     const int n = 2 + static_cast<int>(rng.next_below(6));  // 2..7
     static const char* const kScenarios[] = {
-        "fixed_ll_sc", "uc_single_register", "fixed_swap", "uc_combining"};
-    const std::string scenario = kScenarios[t % 4];
+        "fixed_ll_sc", "uc_single_register", "tas_fixed",
+        "fixed_swap",  "uc_combining",       "leader_fixed"};
+    const std::string scenario = kScenarios[t % 6];
+    const bool tas_like = scenario == "tas_fixed" || scenario == "leader_fixed";
     const ProcBody body = fault_scenario(scenario);
     const std::uint64_t toss_seed = rng.next_u64();
 
@@ -193,6 +198,14 @@ TEST_P(HwFaultDiffTest, RandomTriplesAgreeAcrossSubstrates) {
         crash.recovery.max_restarts = 1;
         crash.recovery.delay_units = 1 + rng.next_below(3);
         crash.recovery.amnesia = rng.next_below(4) != 0;
+        // The fixed-shape TAS/leader scenarios report "won" as "my claim
+        // SC succeeded from nil", and WHICH process that is follows the
+        // natural SC race — schedule-dependent, so an amnesiac replay of
+        // a crashed WINNER would report zero winners on one substrate and
+        // one on the other. Their diff-sweep crash legs resume the frame
+        // instead; amnesiac restarts of the strict protocol (whose claim
+        // re-entry recognizes its own writer) live in recovery_test.cc.
+        if (tas_like) crash.recovery.amnesia = false;
       }
       plan.crashes.push_back(crash);
     }
@@ -205,9 +218,13 @@ TEST_P(HwFaultDiffTest, RandomTriplesAgreeAcrossSubstrates) {
     // running threads). Both go through the record/replay contract, as
     // does every combining triple (the ISSUE-level contract: combining
     // replays bit-for-bit from recorded DecisionTraces).
+    // The TAS/leader scenarios also always record/replay: their op
+    // SHAPES are schedule-independent, but pinning every injected
+    // failure to a recorded (proc, op-index) trace is the contract the
+    // replay tooling ships, and it must hold for the new objects too.
     const bool schedule_dependent = strategy == 1 ||
                                     (strategy == 0 && plan.fault_budget > 0) ||
-                                    scenario == "uc_combining";
+                                    scenario == "uc_combining" || tas_like;
     if (schedule_dependent) {
       // Record on the deterministic simulator, replay the trace on hw.
       const Observed recorded = observe_sim(body, n, toss_seed, plan, storage);

@@ -26,8 +26,11 @@
 #include "memory/storage_policy.h"
 #include "objects/arith.h"
 #include "objects/containers.h"
+#include "objects/leader.h"
+#include "objects/tas.h"
 #include "universal/combining.h"
 #include "universal/group_update.h"
+#include "util/check.h"
 
 namespace llsc {
 namespace {
@@ -258,6 +261,131 @@ TEST_P(HwLinFaultTest, CombiningHistoryUnderAdaptiveAdversaryIsSound) {
   plan.strategy = FaultStrategyKind::kAdaptive;
   plan.fault_budget = 6;
   expect_faulted_combining_history_sound(plan, GetParam());
+}
+
+// --- randomized TAS under injected faults --------------------------------
+//
+// The strict TAS protocol (objects/tas.h) is a one-shot object, not a
+// universal construction — but its concurrent histories are exactly what
+// the lin checker consumes. This adapter presents one tas_subtask call as
+// the "test&set" operation of TasObject's sequential spec (returns the
+// OLD value: 0 to the winner, 1 to everyone else). Safety is deterministic
+// — the claim register is write-once — so the histories must linearize
+// under ANY injection pressure; the fault legs check precisely that, plus
+// non-vacuity. (Defined here, not in src/objects: the objects library
+// stays independent of src/universal.)
+class TasProtocolAdapter final : public UniversalConstruction {
+ public:
+  TasProtocolAdapter(int n, TasOptions options) : n_(n), options_(options) {}
+
+  SubTask<Value> execute(ProcCtx ctx, ObjOp op) override {
+    LLSC_EXPECTS(op.name == "test&set",
+                 "TAS adapter implements only test&set");
+    const Value won = co_await tas_subtask(ctx, options_);
+    // tas_subtask reports "did I win"; test&set returns the old value.
+    co_return Value::of_u64(won.as_u64() == 1 ? 0 : 1);
+  }
+
+  std::uint64_t worst_case_shared_ops() const override {
+    return tas_fault_free_max_ops(n_);  // fault-free bound (strict body
+                                        // retries under injection)
+  }
+
+  std::string name() const override { return "tas-protocol"; }
+
+ private:
+  const int n_;
+  const TasOptions options_;
+};
+
+SimTask tas_workload(ProcCtx ctx, ConcurrentHistoryRecorder* rec) {
+  ObjOp op{"test&set", {}};
+  const Value v = co_await rec->execute(ctx, std::move(op));
+  co_return v;
+}
+
+History record_faulted_tas_history(std::uint64_t seed, const FaultPlan& plan,
+                                   FaultStats* stats, StoragePolicy storage) {
+  TasProtocolAdapter tas(kFaultProcs, TasOptions{});
+  ConcurrentHistoryRecorder rec(tas, kFaultProcs);
+  HwRunOptions opts;
+  opts.seed = seed;
+  opts.storage = storage;
+  opts.fault = plan.enabled() ? &plan : nullptr;
+  HwExecutor exec(opts);
+  const HwRunResult run =
+      exec.run(kFaultProcs, [&rec](ProcCtx ctx, ProcId, int) {
+        return tas_workload(ctx, &rec);
+      });
+  EXPECT_TRUE(run.ok);
+  if (stats != nullptr) *stats = run.fault;
+  return rec.take();
+}
+
+void expect_faulted_tas_history_linearizable(const FaultPlan& plan,
+                                             StoragePolicy storage) {
+  const ObjectFactory factory = [] { return std::make_unique<TasObject>(); };
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    FaultStats stats;
+    const History hist =
+        record_faulted_tas_history(seed, plan, &stats, storage);
+    ASSERT_EQ(hist.ops.size(), static_cast<std::size_t>(kFaultProcs));
+    // The injection actually happened — without it the test is vacuous.
+    EXPECT_GT(stats.injected_sc_failures, 0u);
+    // Exactly one winner in the raw responses (old value 0), before even
+    // asking the checker: the protocol's deterministic-safety claim.
+    int winners = 0;
+    for (const HistOp& op : hist.ops) {
+      ASSERT_TRUE(op.response.holds_u64());
+      if (op.response.as_u64() == 0) ++winners;
+    }
+    EXPECT_EQ(winners, 1) << hist.to_string();
+    const LinResult lin = check_linearizability(hist, factory);
+    EXPECT_TRUE(lin.search_exhausted);
+    EXPECT_TRUE(lin.linearizable) << hist.to_string();
+  }
+}
+
+TEST_P(HwLinFaultTest, TasHistoryUnderObliviousScFailuresIsLinearizable) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.sc_fail_rate = 0.4;
+  expect_faulted_tas_history_linearizable(plan, GetParam());
+}
+
+TEST_P(HwLinFaultTest, TasHistoryUnderAdaptiveAdversaryIsLinearizable) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.strategy = FaultStrategyKind::kAdaptive;
+  plan.fault_budget = 6;
+  expect_faulted_tas_history_linearizable(plan, GetParam());
+}
+
+// Leader election rides the same claim register: under the same injection
+// pressure every process must report the SAME elected id (agreement is
+// the object's whole spec — no history search needed, the responses are
+// the proof obligation).
+TEST_P(HwLinFaultTest, LeaderElectionUnderFaultsAgreesOnOneLeader) {
+  FaultPlan plan;
+  plan.seed = 9;
+  plan.sc_fail_rate = 0.4;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    HwRunOptions opts;
+    opts.seed = seed;
+    opts.storage = GetParam();
+    opts.fault = &plan;
+    HwExecutor exec(opts);
+    const HwRunResult run = exec.run(kFaultProcs, leader_election_body());
+    ASSERT_TRUE(run.ok);
+    EXPECT_GT(run.fault.injected_sc_failures, 0u);
+    ASSERT_TRUE(run.results[0].holds_u64());
+    const std::uint64_t leader = run.results[0].as_u64();
+    EXPECT_LT(leader, static_cast<std::uint64_t>(kFaultProcs));
+    for (ProcId p = 1; p < kFaultProcs; ++p) {
+      ASSERT_TRUE(run.results[p].holds_u64());
+      EXPECT_EQ(run.results[p].as_u64(), leader) << "p" << p << " disagrees";
+    }
+  }
 }
 
 // The memory-level invariant behind those lin checks: a spurious failure

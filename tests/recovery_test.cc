@@ -15,7 +15,10 @@
 
 #include "hw/fault.h"
 #include "memory/rmw.h"
+#include "objects/leader.h"
+#include "objects/tas.h"
 #include "runtime/system.h"
+#include "runtime/toss.h"
 #include "sched/scheduler.h"
 #include "wakeup/algorithms.h"
 #include "wakeup/spec.h"
@@ -245,6 +248,120 @@ TEST(RecoveryTest, CrashStopWithoutRecoveryViolatesRecoverableSpec) {
   }
   EXPECT_TRUE(names_still_crashed);
   EXPECT_EQ(res.num_restarts, 0u);
+}
+
+// --- recoverable test-and-set and leader election ------------------------
+
+// The amnesia hazard specific to one-shot objects: a crashed WINNER's
+// restarted incarnation replays the whole protocol from the top, and a
+// naive claim register would let it (or someone else) win a second time.
+// The strict protocol's claim register recognizes its own writer, so the
+// sweep below — crash process 0 at EVERY early op index, amnesiac rejoin,
+// all n — must always end with exactly one winner, whoever the victim
+// happened to be when the crash fired.
+TEST(RecoveryTest, AmnesiacTasRestartNeverElectsTwoWinners) {
+  std::uint64_t total_restarts = 0;
+  for (const int n : {1, 3, 5}) {
+    for (std::uint64_t after_ops = 1; after_ops <= 12; ++after_ops) {
+      FaultPlan plan;
+      plan.seed = 0x7A5C + after_ops;
+      CrashSpec crash{.proc = 0, .after_ops = after_ops};
+      crash.recovery.delay_units = 2;
+      crash.recovery.max_restarts = 1;
+      crash.recovery.amnesia = true;
+      plan.crashes.push_back(crash);
+
+      auto tosses = std::make_shared<SeededTossAssignment>(after_ops);
+      System sys(n, randomized_tas_body(), tosses);
+      FaultInjector injector(plan, n);
+      sys.set_fault_injector(&injector);
+      RoundRobinScheduler sched;
+      ASSERT_TRUE(sched.run(sys, 1 << 20).all_terminated)
+          << "n=" << n << " after_ops=" << after_ops;
+
+      const RecoverableTasCheckResult res = check_recoverable_tas_run(sys);
+      EXPECT_TRUE(res.ok) << "n=" << n << " after_ops=" << after_ops << ": "
+                          << res.summary();
+      EXPECT_EQ(res.num_winners, 1)
+          << "n=" << n << " after_ops=" << after_ops;
+      EXPECT_EQ(res.num_restarts, injector.stats().recoveries);
+      total_restarts += res.num_restarts;
+    }
+  }
+  // The sweep actually crashed processes (late after_ops values may land
+  // past a short run's end; the early ones cannot).
+  EXPECT_GT(total_restarts, 10u);
+}
+
+// Leader election on top: an amnesiac restart — of the winner after its
+// claim, of the winner before it, or of any loser — must never produce
+// two processes that believe different leaders. Two victims rejoin per
+// run and the recoverable checker enforces agreement + claim/announce
+// consistency.
+TEST(RecoveryTest, AmnesiacLeaderRestartsAgreeOnOneLeader) {
+  std::uint64_t total_restarts = 0;
+  for (const int n : {2, 4, 6}) {
+    for (std::uint64_t after_ops = 1; after_ops <= 10; ++after_ops) {
+      FaultPlan plan;
+      plan.seed = 0x1EAD + after_ops;
+      for (const ProcId victim : {0, 1}) {
+        CrashSpec crash{.proc = victim,
+                        .after_ops = after_ops +
+                                     static_cast<std::uint64_t>(victim)};
+        crash.recovery.delay_units = 1 + static_cast<std::uint64_t>(victim);
+        crash.recovery.max_restarts = 1;
+        crash.recovery.amnesia = true;
+        plan.crashes.push_back(crash);
+      }
+
+      auto tosses = std::make_shared<SeededTossAssignment>(0xCAFE + after_ops);
+      System sys(n, leader_election_body(), tosses);
+      FaultInjector injector(plan, n);
+      sys.set_fault_injector(&injector);
+      RoundRobinScheduler sched;
+      ASSERT_TRUE(sched.run(sys, 1 << 20).all_terminated)
+          << "n=" << n << " after_ops=" << after_ops;
+
+      const RecoverableLeaderCheckResult res =
+          check_recoverable_leader_run(sys);
+      EXPECT_TRUE(res.ok) << "n=" << n << " after_ops=" << after_ops << ": "
+                          << res.summary();
+      EXPECT_GE(res.leader, 0) << "n=" << n << " after_ops=" << after_ops;
+      EXPECT_LT(res.leader, n) << "n=" << n << " after_ops=" << after_ops;
+      EXPECT_EQ(res.num_restarts, injector.stats().recoveries);
+      total_restarts += res.num_restarts;
+    }
+  }
+  EXPECT_GT(total_restarts, 20u);
+}
+
+// A crash-stopped TAS process (no recovery) leaves the run incomplete:
+// the plain checker still certifies at-most-one-winner on the partial
+// run, and the recoverable checker names the still-crashed process.
+TEST(RecoveryTest, CrashStoppedTasStillHasAtMostOneWinner) {
+  const int n = 4;
+  FaultPlan plan;
+  plan.seed = 0xDEAD;
+  plan.crashes.push_back(CrashSpec{.proc = 2, .after_ops = 3});
+
+  auto tosses = std::make_shared<SeededTossAssignment>(0xDEAD);
+  System sys(n, randomized_tas_body(), tosses);
+  FaultInjector injector(plan, n);
+  sys.set_fault_injector(&injector);
+  RoundRobinScheduler sched;
+  sched.run(sys, 1 << 20);
+
+  const TasCheckResult partial = check_tas_run(sys);
+  EXPECT_LE(partial.num_winners, 1);
+  const RecoverableTasCheckResult rec = check_recoverable_tas_run(sys);
+  EXPECT_FALSE(rec.ok);
+  bool names_still_crashed = false;
+  for (const std::string& v : rec.violations) {
+    if (v.find("still crashed") != std::string::npos) {
+      names_still_crashed = true;
+    }
+  }
+  EXPECT_TRUE(names_still_crashed);
 }
 
 }  // namespace

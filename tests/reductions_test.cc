@@ -8,6 +8,10 @@
 
 #include "core/adversary.h"
 #include "core/lower_bound.h"
+#include "hw/hw_executor.h"
+#include "objects/leader.h"
+#include "objects/tas.h"
+#include "runtime/toss.h"
 #include "sched/scheduler.h"
 #include "universal/group_update.h"
 #include "universal/single_register.h"
@@ -118,6 +122,144 @@ TEST(Reductions, ExactlyOneWinnerForSingleUseReductions) {
 TEST(ReductionsDeath, UnknownReductionRejected) {
   EXPECT_DEATH(reduction_object_factory("no-such-type", 4),
                "unknown reduction");
+}
+
+// --- problem reductions: wakeup ⇄ TAS ⇄ leader ---------------------------
+
+int claimed_glue_bound(const std::string& name) {
+  for (const ProblemReduction& r : problem_reductions()) {
+    if (r.name == name) return r.glue_ops_bound;
+  }
+  return -1;
+}
+
+// Check the composed problem's own specification on a finished System.
+void check_composed_spec(const std::string& name, const System& sys, int n,
+                         const std::string& what) {
+  if (name == "tas_from_leader") {
+    const TasCheckResult res = check_tas_run(sys);
+    EXPECT_TRUE(res.ok) << what << ": " << res.summary();
+    EXPECT_EQ(res.num_winners, 1) << what;
+    return;
+  }
+  if (name == "leader_from_tas") {
+    const LeaderCheckResult res = check_leader_run(sys);
+    EXPECT_TRUE(res.ok) << what << ": " << res.summary();
+    EXPECT_EQ(res.num_reporters, n) << what;
+    return;
+  }
+  if (name == "tas_from_wakeup") {
+    // The claim register lives at base + 1, outside any TAS layout, so
+    // count winners directly: exactly one process may hold the claim.
+    int winners = 0;
+    for (ProcId p = 0; p < n; ++p) {
+      const Value& r = sys.process(p).result();
+      ASSERT_TRUE(r.holds_u64()) << what << " p=" << p;
+      ASSERT_LE(r.as_u64(), 1u) << what << " p=" << p;
+      winners += static_cast<int>(r.as_u64());
+    }
+    EXPECT_EQ(winners, 1) << what;
+    return;
+  }
+  ASSERT_EQ(name, "single_winner_wakeup_from_tas");
+  // Still a correct wakeup algorithm — every base condition holds — but
+  // refined to EXACTLY one winner by the TAS stage.
+  const WakeupCheckResult res = check_wakeup_run(sys);
+  EXPECT_TRUE(res.ok) << what << ": "
+                      << (res.violations.empty() ? "" : res.violations[0]);
+  EXPECT_EQ(res.num_winners, 1) << what;
+}
+
+TEST(ProblemReductions, CatalogNamesAndBounds) {
+  const auto& all = problem_reductions();
+  ASSERT_EQ(all.size(), 4u);
+  for (const ProblemReduction& r : all) {
+    EXPECT_GE(r.glue_ops_bound, 0);
+    EXPECT_LE(r.glue_ops_bound, 4);
+    // A body must exist for every catalog entry.
+    EXPECT_NE(problem_reduction_body(r.name), nullptr) << r.name;
+  }
+}
+
+// The heart of the reduction argument: the glue is a CONSTANT number of
+// shared ops per process — measured, not assumed — so any lower bound on
+// the underlying problem transfers to the composed one (and any upper
+// bound transfers the other way) up to that constant.
+TEST(ProblemReductions, GlueStaysWithinClaimedConstantOnSimulator) {
+  for (const ProblemReduction& r : problem_reductions()) {
+    for (const int n : {1, 2, 3, 5, 9}) {
+      for (const std::uint64_t seed : {11ull, 42ull}) {
+        std::vector<std::uint64_t> glue(static_cast<std::size_t>(n), 0);
+        const ProcBody body = problem_reduction_body(r.name, 0, &glue);
+        auto tosses = std::make_shared<SeededTossAssignment>(seed);
+        System sys(n, body, tosses);
+        RandomScheduler sched(seed ^ 0x6E0Eu);
+        const std::string what = r.name + " n=" + std::to_string(n) +
+                                 " seed=" + std::to_string(seed);
+        ASSERT_TRUE(sched.run(sys, 1 << 24).all_terminated) << what;
+        for (ProcId p = 0; p < n; ++p) {
+          EXPECT_LE(glue[static_cast<std::size_t>(p)],
+                    static_cast<std::uint64_t>(r.glue_ops_bound))
+              << what << " p=" << p;
+        }
+        check_composed_spec(r.name, sys, n, what);
+      }
+    }
+  }
+}
+
+// Same measurement on free-running threads: the glue bound is a property
+// of the protocol, not of the simulator's schedule. (Each process writes
+// only its own glue slot, so the instrumentation itself is race-free.)
+TEST(ProblemReductions, GlueStaysWithinClaimedConstantOnHw) {
+  for (const ProblemReduction& r : problem_reductions()) {
+    for (const int n : {2, 5, 8}) {
+      for (std::uint64_t s = 0; s < 3; ++s) {
+        std::vector<std::uint64_t> glue(static_cast<std::size_t>(n), 0);
+        const ProcBody body = problem_reduction_body(r.name, 0, &glue);
+        HwRunOptions options;
+        options.seed = 0x61AE + s;
+        HwExecutor exec(options);
+        const HwRunResult run = exec.run(n, body);
+        const std::string what = r.name + " n=" + std::to_string(n) +
+                                 " s=" + std::to_string(s) + " [hw]";
+        ASSERT_EQ(run.status, RunStatus::kClean) << what;
+        for (ProcId p = 0; p < n; ++p) {
+          EXPECT_LE(glue[static_cast<std::size_t>(p)],
+                    static_cast<std::uint64_t>(r.glue_ops_bound))
+              << what << " p=" << p;
+        }
+      }
+    }
+  }
+}
+
+// The composition chain end-to-end: TAS built from wakeup costs at most
+// the wakeup solver's ops plus the claimed constant — the Theorem 6.1
+// transfer shape (a sub-log-n TAS would contradict the wakeup bound).
+TEST(ProblemReductions, TasFromWakeupCostsWakeupPlusAConstant) {
+  const int n = 8;
+  for (const std::uint64_t seed : {3ull, 7ull, 19ull}) {
+    std::vector<std::uint64_t> glue(static_cast<std::size_t>(n), 0);
+    const ProcBody body = problem_reduction_body("tas_from_wakeup", 0, &glue);
+    auto tosses = std::make_shared<SeededTossAssignment>(seed);
+    System sys(n, body, tosses);
+    RoundRobinScheduler sched;
+    ASSERT_TRUE(sched.run(sys, 1 << 24).all_terminated);
+    for (ProcId p = 0; p < n; ++p) {
+      const std::uint64_t total = sys.process(p).shared_ops();
+      const std::uint64_t g = glue[static_cast<std::size_t>(p)];
+      EXPECT_LE(g, static_cast<std::uint64_t>(claimed_glue_bound(
+                       "tas_from_wakeup")));
+      // Everything that is not glue was spent inside the wakeup solver.
+      EXPECT_GE(total, g);
+    }
+  }
+}
+
+TEST(ReductionsDeath, UnknownProblemReductionRejected) {
+  EXPECT_DEATH(problem_reduction_body("no-such-reduction"),
+               "unknown problem reduction");
 }
 
 }  // namespace

@@ -55,7 +55,14 @@ in_flight_at_crash with recoveries <= crashes and in_flight_at_crash <=
 crashes), the availability accounting (availability in [0, 1] and equal
 to served/offered, mttr_ms >= 0, zero when nothing recovered), the
 served <= offered bound, and the same monotone latency percentiles.
-Use it in CI to fail fast on truncated benchmark artifacts.
+BM_E18_* rows (the TAS/leader expected-steps sweep,
+bench/bench_tas_leader.cc) must carry the object fingerprint (object_id
+0 tas / 1 leader, substrate_id 0 sim / 1 hw / 2 oversub, n >= 1,
+samples > 0, log2_n >= 0) and the winner-ops accounting with
+min_winner_ops <= mean_winner_ops <= mean_max_ops and spec_violations
+== 0 — a row reporting a lost winner is the acceptance failure this
+check exists to catch. Use it in CI to fail fast on truncated benchmark
+artifacts.
 """
 import argparse
 import csv
@@ -159,6 +166,20 @@ E17_REQUIRED = [
     "latency_p50_ns", "latency_p90_ns", "latency_p99_ns",
     "latency_p999_ns",
 ]
+
+# The E18 TAS/leader expected-steps rows (BM_E18_* in
+# bench/bench_tas_leader.cc) report winner vs max shared-op costs against
+# log2(n) on all three substrates. The fingerprint is the object/substrate
+# pair plus the ops accounting; spec_violations must be zero — the
+# exactly-one-winner postcondition is deterministic, so a row admitting a
+# lost winner is a correctness failure, not a measurement artifact.
+E18_ROW_PREFIX = "BM_E18"
+E18_REQUIRED = [
+    "n", "object_id", "substrate_id", "samples", "mean_winner_ops",
+    "mean_max_ops", "min_winner_ops", "log2_n", "spec_violations",
+]
+E18_OBJECT_IDS = {0.0, 1.0}  # tas, leader
+E18_SUBSTRATE_IDS = {0.0, 1.0, 2.0}  # sim, hw, oversub
 
 
 class MalformedInput(Exception):
@@ -457,6 +478,38 @@ def validate(rows):
                     raise MalformedInput(
                         f"benchmark {row['name']}/{row['arg']}: latency "
                         f"percentiles not monotone ({lo} > {hi})")
+        if row["name"].startswith(E18_ROW_PREFIX):
+            missing = [f for f in E18_REQUIRED if f not in row]
+            if missing:
+                raise MalformedInput(
+                    f"benchmark {row['name']}/{row['arg']}: expected-steps "
+                    f"row missing field(s): {', '.join(missing)}")
+            if row["object_id"] not in E18_OBJECT_IDS:
+                raise MalformedInput(
+                    f"benchmark {row['name']}/{row['arg']}: unknown "
+                    f"object_id {row['object_id']}")
+            if row["substrate_id"] not in E18_SUBSTRATE_IDS:
+                raise MalformedInput(
+                    f"benchmark {row['name']}/{row['arg']}: unknown "
+                    f"substrate_id {row['substrate_id']}")
+            if row["n"] < 1 or row["samples"] <= 0:
+                raise MalformedInput(
+                    f"benchmark {row['name']}/{row['arg']}: bad sweep "
+                    f"shape (n < 1 or samples <= 0)")
+            if row["log2_n"] < 0:
+                raise MalformedInput(
+                    f"benchmark {row['name']}/{row['arg']}: negative "
+                    f"log2_n")
+            if not (0 <= row["min_winner_ops"] <= row["mean_winner_ops"]
+                    <= row["mean_max_ops"]):
+                raise MalformedInput(
+                    f"benchmark {row['name']}/{row['arg']}: winner-ops "
+                    f"accounting not ordered (min <= mean <= max)")
+            if row["spec_violations"] != 0:
+                raise MalformedInput(
+                    f"benchmark {row['name']}/{row['arg']}: "
+                    f"{row['spec_violations']:.0f} sample(s) lost the "
+                    f"unique winner")
 
 
 def write_csv(rows, out):

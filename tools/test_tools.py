@@ -8,7 +8,9 @@ Covers the contracts CI depends on:
     accounting, E14 storage-policy fingerprint, E15 combining batching
     fingerprint including the zero-batch mean-omitted contract, E16
     service-mode pool shape / offered-served accounting / monotone
-    latency percentiles) with a nonzero exit;
+    latency percentiles, E18 TAS/leader expected-steps fingerprint with
+    the ordered winner-ops accounting and the zero-spec-violations gate)
+    with a nonzero exit;
   * bench_to_csv.py conversion — emits the expected CSV columns;
   * replay_fault.py — exit codes for missing binaries/keys, the
     custom-scenario and --strategy skip paths, and pass/fail propagation
@@ -78,6 +80,9 @@ E17_GOOD = dict(n_threads=2, m_procs=16, recover=1, storm=4,
                 mttr_ms=0.6, crashes=4, recoveries=4, in_flight_at_crash=4,
                 latency_p50_ns=7.5e5, latency_p90_ns=6.5e6,
                 latency_p99_ns=7.7e6, latency_p999_ns=7.9e6)
+E18_GOOD = dict(n=16, object_id=0, substrate_id=0, samples=16,
+                mean_winner_ops=6.0, mean_max_ops=17.3, min_winner_ops=6,
+                log2_n=4.0, spec_violations=0)
 
 
 class BenchToCsvCheckTest(unittest.TestCase):
@@ -325,6 +330,48 @@ class BenchToCsvCheckTest(unittest.TestCase):
         proc = run_bench_to_csv(bench_doc(row), "--check")
         self.assertEqual(proc.returncode, 1)
         self.assertIn("mttr_ms", proc.stderr)
+
+    def test_e18_row_passes(self):
+        row = bench_row("BM_E18_Tas_Sim/16", **E18_GOOD)
+        proc = run_bench_to_csv(bench_doc(row), "--check")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_e18_row_missing_accounting_rejected(self):
+        counters = dict(E18_GOOD)
+        del counters["min_winner_ops"]
+        row = bench_row("BM_E18_Leader_Hw/4", **counters)
+        proc = run_bench_to_csv(bench_doc(row), "--check")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("min_winner_ops", proc.stderr)
+
+    def test_e18_unknown_object_rejected(self):
+        row = bench_row("BM_E18_Tas_Sim/16", **dict(E18_GOOD, object_id=7))
+        proc = run_bench_to_csv(bench_doc(row), "--check")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("object_id", proc.stderr)
+
+    def test_e18_unknown_substrate_rejected(self):
+        row = bench_row("BM_E18_Tas_Sim/16",
+                        **dict(E18_GOOD, substrate_id=3))
+        proc = run_bench_to_csv(bench_doc(row), "--check")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("substrate_id", proc.stderr)
+
+    def test_e18_unordered_ops_rejected(self):
+        # mean above max: the accounting must be min <= mean <= max.
+        row = bench_row("BM_E18_Leader_Oversub/32",
+                        **dict(E18_GOOD, substrate_id=2, object_id=1,
+                               mean_winner_ops=20.0))
+        proc = run_bench_to_csv(bench_doc(row), "--check")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("not ordered", proc.stderr)
+
+    def test_e18_lost_winner_rejected(self):
+        row = bench_row("BM_E18_Tas_Hw/8",
+                        **dict(E18_GOOD, substrate_id=1, spec_violations=1))
+        proc = run_bench_to_csv(bench_doc(row), "--check")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("winner", proc.stderr)
 
 
 class BenchToCsvConvertTest(unittest.TestCase):
