@@ -149,12 +149,14 @@ McSampleOutcome run_mc_sample(const ProcBody& algo, int n,
                               std::uint64_t toss_seed,
                               const AdversaryOptions& adversary,
                               const FaultPlan* fault,
-                              StoragePolicy storage) {
+                              StoragePolicy storage,
+                              ReclaimPolicy reclaimer) {
   McSampleOutcome out;
   const auto tosses = std::make_shared<SeededTossAssignment>(toss_seed);
   System sys(n, algo, tosses);
   sys.set_recording(false);
   sys.memory().set_storage_policy(storage);
+  sys.memory().set_reclaim_policy(reclaimer);
   // The injector lives on this stack frame; the System only borrows it.
   std::optional<FaultInjector> injector;
   if (fault != nullptr && fault->enabled()) {
@@ -170,6 +172,7 @@ McSampleOutcome run_mc_sample(const ProcBody& algo, int n,
   }
   out.max_ops = sys.max_shared_ops();
   out.width = sys.memory().width_stats();
+  out.reclaim = sys.memory().reclaim_stats();
   if (injector) out.decision_trace = injector->trace();
   if (!log.all_terminated) {
     out.status = sys.num_crashed() > 0 ? RunStatus::kCrashed
@@ -199,7 +202,7 @@ McSampleOutcome run_mc_sample(const ProcBody& algo, int n,
 ExpectedComplexityEstimate estimate_expected_complexity(
     const ProcBody& algo, int n, int samples, std::uint64_t seed,
     const AdversaryOptions& adversary, const FaultPlan* fault,
-    StoragePolicy storage) {
+    StoragePolicy storage, ReclaimPolicy reclaimer) {
   LLSC_EXPECTS(samples >= 1, "need at least one sample");
   ExpectedComplexityEstimate est;
   est.n = n;
@@ -220,7 +223,7 @@ ExpectedComplexityEstimate estimate_expected_complexity(
     if (inject) sample_plan = derive_sample_plan(*fault, toss_seed);
     const McSampleOutcome sample = run_mc_sample(
         algo, n, toss_seed, adversary, inject ? &sample_plan : nullptr,
-        storage);
+        storage, reclaimer);
     if (!sample.terminated) {
       if (sample.status == RunStatus::kCrashed) {
         ++est.crashed_samples;

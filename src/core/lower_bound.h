@@ -26,6 +26,7 @@
 #include "core/indistinguishability.h"
 #include "core/proc_set.h"
 #include "hw/fault.h"
+#include "memory/reclaim_policy.h"
 #include "memory/storage_policy.h"
 #include "runtime/system.h"
 
@@ -132,7 +133,8 @@ ExpectedComplexityEstimate estimate_expected_complexity(
     const ProcBody& algo, int n, int samples, std::uint64_t seed,
     const AdversaryOptions& adversary = {},
     const FaultPlan* fault = nullptr,
-    StoragePolicy storage = default_storage_policy());
+    StoragePolicy storage = default_storage_policy(),
+    ReclaimPolicy reclaimer = default_reclaim_policy());
 
 // One Lemma 3.1 sample: build a System over SeededTossAssignment(toss_seed),
 // optionally install a fault injector (`fault` is used as-is — sweeping
@@ -153,6 +155,11 @@ struct McSampleOutcome {
   // counted at the same completed-install points so deterministic
   // workloads produce identical totals on both substrates.
   RegisterWidthStats width;
+  // Node-reclamation accounting under the sample's reclaim policy — the
+  // simulator twin of HwRunResult::reclaim. Only the deterministic fields
+  // (policy, nodes_allocated, nodes_retired) are populated; the rest are
+  // hw-timing artifacts with no simulator analogue.
+  ReclaimStats reclaim;
   // Decisions an adversarial FaultStrategy recorded during this sample
   // (empty on the inline oblivious path). Embedding this trace into the
   // sample's plan makes the adaptive schedule replayable anywhere.
@@ -164,7 +171,9 @@ McSampleOutcome run_mc_sample(const ProcBody& algo, int n,
                               const AdversaryOptions& adversary,
                               const FaultPlan* fault = nullptr,
                               StoragePolicy storage =
-                                  default_storage_policy());
+                                  default_storage_policy(),
+                              ReclaimPolicy reclaimer =
+                                  default_reclaim_policy());
 
 }  // namespace llsc
 

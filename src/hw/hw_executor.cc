@@ -138,7 +138,7 @@ HwExecutor::HwExecutor(HwRunOptions options) : options_(std::move(options)) {}
 HwRunResult HwExecutor::run(int n, const ProcBody& body) {
   LLSC_EXPECTS(n >= 1, "an execution needs at least one process");
   HwMemory memory(options_.num_registers, n, options_.backoff,
-                  options_.storage);
+                  options_.storage, options_.reclaimer);
   if (!options_.register_groups.empty()) {
     memory.set_register_groups(options_.register_groups);
   }

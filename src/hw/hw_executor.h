@@ -79,6 +79,10 @@ struct HwRunOptions {
   // 64-bit tagged words — memory/storage_policy.h); defaults to the
   // LLSC_STORAGE_POLICY environment variable, else boxed.
   StoragePolicy storage = default_storage_policy();
+  // Node-reclamation policy for the run's HwMemory (three-epoch batches vs
+  // per-slot hazard pointers — memory/reclaim_policy.h, hw/reclaim.h);
+  // defaults to the LLSC_RECLAIMER environment variable, else epochs.
+  ReclaimPolicy reclaimer = default_reclaim_policy();
   // Fault plan for this run (hw/fault.h); nullptr or a disabled plan means
   // no injection. The plan is used as-is — sweeping drivers derive
   // per-sample seeds themselves (derive_sample_plan). Caller keeps the

@@ -7,9 +7,10 @@
 namespace llsc {
 
 HwMemory::HwMemory(std::size_t num_registers, int num_threads,
-                   const BackoffOptions& backoff, StoragePolicy storage)
+                   const BackoffOptions& backoff, StoragePolicy storage,
+                   ReclaimPolicy reclaim, int reclaim_slots)
     : storage_(make_register_storage(storage, num_registers, num_threads,
-                                     backoff)) {}
+                                     backoff, reclaim, reclaim_slots)) {}
 
 HwMemory::~HwMemory() = default;
 

@@ -57,10 +57,16 @@ class HwMemory {
   // span up front) serving threads/processes [0, num_threads). `backoff`
   // selects the retry-loop policy for every contended CAS site; `storage`
   // the register representation (default: the LLSC_STORAGE_POLICY
-  // environment variable, else boxed).
+  // environment variable, else boxed); `reclaim` the node-reclamation
+  // policy (default: LLSC_RECLAIMER, else three-epoch batches).
+  // `reclaim_slots` sizes the Reclaimer's slot table — 0 means one slot
+  // per thread/process; oversubscribed executors pass their carrier count
+  // when the policy binds slots to carriers (hw/reclaim.h).
   HwMemory(std::size_t num_registers, int num_threads,
            const BackoffOptions& backoff = {},
-           StoragePolicy storage = default_storage_policy());
+           StoragePolicy storage = default_storage_policy(),
+           ReclaimPolicy reclaim = default_reclaim_policy(),
+           int reclaim_slots = 0);
   ~HwMemory();
   HwMemory(const HwMemory&) = delete;
   HwMemory& operator=(const HwMemory&) = delete;
@@ -87,6 +93,11 @@ class HwMemory {
   std::size_t num_registers() const { return storage_->num_registers(); }
   int num_threads() const { return storage_->num_threads(); }
   StoragePolicy storage_policy() const { return storage_->policy(); }
+  ReclaimPolicy reclaim_policy() const { return storage_->reclaim_policy(); }
+
+  // The run's reclamation policy object (hw/reclaim.h): executors bind
+  // carrier threads to slots through it when Reclaimer::carrier_slots().
+  Reclaimer& reclaimer() { return storage_->reclaimer(); }
 
   // --- quiescent observation (tests / post-run accounting only) ---
   Value peek_value(RegId r) const { return storage_->peek_value(r); }

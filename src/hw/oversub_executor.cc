@@ -170,11 +170,19 @@ HwRunResult OversubscribedExecutor::run(int m, const ProcBody& body) {
   // ever spin on empty shards.
   num_threads = std::min(num_threads, m);
 
-  // M per-process contexts: links, epochs, and backoff state are keyed by
-  // ProcId, which is what makes a coroutine's migration between carrier
-  // threads invisible to the memory (see the header's contract).
+  // M per-process contexts: links and backoff state are keyed by ProcId,
+  // which is what makes a coroutine's migration between carrier threads
+  // invisible to the memory (see the header's contract). Reclamation slots
+  // follow the policy: epochs keep one slot per logical process (the
+  // pre-seam layout), hazard pointers get one slot per carrier thread —
+  // N hazard words instead of M — bound below via CarrierBinding. That is
+  // sound because no protection spans a yield: operations bracket their
+  // protections internally, and coroutines yield only between operations.
+  const bool carrier_slots =
+      options_.reclaimer == ReclaimPolicy::kHazard;
   HwMemory memory(options_.num_registers, m, options_.backoff,
-                  options_.storage);
+                  options_.storage, options_.reclaimer,
+                  carrier_slots ? num_threads : 0);
   if (!options_.register_groups.empty()) {
     memory.set_register_groups(options_.register_groups);
   }
@@ -231,6 +239,14 @@ HwRunResult OversubscribedExecutor::run(int m, const ProcBody& body) {
   sched_stats.num_procs = m;
 
   const auto worker_fn = [&](int w) {
+    // Under a carrier-slot reclaimer (hazard pointers), every protection
+    // this worker's coroutines take is charged to slot w for the worker's
+    // lifetime — protections are per-operation, so nothing leaks across a
+    // migration. The binding is a thread_local and unwinds on exit.
+    std::optional<Reclaimer::CarrierBinding> reclaim_binding;
+    if (memory.reclaimer().carrier_slots()) {
+      reclaim_binding.emplace(memory.reclaimer(), w);
+    }
     Backoff idle(idle_options);
     std::uint64_t resumes = 0;
     std::uint64_t yields = 0;

@@ -7,21 +7,15 @@
 
 namespace llsc {
 
-namespace {
-
-// Retired nodes per batch before a thread pays for an epoch scan. Small
-// enough that peak garbage stays bounded (≤ interval × threads × ~3
-// epochs), large enough to amortize the O(threads) scan.
-constexpr std::uint64_t kScanInterval = 64;
-
-}  // namespace
-
 RegisterStorage::RegisterStorage(std::size_t num_registers, int num_threads,
-                                 const BackoffOptions& backoff)
+                                 const BackoffOptions& backoff,
+                                 ReclaimPolicy reclaim, int reclaim_slots)
     : regs_(num_registers),
       backoff_options_(backoff),
       waiter_(backoff.waiter != nullptr ? backoff.waiter
-                                        : &Waiter::system()) {
+                                        : &Waiter::system()),
+      reclaimer_(make_reclaimer(
+          reclaim, reclaim_slots > 0 ? reclaim_slots : num_threads)) {
   // A Node* must leave bit 0 clear for the inline-word discriminator.
   static_assert(alignof(Node) >= 2);
   LLSC_EXPECTS(num_registers >= 1, "need at least one register");
@@ -36,13 +30,11 @@ RegisterStorage::RegisterStorage(std::size_t num_registers, int num_threads,
 }
 
 RegisterStorage::~RegisterStorage() {
-  // Quiescent teardown: free live boxed heads and everything still retired.
+  // Quiescent teardown: free live boxed heads here; the Reclaimer's
+  // destructor frees everything still on its retired lists.
   for (auto& r : regs_) {
     const std::uint64_t w = r.word.load(std::memory_order_relaxed);
     if (w != 0 && is_node_word(w)) delete as_node(w);
-  }
-  for (auto& c : ctxs_) {
-    for (auto& [epoch, node] : c->retired) delete node;
   }
 }
 
@@ -57,6 +49,11 @@ void RegisterStorage::invalidate_links(ProcId p) {
   // live link", so every SC/VL of the new incarnation fails until it LLs.
   ThreadCtx& c = ctx(p);
   std::fill(c.link.begin(), c.link.end(), 0);
+  // The dead incarnation's reclamation protections die with it: its guard
+  // already unwound during the crash, so this reset is idempotent, but a
+  // restart must never inherit a protection (or pinned epoch) it did not
+  // take itself.
+  reclaimer_->release(reclaimer_->slot_of(p));
 }
 
 std::atomic<std::uint64_t>& RegisterStorage::word(RegId r) {
@@ -77,49 +74,6 @@ RegisterStorage::Node* RegisterStorage::make_node(ThreadCtx& c, Value v,
   return new Node{std::move(v), version};
 }
 
-void RegisterStorage::retire(ThreadCtx& c, Node* n) {
-  // Global epochs are monotone, so retirement epochs are non-decreasing
-  // per thread and the freeable nodes always form a deque prefix.
-  c.retired.emplace_back(global_epoch_.load(), n);
-  ++c.retired_count;
-  if (++c.retires_since_scan >= kScanInterval) {
-    c.retires_since_scan = 0;
-    scan_and_reclaim(c);
-  }
-}
-
-void RegisterStorage::scan_and_reclaim(ThreadCtx& c) {
-  std::uint64_t global = global_epoch_.load();
-  // Advance the global epoch iff every thread is quiescent or already in
-  // the current epoch. A thread stuck in an older critical section blocks
-  // the advance — that is the grace-period guarantee.
-  bool can_advance = true;
-  for (const auto& t : ctxs_) {
-    const std::uint64_t e = t->epoch.load();
-    if (e != 0 && e != global) {
-      can_advance = false;
-      break;
-    }
-  }
-  if (can_advance) {
-    if (global_epoch_.compare_exchange_strong(global, global + 1)) {
-      global = global + 1;
-    } else {
-      global = global_epoch_.load();  // someone else advanced; also fine
-    }
-  }
-  // A node retired in epoch e is untouchable once the global epoch
-  // reaches e + 2: any thread that could hold a reference entered its
-  // critical section at an epoch ≤ e, and both advances past e required
-  // that thread to have exited (observed via acquire loads of its epoch,
-  // which is the happens-before edge making the delete race-free).
-  while (!c.retired.empty() && c.retired.front().first + 2 <= global) {
-    delete c.retired.front().second;
-    c.retired.pop_front();
-    ++c.freed;
-  }
-}
-
 void RegisterStorage::wake_waiters(ThreadCtx& c, RegId r) {
   ParkSpot& spot = regs_[static_cast<std::size_t>(r)].park;
   if (spot.waiters.load(std::memory_order_seq_cst) == 0) return;
@@ -130,9 +84,14 @@ void RegisterStorage::wake_waiters(ThreadCtx& c, RegId r) {
 
 void RegisterStorage::note_install(ThreadCtx& c, const Value& v,
                                    bool inline_install) {
+  note_install_bits(c, v.encoded_bits(), inline_install);
+}
+
+void RegisterStorage::note_install_bits(ThreadCtx& c,
+                                        std::size_t encoded_bits,
+                                        bool inline_install) {
   ++c.writes_inspected;
-  const std::size_t bits = v.encoded_bits();
-  if (bits > c.max_bits) c.max_bits = bits;
+  if (encoded_bits > c.max_bits) c.max_bits = encoded_bits;
   if (inline_install) {
     ++c.inline_installs;
   } else {
@@ -147,12 +106,9 @@ bool RegisterStorage::peek_link_live(RegId r, ProcId p) const {
 }
 
 HwReclaimStats RegisterStorage::reclaim_stats() const {
-  HwReclaimStats s;
-  s.global_epoch = global_epoch_.load();
+  HwReclaimStats s = reclaimer_->stats();
   for (const auto& c : ctxs_) {
     s.nodes_allocated += c->allocated;
-    s.nodes_retired += c->retired_count;
-    s.nodes_freed += c->freed;
   }
   return s;
 }
@@ -189,8 +145,10 @@ RegisterWidthStats RegisterStorage::width_stats() const {
 // --- BoxedStorage --------------------------------------------------------
 
 BoxedStorage::BoxedStorage(std::size_t num_registers, int num_threads,
-                           const BackoffOptions& backoff)
-    : RegisterStorage(num_registers, num_threads, backoff) {
+                           const BackoffOptions& backoff,
+                           ReclaimPolicy reclaim, int reclaim_slots)
+    : RegisterStorage(num_registers, num_threads, backoff, reclaim,
+                      reclaim_slots) {
   // Registers start as (nil, version 1): a plain nil node per register so
   // operations never see a null head. Initial nodes are not charged to any
   // thread's allocation counter (they predate all operations).
@@ -201,59 +159,66 @@ BoxedStorage::BoxedStorage(std::size_t num_registers, int num_threads,
 
 Value BoxedStorage::ll(ProcId p, RegId r) {
   ThreadCtx& c = ctx(p);
-  EpochGuard guard(global_epoch_, c);
-  Node* cur = as_node(word(r).load(std::memory_order_acquire));
+  Reclaimer::Guard g(*reclaimer_, p);
+  Node* cur = as_node(g.acquire(word(r)));
   c.link[static_cast<std::size_t>(r)] = cur->version;
   return cur->value;
 }
 
 OpResult BoxedStorage::sc(ProcId p, RegId r, Value v) {
   ThreadCtx& c = ctx(p);
-  EpochGuard guard(global_epoch_, c);
+  Reclaimer::Guard g(*reclaimer_, p);
   // The link dies on this SC no matter what (paper: a successful SC
   // clears the whole Pset including the writer; a failed SC means the
   // link was already dead).
   const std::uint64_t linked =
       std::exchange(c.link[static_cast<std::size_t>(r)], 0);
   std::atomic<std::uint64_t>& h = word(r);
-  std::uint64_t curw = h.load(std::memory_order_acquire);
+  std::uint64_t curw = g.acquire(h);
   Node* cur = as_node(curw);
   if (linked == 0 || cur->version != linked) {
     return OpResult{.flag = false, .value = cur->value};
   }
   Node* fresh = make_node(c, std::move(v), cur->version + 1);
+  // Width bits while fresh is still private: once published it may be
+  // replaced, retired, and freed by a concurrent writer before we read
+  // it (the hazard word protects cur, not fresh).
+  const std::size_t fresh_bits = fresh->value.encoded_bits();
   if (h.compare_exchange_strong(curw, from_node(fresh),
                                 std::memory_order_acq_rel,
                                 std::memory_order_acquire)) {
     Value prev = cur->value;
-    retire(c, cur);
+    g.retire(cur);
     // A successful SC changes the head, so installers parked on r can
     // make progress again.
     wake_waiters(c, r);
-    note_install(c, fresh->value, /*inline_install=*/false);
+    note_install_bits(c, fresh_bits, /*inline_install=*/false);
     return OpResult{.flag = true, .value = std::move(prev)};
   }
   // Lost the race: a concurrent write invalidated the link between our
-  // load and the CAS. `curw` was reloaded by the failed CAS and its node
-  // is protected by our epoch guard, so reporting its value is safe.
+  // load and the CAS. `curw` was reloaded by the failed CAS; confirm
+  // re-protects it (a no-op under epochs) so reporting its value is safe.
   delete fresh;
   --c.allocated;
+  curw = g.confirm(h, curw);
   return OpResult{.flag = false, .value = as_node(curw)->value};
 }
 
 OpResult BoxedStorage::validate(ProcId p, RegId r) {
   ThreadCtx& c = ctx(p);
-  EpochGuard guard(global_epoch_, c);
-  Node* cur = as_node(word(r).load(std::memory_order_acquire));
+  Reclaimer::Guard g(*reclaimer_, p);
+  Node* cur = as_node(g.acquire(word(r)));
   const std::uint64_t linked = c.link[static_cast<std::size_t>(r)];
   return OpResult{.flag = linked != 0 && cur->version == linked,
                   .value = cur->value};
 }
 
-Value BoxedStorage::install(ThreadCtx& c, RegId r, Value v) {
+Value BoxedStorage::install(Reclaimer::Guard& g, ThreadCtx& c, RegId r,
+                            Value v) {
   std::atomic<std::uint64_t>& h = word(r);
   Node* fresh = make_node(c, std::move(v), 0);
-  std::uint64_t curw = h.load(std::memory_order_acquire);
+  const std::size_t fresh_bits = fresh->value.encoded_bits();
+  std::uint64_t curw = g.acquire(h);
   ParkSpot& spot = regs_[static_cast<std::size_t>(r)].park;
   c.backoff.begin_op();
   for (;;) {
@@ -264,20 +229,21 @@ Value BoxedStorage::install(ThreadCtx& c, RegId r, Value v) {
       break;
     }
     c.backoff.on_failure(&spot, &h, curw);
+    curw = g.confirm(h, curw);
   }
   c.backoff.on_success();
   wake_waiters(c, r);
   Node* cur = as_node(curw);
   Value prev = cur->value;
-  retire(c, cur);
-  note_install(c, fresh->value, /*inline_install=*/false);
+  g.retire(cur);
+  note_install_bits(c, fresh_bits, /*inline_install=*/false);
   return prev;
 }
 
 Value BoxedStorage::swap(ProcId p, RegId r, Value v) {
   ThreadCtx& c = ctx(p);
-  EpochGuard guard(global_epoch_, c);
-  Value prev = install(c, r, std::move(v));
+  Reclaimer::Guard g(*reclaimer_, p);
+  Value prev = install(g, c, r, std::move(v));
   // The install cleared r's Pset; the writer's own link dies with it.
   c.link[static_cast<std::size_t>(r)] = 0;
   return prev;
@@ -286,32 +252,33 @@ Value BoxedStorage::swap(ProcId p, RegId r, Value v) {
 void BoxedStorage::move(ProcId p, RegId src, RegId dst) {
   LLSC_EXPECTS(src != dst, "move(R, R) is excluded from the model");
   ThreadCtx& c = ctx(p);
-  EpochGuard guard(global_epoch_, c);
+  Reclaimer::Guard g(*reclaimer_, p);
   // Two linearization points (read src, install into dst) where the
   // paper's move is one step — see docs/hw_backend.md §relaxations.
-  Value v = as_node(word(src).load(std::memory_order_acquire))->value;
-  (void)install(c, dst, std::move(v));
+  Value v = as_node(g.acquire(word(src)))->value;
+  (void)install(g, c, dst, std::move(v));
   c.link[static_cast<std::size_t>(dst)] = 0;
 }
 
 Value BoxedStorage::rmw(ProcId p, RegId r, const RmwFunction& f) {
   ThreadCtx& c = ctx(p);
-  EpochGuard guard(global_epoch_, c);
+  Reclaimer::Guard g(*reclaimer_, p);
   std::atomic<std::uint64_t>& h = word(r);
   ParkSpot& spot = regs_[static_cast<std::size_t>(r)].park;
   c.backoff.begin_op();
   for (;;) {
-    std::uint64_t curw = h.load(std::memory_order_acquire);
+    std::uint64_t curw = g.acquire(h);
     Node* cur = as_node(curw);
     Node* fresh = make_node(c, f.apply(cur->value), cur->version + 1);
+    const std::size_t fresh_bits = fresh->value.encoded_bits();
     if (h.compare_exchange_strong(curw, from_node(fresh),
                                   std::memory_order_acq_rel,
                                   std::memory_order_acquire)) {
       c.backoff.on_success();
       wake_waiters(c, r);
       Value prev = cur->value;
-      retire(c, cur);
-      note_install(c, fresh->value, /*inline_install=*/false);
+      g.retire(cur);
+      note_install_bits(c, fresh_bits, /*inline_install=*/false);
       c.link[static_cast<std::size_t>(r)] = 0;
       return prev;
     }
@@ -332,8 +299,11 @@ std::uint64_t BoxedStorage::peek_version(RegId r) const {
 // --- InlineStorage -------------------------------------------------------
 
 InlineStorage::InlineStorage(std::size_t num_registers, int num_threads,
-                             const BackoffOptions& backoff, bool strict)
-    : RegisterStorage(num_registers, num_threads, backoff), strict_(strict) {
+                             const BackoffOptions& backoff, bool strict,
+                             ReclaimPolicy reclaim, int reclaim_slots)
+    : RegisterStorage(num_registers, num_threads, backoff, reclaim,
+                      reclaim_slots),
+      strict_(strict) {
   // Registers start as inline (nil, tag 1) — no allocation at all until a
   // value overflows the word.
   const std::uint64_t nil_word = encode_inline(Value{}, 1);
@@ -350,19 +320,19 @@ void InlineStorage::throw_overflow(RegId r, const Value& v) const {
 
 Value InlineStorage::ll(ProcId p, RegId r) {
   ThreadCtx& c = ctx(p);
-  EpochGuard guard(global_epoch_, c);
-  const std::uint64_t cur = word(r).load(std::memory_order_acquire);
+  Reclaimer::Guard g(*reclaimer_, p);
+  const std::uint64_t cur = g.acquire(word(r));
   c.link[static_cast<std::size_t>(r)] = link_of(cur);
   return value_of(cur);
 }
 
 OpResult InlineStorage::sc(ProcId p, RegId r, Value v) {
   ThreadCtx& c = ctx(p);
-  EpochGuard guard(global_epoch_, c);
+  Reclaimer::Guard g(*reclaimer_, p);
   const std::uint64_t linked =
       std::exchange(c.link[static_cast<std::size_t>(r)], 0);
   std::atomic<std::uint64_t>& h = word(r);
-  std::uint64_t cur = h.load(std::memory_order_acquire);
+  std::uint64_t cur = g.acquire(h);
   if (linked == 0 || link_of(cur) != linked) {
     return OpResult{.flag = false, .value = value_of(cur)};
   }
@@ -378,6 +348,7 @@ OpResult InlineStorage::sc(ProcId p, RegId r, Value v) {
       note_install(c, v, /*inline_install=*/true);
       return OpResult{.flag = true, .value = std::move(prev)};
     }
+    cur = g.confirm(h, cur);
     return OpResult{.flag = false, .value = value_of(cur)};
   }
   if (!fits && strict_) throw_overflow(r, v);
@@ -385,42 +356,45 @@ OpResult InlineStorage::sc(ProcId p, RegId r, Value v) {
   // an already-demoted one.
   Node* fresh = make_node(
       c, std::move(v), is_node_word(cur) ? as_node(cur)->version + 2 : 2);
+  const std::size_t fresh_bits = fresh->value.encoded_bits();
   if (h.compare_exchange_strong(cur, from_node(fresh),
                                 std::memory_order_acq_rel,
                                 std::memory_order_acquire)) {
     Value prev;
     if (is_node_word(cur)) {
       prev = as_node(cur)->value;
-      retire(c, as_node(cur));
+      g.retire(as_node(cur));
     } else {
       prev = decode_inline(cur);
     }
     wake_waiters(c, r);
     if (!fits) ++c.overflow_events;
-    note_install(c, fresh->value, /*inline_install=*/false);
+    note_install_bits(c, fresh_bits, /*inline_install=*/false);
     return OpResult{.flag = true, .value = std::move(prev)};
   }
   delete fresh;
   --c.allocated;
+  cur = g.confirm(h, cur);
   return OpResult{.flag = false, .value = value_of(cur)};
 }
 
 OpResult InlineStorage::validate(ProcId p, RegId r) {
   ThreadCtx& c = ctx(p);
-  EpochGuard guard(global_epoch_, c);
-  const std::uint64_t cur = word(r).load(std::memory_order_acquire);
+  Reclaimer::Guard g(*reclaimer_, p);
+  const std::uint64_t cur = g.acquire(word(r));
   const std::uint64_t linked = c.link[static_cast<std::size_t>(r)];
   return OpResult{.flag = linked != 0 && link_of(cur) == linked,
                   .value = value_of(cur)};
 }
 
-Value InlineStorage::install(ThreadCtx& c, RegId r, const Value& v) {
+Value InlineStorage::install(Reclaimer::Guard& g, ThreadCtx& c, RegId r,
+                             const Value& v) {
   const bool fits = value_fits_inline(v);
   if (!fits && strict_) throw_overflow(r, v);
   std::atomic<std::uint64_t>& h = word(r);
   ParkSpot& spot = regs_[static_cast<std::size_t>(r)].park;
   Node* fresh = nullptr;  // allocated lazily, only for the node path
-  std::uint64_t cur = h.load(std::memory_order_acquire);
+  std::uint64_t cur = g.acquire(h);
   c.backoff.begin_op();
   Value prev;
   bool inline_install = false;
@@ -442,7 +416,7 @@ Value InlineStorage::install(ThreadCtx& c, RegId r, const Value& v) {
                                   std::memory_order_acquire)) {
         if (is_node_word(cur)) {
           prev = as_node(cur)->value;
-          retire(c, as_node(cur));
+          g.retire(as_node(cur));
         } else {
           prev = decode_inline(cur);
         }
@@ -451,6 +425,7 @@ Value InlineStorage::install(ThreadCtx& c, RegId r, const Value& v) {
       }
     }
     c.backoff.on_failure(&spot, &h, cur);
+    cur = g.confirm(h, cur);
   }
   if (fresh != nullptr) {  // defensive: allocated but won another path
     delete fresh;
@@ -465,8 +440,8 @@ Value InlineStorage::install(ThreadCtx& c, RegId r, const Value& v) {
 
 Value InlineStorage::swap(ProcId p, RegId r, Value v) {
   ThreadCtx& c = ctx(p);
-  EpochGuard guard(global_epoch_, c);
-  Value prev = install(c, r, v);
+  Reclaimer::Guard g(*reclaimer_, p);
+  Value prev = install(g, c, r, v);
   c.link[static_cast<std::size_t>(r)] = 0;
   return prev;
 }
@@ -474,19 +449,19 @@ Value InlineStorage::swap(ProcId p, RegId r, Value v) {
 void InlineStorage::move(ProcId p, RegId src, RegId dst) {
   LLSC_EXPECTS(src != dst, "move(R, R) is excluded from the model");
   ThreadCtx& c = ctx(p);
-  EpochGuard guard(global_epoch_, c);
-  Value v = value_of(word(src).load(std::memory_order_acquire));
-  (void)install(c, dst, v);
+  Reclaimer::Guard g(*reclaimer_, p);
+  Value v = value_of(g.acquire(word(src)));
+  (void)install(g, c, dst, v);
   c.link[static_cast<std::size_t>(dst)] = 0;
 }
 
 Value InlineStorage::rmw(ProcId p, RegId r, const RmwFunction& f) {
   ThreadCtx& c = ctx(p);
-  EpochGuard guard(global_epoch_, c);
+  Reclaimer::Guard g(*reclaimer_, p);
   std::atomic<std::uint64_t>& h = word(r);
   ParkSpot& spot = regs_[static_cast<std::size_t>(r)].park;
   c.backoff.begin_op();
-  std::uint64_t cur = h.load(std::memory_order_acquire);
+  std::uint64_t cur = g.acquire(h);
   for (;;) {
     Value curv = value_of(cur);
     Value next = f.apply(curv);
@@ -503,26 +478,29 @@ Value InlineStorage::rmw(ProcId p, RegId r, const RmwFunction& f) {
         return curv;
       }
       c.backoff.on_failure(&spot, &h, cur);
+      cur = g.confirm(h, cur);
       continue;
     }
     if (!fits && strict_) throw_overflow(r, next);
     Node* fresh = make_node(
         c, std::move(next),
         is_node_word(cur) ? as_node(cur)->version + 2 : 2);
+    const std::size_t fresh_bits = fresh->value.encoded_bits();
     if (h.compare_exchange_strong(cur, from_node(fresh),
                                   std::memory_order_acq_rel,
                                   std::memory_order_acquire)) {
       c.backoff.on_success();
       wake_waiters(c, r);
-      if (is_node_word(cur)) retire(c, as_node(cur));
+      if (is_node_word(cur)) g.retire(as_node(cur));
       if (!fits) ++c.overflow_events;
-      note_install(c, fresh->value, /*inline_install=*/false);
+      note_install_bits(c, fresh_bits, /*inline_install=*/false);
       c.link[static_cast<std::size_t>(r)] = 0;
       return curv;
     }
     delete fresh;
     --c.allocated;
     c.backoff.on_failure(&spot, &h, cur);
+    cur = g.confirm(h, cur);
   }
 }
 
@@ -554,17 +532,20 @@ RegisterWidthStats InlineStorage::width_stats() const {
 
 std::unique_ptr<RegisterStorage> make_register_storage(
     StoragePolicy policy, std::size_t num_registers, int num_threads,
-    const BackoffOptions& backoff) {
+    const BackoffOptions& backoff, ReclaimPolicy reclaim,
+    int reclaim_slots) {
   switch (policy) {
     case StoragePolicy::kBoxed:
       return std::make_unique<BoxedStorage>(num_registers, num_threads,
-                                            backoff);
+                                            backoff, reclaim, reclaim_slots);
     case StoragePolicy::kInline:
       return std::make_unique<InlineStorage>(num_registers, num_threads,
-                                             backoff, /*strict=*/false);
+                                             backoff, /*strict=*/false,
+                                             reclaim, reclaim_slots);
     case StoragePolicy::kInlineStrict:
       return std::make_unique<InlineStorage>(num_registers, num_threads,
-                                             backoff, /*strict=*/true);
+                                             backoff, /*strict=*/true,
+                                             reclaim, reclaim_slots);
   }
   LLSC_UNREACHABLE("bad StoragePolicy");
 }

@@ -5,11 +5,14 @@
 // varies:
 //
 //   BoxedStorage  — each register's word is always a pointer to an
-//                   immutable heap Node{Value, version}; every successful
-//                   write installs a fresh node with version + 1 and the
-//                   replaced node goes through three-epoch reclamation.
-//                   This is the pre-seam HwMemory behavior, preserved
-//                   exactly (same versions, same allocation counts).
+//                   immutable heap VersionedNode{Value, version}; every
+//                   successful write installs a fresh node with version + 1
+//                   and the replaced node is retired to the run's
+//                   Reclaimer (hw/reclaim.h — three-epoch batches by
+//                   default, per-slot hazard pointers under
+//                   ReclaimPolicy::kHazard). This is the pre-seam HwMemory
+//                   behavior, preserved exactly under the default epoch
+//                   policy (same versions, same allocation counts).
 //   InlineStorage — while a register's values fit, its word *is* the
 //                   value: a 64-bit tagged word (memory/storage_policy.h
 //                   codec — 16-bit version tag, 47-bit payload, bit 0 set)
@@ -33,17 +36,25 @@
 // success requires exactly k · 65535 intervening completed writes, the
 // last of which re-encodes the linked payload — the bounded-register price
 // Section 7 is about, documented in docs/hw_backend.md.
+//
+// Reclamation discipline: every operation brackets its node dereferences
+// inside one Reclaimer::Guard, loads register words through the guard
+// (acquire for fresh loads, confirm for words a failed CAS handed back),
+// and retires unlinked nodes through it. No protection ever spans an
+// operation boundary — the invariant that lets oversubscribed executors
+// bind hazard slots to carrier threads (see hw/reclaim.h).
 #ifndef LLSC_HW_REGISTER_STORAGE_H_
 #define LLSC_HW_REGISTER_STORAGE_H_
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <vector>
 
 #include "hw/backoff.h"
+#include "hw/reclaim.h"
 #include "memory/op.h"
+#include "memory/reclaim_policy.h"
 #include "memory/rmw.h"
 #include "memory/storage_policy.h"
 #include "memory/value.h"
@@ -52,14 +63,9 @@ namespace llsc {
 
 inline constexpr std::size_t kCacheLineBytes = 64;
 
-// Reclamation counters (approximate totals aggregated over threads; read
-// when quiescent).
-struct HwReclaimStats {
-  std::uint64_t nodes_allocated = 0;
-  std::uint64_t nodes_retired = 0;
-  std::uint64_t nodes_freed = 0;
-  std::uint64_t global_epoch = 0;
-};
+// Back-compat alias: the reclamation counters moved to
+// memory/reclaim_policy.h when the Reclaimer seam was extracted.
+using HwReclaimStats = ReclaimStats;
 
 // Backoff counters aggregated over threads (read when quiescent), plus
 // the wake side of the parking tier, which is charged to the writer
@@ -85,13 +91,19 @@ struct HwBackoffStats {
 
 class RegisterStorage {
  public:
+  // `reclaim_slots` sizes the Reclaimer's slot table; 0 means one slot per
+  // thread/process (the 1:1 layout). Oversubscribed executors pass their
+  // carrier count when the policy binds slots to carriers (hw/reclaim.h).
   RegisterStorage(std::size_t num_registers, int num_threads,
-                  const BackoffOptions& backoff);
+                  const BackoffOptions& backoff,
+                  ReclaimPolicy reclaim = default_reclaim_policy(),
+                  int reclaim_slots = 0);
   virtual ~RegisterStorage();
   RegisterStorage(const RegisterStorage&) = delete;
   RegisterStorage& operator=(const RegisterStorage&) = delete;
 
   virtual StoragePolicy policy() const = 0;
+  ReclaimPolicy reclaim_policy() const { return reclaimer_->policy(); }
 
   virtual Value ll(ProcId p, RegId r) = 0;
   virtual OpResult sc(ProcId p, RegId r, Value v) = 0;
@@ -105,10 +117,17 @@ class RegisterStorage {
 
   // Crash-recovery support (hw/fault.h): drop every link p holds, so a
   // restarted incarnation cannot adopt a reservation its dead predecessor
-  // took. Links are owner-thread private; call this from the carrier
-  // thread performing p's restart — the same thread-contract every
-  // operation for p already obeys.
+  // took, and release the reclamation protections of p's slot (the dead
+  // incarnation's guard already unwound; this is the explicit reset).
+  // Links are owner-thread private; call this from the carrier thread
+  // performing p's restart — the same thread-contract every operation for
+  // p already obeys.
   void invalidate_links(ProcId p);
+
+  // The run's reclamation policy object (executors use this to bind
+  // carrier threads to slots; tests to reach policy internals).
+  Reclaimer& reclaimer() { return *reclaimer_; }
+  const Reclaimer& reclaimer() const { return *reclaimer_; }
 
   // --- quiescent observation (tests / post-run accounting only) ---
   virtual Value peek_value(RegId r) const = 0;
@@ -135,11 +154,9 @@ class RegisterStorage {
  protected:
   // Immutable once published; versions per register strictly increase and
   // are never reused (from 1 step 1 under BoxedStorage; from 2 step 2 —
-  // always even — for InlineStorage's demoted registers).
-  struct Node {
-    Value value;
-    std::uint64_t version = 1;
-  };
+  // always even — for InlineStorage's demoted registers). The node type
+  // itself lives with its lifecycle owner, the Reclaimer (hw/reclaim.h).
+  using Node = VersionedNode;
 
   struct alignas(kCacheLineBytes) PaddedWord {
     // Either a Node* (bit 0 clear — nodes are 8-byte aligned) or, under
@@ -152,18 +169,11 @@ class RegisterStorage {
   };
 
   struct alignas(kCacheLineBytes) ThreadCtx {
-    // 0 = quiescent; otherwise the global epoch observed at critical-
-    // section entry. Written only by the owning thread; read by everyone.
-    std::atomic<std::uint64_t> epoch{0};
     // Linked word per register (owner-thread private); 0 = no live link.
     std::vector<std::uint64_t> link;
-    // Retired nodes with their retirement epoch; epochs are non-decreasing
-    // in deque order, so the freeable nodes form a prefix.
-    std::deque<std::pair<std::uint64_t, Node*>> retired;
-    std::uint64_t retires_since_scan = 0;
+    // Net completed-install allocations (a node deleted after losing its
+    // CAS race is un-counted on the spot).
     std::uint64_t allocated = 0;
-    std::uint64_t retired_count = 0;
-    std::uint64_t freed = 0;
     // Retry-loop backoff state and counters (owner-thread private).
     Backoff backoff;
     std::uint64_t wakes = 0;
@@ -175,51 +185,29 @@ class RegisterStorage {
     std::uint64_t boxed_installs = 0;
   };
 
-  // RAII epoch critical section: dereferencing word-loaded nodes is safe
-  // only between construction and destruction.
-  class EpochGuard {
-   public:
-    EpochGuard(const std::atomic<std::uint64_t>& global, ThreadCtx& ctx)
-        : ctx_(ctx) {
-      ctx_.epoch.store(global.load());
-    }
-    ~EpochGuard() { ctx_.epoch.store(0); }
-    EpochGuard(const EpochGuard&) = delete;
-    EpochGuard& operator=(const EpochGuard&) = delete;
-
-   private:
-    ThreadCtx& ctx_;
-  };
-
-  static bool is_node_word(std::uint64_t w) { return (w & 1) == 0; }
-  static Node* as_node(std::uint64_t w) {
-    return reinterpret_cast<Node*>(static_cast<std::uintptr_t>(w));
-  }
-  static std::uint64_t from_node(Node* n) {
-    return static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(n));
-  }
-
   ThreadCtx& ctx(ProcId p);
   std::atomic<std::uint64_t>& word(RegId r);
   const std::atomic<std::uint64_t>& word(RegId r) const;
   Node* make_node(ThreadCtx& c, Value v, std::uint64_t version);
-  void retire(ThreadCtx& c, Node* n);
-  // Attempt a global-epoch advance, then free this thread's retired
-  // prefix that is two epochs stale.
-  void scan_and_reclaim(ThreadCtx& c);
   // Wake threads parked on r's ParkSpot after a successful write (no-op
   // unless someone is registered as a waiter).
   void wake_waiters(ThreadCtx& c, RegId r);
   // Width accounting at a *completed* install (SC success, swap, move,
   // rmw) — never per CAS retry, so simulator and hw totals agree.
   void note_install(ThreadCtx& c, const Value& v, bool inline_install);
+  // Same, from bits precomputed while the installed node was still
+  // private. A published node may be replaced, retired, and freed by a
+  // concurrent writer at any time — only the node in this slot's hazard
+  // word is protected — so its value must not be read after the CAS.
+  void note_install_bits(ThreadCtx& c, std::size_t encoded_bits,
+                         bool inline_install);
 
   std::vector<PaddedWord> regs_;
   std::vector<std::unique_ptr<ThreadCtx>> ctxs_;
   BackoffOptions backoff_options_;
   std::vector<RegisterGroup> groups_;
   Waiter* waiter_;
-  alignas(kCacheLineBytes) std::atomic<std::uint64_t> global_epoch_{1};
+  std::unique_ptr<Reclaimer> reclaimer_;
 };
 
 // The pre-seam HwMemory: every register word is a Node*, versions run
@@ -227,7 +215,9 @@ class RegisterStorage {
 class BoxedStorage : public RegisterStorage {
  public:
   BoxedStorage(std::size_t num_registers, int num_threads,
-               const BackoffOptions& backoff);
+               const BackoffOptions& backoff,
+               ReclaimPolicy reclaim = default_reclaim_policy(),
+               int reclaim_slots = 0);
 
   StoragePolicy policy() const override { return StoragePolicy::kBoxed; }
 
@@ -243,8 +233,8 @@ class BoxedStorage : public RegisterStorage {
 
  private:
   // Unconditional install of `v` into r with a version bump (swap/move
-  // tail); returns the replaced value.
-  Value install(ThreadCtx& c, RegId r, Value v);
+  // tail); returns the replaced value. Dereferences through `g`.
+  Value install(Reclaimer::Guard& g, ThreadCtx& c, RegId r, Value v);
 };
 
 // The bounded-register regime: one 64-bit tagged word per register while
@@ -253,7 +243,9 @@ class BoxedStorage : public RegisterStorage {
 class InlineStorage final : public RegisterStorage {
  public:
   InlineStorage(std::size_t num_registers, int num_threads,
-                const BackoffOptions& backoff, bool strict);
+                const BackoffOptions& backoff, bool strict,
+                ReclaimPolicy reclaim = default_reclaim_policy(),
+                int reclaim_slots = 0);
 
   StoragePolicy policy() const override {
     return strict_ ? StoragePolicy::kInlineStrict : StoragePolicy::kInline;
@@ -282,14 +274,15 @@ class InlineStorage final : public RegisterStorage {
   [[noreturn]] void throw_overflow(RegId r, const Value& v) const;
   // Unconditional install (swap/move tail): inline CAS when the register
   // is inline and `v` fits, demotion or node replacement otherwise.
-  Value install(ThreadCtx& c, RegId r, const Value& v);
+  Value install(Reclaimer::Guard& g, ThreadCtx& c, RegId r, const Value& v);
 
   const bool strict_;
 };
 
 std::unique_ptr<RegisterStorage> make_register_storage(
     StoragePolicy policy, std::size_t num_registers, int num_threads,
-    const BackoffOptions& backoff);
+    const BackoffOptions& backoff,
+    ReclaimPolicy reclaim = default_reclaim_policy(), int reclaim_slots = 0);
 
 }  // namespace llsc
 

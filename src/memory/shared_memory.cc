@@ -167,18 +167,29 @@ void SharedMemory::note_write(RegId r, const Value& v) {
   if (bits > width_.max_bits) width_.max_bits = bits;
   if (storage_ == StoragePolicy::kBoxed) {
     ++width_.boxed_installs;
+    // Boxed hw installs a fresh node and retires the predecessor (the
+    // very first install retires the register's initial node, which was
+    // never charged to allocation) — so both counters advance together.
+    ++reclaim_.nodes_allocated;
+    ++reclaim_.nodes_retired;
     return;
   }
+  const bool was_demoted = demoted_.contains(r);
   const bool fits = value_fits_inline(v);
   if (!fits) {
     // Only reachable under kInline — check_overflow threw for strict.
     ++width_.overflow_events;
     demoted_.insert(r);
   }
-  if (fits && !demoted_.contains(r)) {
+  if (fits && !was_demoted) {
     ++width_.inline_installs;
   } else {
     ++width_.boxed_installs;
+    // A node-path install allocates; it retires a node only when the
+    // register already held one (demoted before this install). The first
+    // demoting install replaces an inline word — nothing to retire.
+    ++reclaim_.nodes_allocated;
+    if (was_demoted) ++reclaim_.nodes_retired;
   }
 }
 
@@ -188,6 +199,12 @@ void SharedMemory::check_overflow(RegId r, const Value& v) const {
         "register " + std::to_string(r) + ": value " + v.to_string() +
         " does not fit in a 64-bit inline register word (strict policy)");
   }
+}
+
+ReclaimStats SharedMemory::reclaim_stats() const {
+  ReclaimStats s = reclaim_;
+  s.policy = reclaim_policy_;
+  return s;
 }
 
 RegisterWidthStats SharedMemory::width_stats() const {

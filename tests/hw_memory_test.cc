@@ -197,7 +197,11 @@ TEST_P(HwMemoryPolicyTest, ConcurrentFetchIncrementIsExact) {
 }
 
 TEST_P(HwMemoryPolicyTest, EpochReclamationFreesRetiredNodes) {
-  HwMemory mem(1, 1, {}, GetParam());
+  // Pinned to the epoch reclaimer: the assertions below (global_epoch
+  // advancing, the scan-interval tail) are epoch-specific, so the test
+  // must not float with LLSC_RECLAIMER. The hazard twin lives in
+  // tests/hw_reclaim_test.cc.
+  HwMemory mem(1, 1, {}, GetParam(), ReclaimPolicy::kEpoch);
   for (int i = 0; i < 20000; ++i) {
     (void)mem.swap(0, 0, Value::of_u64(static_cast<std::uint64_t>(i)));
   }

@@ -9,8 +9,9 @@ Covers the contracts CI depends on:
     fingerprint including the zero-batch mean-omitted contract, E16
     service-mode pool shape / offered-served accounting / monotone
     latency percentiles, E18 TAS/leader expected-steps fingerprint with
-    the ordered winner-ops accounting and the zero-spec-violations gate)
-    with a nonzero exit;
+    the ordered winner-ops accounting and the zero-spec-violations gate,
+    E19 reclamation fingerprint with the reclaimed <= retired invariant
+    and the boxed-row positive-high-water gate) with a nonzero exit;
   * bench_to_csv.py conversion — emits the expected CSV columns;
   * replay_fault.py — exit codes for missing binaries/keys, the
     custom-scenario and --strategy skip paths, and pass/fail propagation
@@ -83,6 +84,10 @@ E17_GOOD = dict(n_threads=2, m_procs=16, recover=1, storm=4,
 E18_GOOD = dict(n=16, object_id=0, substrate_id=0, samples=16,
                 mean_winner_ops=6.0, mean_max_ops=17.3, min_winner_ops=6,
                 log2_n=4.0, spec_violations=0)
+E19_GOOD = dict(n_threads=2, reclaimer_id=1, policy_id=0,
+                hw_ops_per_sec=9.5e6, nodes_retired=4000,
+                nodes_reclaimed=3906, node_high_water=128,
+                max_stall_spins=3, scan_passes=61, stalled_peer=0)
 
 
 class BenchToCsvCheckTest(unittest.TestCase):
@@ -372,6 +377,44 @@ class BenchToCsvCheckTest(unittest.TestCase):
         proc = run_bench_to_csv(bench_doc(row), "--check")
         self.assertEqual(proc.returncode, 1)
         self.assertIn("winner", proc.stderr)
+
+    def test_e19_row_passes(self):
+        row = bench_row("BM_E19_Hammer_Hazard/2/2000", **E19_GOOD)
+        proc = run_bench_to_csv(bench_doc(row), "--check")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_e19_row_missing_accounting_rejected(self):
+        counters = dict(E19_GOOD)
+        del counters["node_high_water"]
+        row = bench_row("BM_E19_Hammer_Epoch/1/2000", **counters)
+        proc = run_bench_to_csv(bench_doc(row), "--check")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("node_high_water", proc.stderr)
+
+    def test_e19_unknown_reclaimer_rejected(self):
+        row = bench_row("BM_E19_Hammer_Epoch/1/2000",
+                        **dict(E19_GOOD, reclaimer_id=5))
+        proc = run_bench_to_csv(bench_doc(row), "--check")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("reclaimer_id", proc.stderr)
+
+    def test_e19_reclaimed_above_retired_rejected(self):
+        # The no-double-free invariant: freeing more than was retired.
+        row = bench_row("BM_E19_Oversub_Hazard/2/50",
+                        **dict(E19_GOOD, nodes_retired=100,
+                               nodes_reclaimed=101))
+        proc = run_bench_to_csv(bench_doc(row), "--check")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("more nodes than were retired", proc.stderr)
+
+    def test_e19_boxed_zero_high_water_rejected(self):
+        # A boxed run that retired nodes must have seen a positive peak.
+        row = bench_row("BM_E19_Hammer_Epoch_StalledPeer/2/2000",
+                        **dict(E19_GOOD, reclaimer_id=0, stalled_peer=1,
+                               node_high_water=0))
+        proc = run_bench_to_csv(bench_doc(row), "--check")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("zero node_high_water", proc.stderr)
 
 
 class BenchToCsvConvertTest(unittest.TestCase):
